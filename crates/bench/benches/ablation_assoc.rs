@@ -1,0 +1,83 @@
+//! Ablation — associativity / conflict misses.
+//!
+//! The analytical model assumes a fully-associative cache (it predicts
+//! compulsory + capacity misses only; §2.1 notes conflict misses "are
+//! the hardest to remove"). This ablation quantifies the resulting
+//! error: the same workloads run on direct-mapped, 2-way, 8-way, and
+//! fully-associative variants of the Origin2000, with the [HS89] miss
+//! taxonomy recorded.
+
+use gcm_bench::table::Series;
+use gcm_engine::{ops, ExecContext};
+use gcm_hardware::{presets, Associativity, HardwareSpec};
+use gcm_workload::Workload;
+
+fn with_assoc(assoc: Associativity) -> HardwareSpec {
+    let base = presets::origin2000();
+    let levels = base
+        .levels()
+        .iter()
+        .cloned()
+        .map(|mut l| {
+            if l.kind == gcm_hardware::LevelKind::Cache {
+                l.assoc = assoc;
+            }
+            l
+        })
+        .collect();
+    HardwareSpec::new(format!("{} [{assoc:?}]", base.name), base.cpu_mhz, levels).expect("valid")
+}
+
+fn main() {
+    let variants = [
+        ("direct", with_assoc(Associativity::DirectMapped)),
+        ("2-way", with_assoc(Associativity::Ways(2))),
+        ("8-way", with_assoc(Associativity::Ways(8))),
+        ("full", with_assoc(Associativity::Full)),
+    ];
+    let n: u64 = 256 * 1024; // 2 MB table
+
+    let mut series = Series::new(
+        "Ablation — conflict misses by associativity (quick-sort + hash-join, L1)",
+        &["variant", "qs L1 total", "qs L1 conflict", "hj L1 total", "hj L1 conflict"],
+    );
+
+    for (i, (name, spec)) in variants.iter().enumerate() {
+        let l1 = spec.level_index("L1").unwrap();
+
+        let mut ctx = ExecContext::with_classification(spec.clone());
+        let keys = Workload::new(1).shuffled_keys(n as usize);
+        let rel = ctx.relation_from_keys("U", &keys, 8);
+        let (_, qs) = ctx.measure(|c| ops::sort::quick_sort(c, &rel));
+
+        let mut ctx2 = ExecContext::with_classification(spec.clone());
+        let (uk, vk) = Workload::new(2).join_pair((n / 4) as usize);
+        let u = ctx2.relation_from_keys("U", &uk, 8);
+        let v = ctx2.relation_from_keys("V", &vk, 8);
+        let (_, hj) = ctx2.measure(|c| ops::hash::hash_join(c, &u, &v, "W", 16));
+
+        let qs_l1 = &qs.mem.levels[l1];
+        let hj_l1 = &hj.mem.levels[l1];
+        series.row(&[
+            i as f64,
+            (qs_l1.seq_misses + qs_l1.rand_misses) as f64,
+            qs_l1.conflict_misses as f64,
+            (hj_l1.seq_misses + hj_l1.rand_misses) as f64,
+            hj_l1.conflict_misses as f64,
+        ]);
+        println!("variant {i} = {name}");
+    }
+    series.print();
+
+    let totals = series.column("qs L1 total").unwrap();
+    let conflicts = series.column("qs L1 conflict").unwrap();
+    let err = (totals[0] - totals[3]).abs() / totals[3] * 100.0;
+    println!(
+        "conflict misses: {:.0} on direct-mapped vs 0 on fully-associative \
+         (which the model assumes); net total-miss deviation stays {err:.1}% on \
+         these workloads because conflicts partly displace the capacity misses \
+         LRU's cyclic pathology would otherwise cause — the reason the paper can \
+         afford to ignore conflicts in the formulas (§2.1).",
+        conflicts[0]
+    );
+}

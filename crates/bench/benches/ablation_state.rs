@@ -1,0 +1,95 @@
+//! Ablation — cache-state carry-over in sequential execution (Eq 5.2).
+//!
+//! Compares the full model (pattern state threads through `⊕`) against a
+//! naive variant that sums the children's cold-cache costs, on the
+//! operators where reuse matters (hash-join build→probe; quick-sort's
+//! recursion depths). The measured simulator numbers arbitrate.
+
+use gcm_bench::table::Series;
+use gcm_core::{CostModel, Pattern, Region};
+use gcm_engine::{ops, ExecContext};
+use gcm_hardware::presets;
+use gcm_workload::Workload;
+
+/// Evaluate a pattern with each ⊕-child costed from a cold cache
+/// (the ablated model).
+fn cold_sum(model: &CostModel, p: &Pattern) -> f64 {
+    match p {
+        Pattern::Seq(children) => children.iter().map(|c| cold_sum(model, c)).sum(),
+        Pattern::Repeat { k, inner } => *k as f64 * cold_sum(model, inner),
+        other => model.mem_ns(other),
+    }
+}
+
+fn main() {
+    let spec = presets::origin2000();
+    let model = CostModel::new(spec.clone());
+    let mut series = Series::new(
+        "Ablation — Eq 5.2 state carry-over (predicted/measured memory ms)",
+        &["case", "measured ms", "full model ms", "no-state model ms"],
+    );
+
+    // Case 0: hash-join with a cache-fitting table (state matters: the
+    // probe phase finds the table warm).
+    {
+        let n: u64 = 64 * 1024; // H = 2 MB < C2
+        let mut ctx = ExecContext::new(spec.clone());
+        let (uk, vk) = Workload::new(3).join_pair(n as usize);
+        let u = ctx.relation_from_keys("U", &uk, 8);
+        let v = ctx.relation_from_keys("V", &vk, 8);
+        let (out, stats) = ctx.measure(|c| ops::hash::hash_join(c, &u, &v, "W", 16));
+        let h = Region::new("H", (2 * n).next_power_of_two(), 16);
+        let p = ops::hash::hash_join_pattern(u.region(), v.region(), &h, out.region());
+        series.row(&[
+            0.0,
+            stats.mem.clock_ns / 1e6,
+            model.mem_ns(&p) / 1e6,
+            cold_sum(&model, &p) / 1e6,
+        ]);
+    }
+
+    // Case 1: quick-sort of a cache-fitting table (recursion reuse).
+    {
+        let n: u64 = 256 * 1024; // 2 MB < C2
+        let mut ctx = ExecContext::new(spec.clone());
+        let keys = Workload::new(4).shuffled_keys(n as usize);
+        let rel = ctx.relation_from_keys("U", &keys, 8);
+        let (_, stats) = ctx.measure(|c| ops::sort::quick_sort(c, &rel));
+        let p = ops::sort::quick_sort_pattern(rel.region());
+        series.row(&[
+            1.0,
+            stats.mem.clock_ns / 1e6,
+            model.mem_ns(&p) / 1e6,
+            cold_sum(&model, &p) / 1e6,
+        ]);
+    }
+
+    // Case 2: quick-sort of an oversized table (state matters less).
+    {
+        let n: u64 = 2 * 1024 * 1024; // 16 MB > C2
+        let mut ctx = ExecContext::new(spec.clone());
+        let keys = Workload::new(5).shuffled_keys(n as usize);
+        let rel = ctx.relation_from_keys("U", &keys, 8);
+        let (_, stats) = ctx.measure(|c| ops::sort::quick_sort(c, &rel));
+        let p = ops::sort::quick_sort_pattern(rel.region());
+        series.row(&[
+            2.0,
+            stats.mem.clock_ns / 1e6,
+            model.mem_ns(&p) / 1e6,
+            cold_sum(&model, &p) / 1e6,
+        ]);
+    }
+
+    println!("case 0: hash-join, H fits L2; case 1: quick-sort, fits L2; case 2: quick-sort, 4x L2");
+    series.print();
+    let meas = series.column("measured ms").unwrap();
+    let full = series.column("full model ms").unwrap();
+    let cold = series.column("no-state model ms").unwrap();
+    for i in 0..meas.len() {
+        println!(
+            "case {i}: full-model error {:+.0}%, no-state error {:+.0}%",
+            (full[i] / meas[i] - 1.0) * 100.0,
+            (cold[i] / meas[i] - 1.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Criterion microbenches: cost-model evaluation speed.
+//!
+//! A query optimizer evaluates cost functions thousands of times per
+//! plan search; the generic model must therefore be cheap. These benches
+//! time a full per-level report for representative patterns.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcm_core::{library, CostModel, Region};
+use gcm_hardware::presets;
+use std::hint::black_box;
+
+fn bench_model(c: &mut Criterion) {
+    let model = CostModel::new(presets::origin2000());
+    let n = 16 * 1024 * 1024u64;
+
+    c.bench_function("model/hash_join_report", |b| {
+        b.iter(|| {
+            let u = Region::new("U", n, 8);
+            let v = Region::new("V", n, 8);
+            let h = Region::new("H", 2 * n, 16);
+            let w = Region::new("W", n, 16);
+            black_box(model.report(&library::hash_join(u, v, h, w)))
+        })
+    });
+
+    c.bench_function("model/quick_sort_report", |b| {
+        b.iter(|| {
+            let u = Region::new("U", n, 8);
+            black_box(model.report(&library::quick_sort(u)))
+        })
+    });
+
+    c.bench_function("model/partitioned_hash_join_64_report", |b| {
+        b.iter(|| {
+            let u = Region::new("U", n, 8);
+            let v = Region::new("V", n, 8);
+            let w = Region::new("W", n, 16);
+            black_box(model.report(&library::partitioned_hash_join_uniform(u, v, w, 64, 16)))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_model
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion microbenches: simulator throughput.
+//!
+//! The experiments simulate hundreds of millions of accesses; these
+//! benches track the per-access cost of the three access shapes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gcm_hardware::presets;
+use gcm_sim::MemorySystem;
+use gcm_workload::Workload;
+use std::hint::black_box;
+
+const N: u64 = 64 * 1024;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim");
+    group.throughput(Throughput::Elements(N));
+
+    group.bench_function("sequential_reads", |b| {
+        let mut mem = MemorySystem::new(presets::origin2000());
+        let base = mem.alloc(N * 8, 128);
+        b.iter(|| {
+            for i in 0..N {
+                mem.read(base + i * 8, 8);
+            }
+            black_box(mem.clock_ns())
+        })
+    });
+
+    group.bench_function("random_reads", |b| {
+        let mut mem = MemorySystem::new(presets::origin2000());
+        let base = mem.alloc(N * 8, 128);
+        let perm = Workload::new(9).permutation(N as usize);
+        b.iter(|| {
+            for &i in &perm {
+                mem.read(base + i as u64 * 8, 8);
+            }
+            black_box(mem.clock_ns())
+        })
+    });
+
+    group.bench_function("classified_sequential_reads", |b| {
+        let mut mem = MemorySystem::with_classification(presets::origin2000());
+        let base = mem.alloc(N * 8, 128);
+        b.iter(|| {
+            for i in 0..N {
+                mem.read(base + i * 8, 8);
+            }
+            black_box(mem.clock_ns())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sim
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Figure 5 — impact of `u` (bytes accessed per item) and alignment on
+//! cache misses (paper §4.2/§4.3).
+//!
+//! A region of `n` items of width 256 B is traversed touching
+//! `u = 1…256` bytes per item, sequentially and randomly, at the two
+//! extreme alignments (`align=0`: region starts on a line boundary;
+//! `align=-1`: region starts on the last byte of a line) and averaged
+//! over sampled alignments. The model curves are Eq 4.2 (all lines),
+//! Eq 4.3/4.5 (per-item lines, alignment-averaged) and Eq 4.4.
+
+use gcm_bench::{exec, table::Series};
+use gcm_core::{CostModel, Pattern, Region};
+use gcm_hardware::presets;
+use gcm_sim::MemorySystem;
+use gcm_workload::Workload;
+
+const N: u64 = 65_536;
+const W: u64 = 256;
+
+fn measure(spec: &gcm_hardware::HardwareSpec, offset: u64, u: u64, perm: Option<&[usize]>) -> Vec<u64> {
+    let mut mem = MemorySystem::new(spec.clone());
+    let base = mem.alloc_offset(N * W + 256, 4096, offset);
+    let before = mem.snapshot();
+    match perm {
+        None => exec::s_trav(&mut mem, base, N, W, u),
+        Some(p) => exec::r_trav(&mut mem, base, W, u, p),
+    }
+    let d = mem.delta_since(&before);
+    d.levels.iter().map(|l| l.seq_misses + l.rand_misses).collect()
+}
+
+fn main() {
+    let spec = presets::origin2000();
+    let model = CostModel::new(spec.clone());
+    let perm = Workload::new(5).permutation(N as usize);
+    let us: Vec<u64> = (0..=8).map(|i| 1u64 << i).collect(); // 1..256
+
+    for (panel, level) in [("a) L1 misses", "L1"), ("b) L2 misses", "L2")] {
+        let li = spec.level_index(level).unwrap();
+        let b = spec.level(level).unwrap().line;
+        let mut series = Series::new(
+            format!("Figure 5{panel} (R.n = {N}, R.w = {W} B)"),
+            &[
+                "u",
+                "s_trav align=0",
+                "s_trav align=-1",
+                "s_trav avg",
+                "r_trav avg",
+                "model s_trav",
+                "model r_trav",
+            ],
+        );
+        for &u in &us {
+            let align0 = measure(&spec, 0, u, None)[li];
+            let alignm1 = measure(&spec, b - 1, u, None)[li];
+            // Average measured over 8 sampled alignments.
+            let offsets: Vec<u64> = (0..8).map(|k| k * b / 8).collect();
+            let s_avg: f64 = offsets.iter().map(|&o| measure(&spec, o, u, None)[li] as f64).sum::<f64>()
+                / offsets.len() as f64;
+            let r_avg: f64 = offsets
+                .iter()
+                .map(|&o| measure(&spec, o, u, Some(&perm))[li] as f64)
+                .sum::<f64>()
+                / offsets.len() as f64;
+
+            let region = Region::new("R", N, W);
+            let m_s = model.misses(&Pattern::s_trav_u(region.clone(), u))[li].total();
+            let m_r = model.misses(&Pattern::r_trav_u(region, u))[li].total();
+            series.row(&[u as f64, align0 as f64, alignm1 as f64, s_avg, r_avg, m_s, m_r]);
+        }
+        series.print();
+        // Shape check: the model's average must sit between the two
+        // alignment extremes wherever they differ.
+        let a0 = series.column("s_trav align=0").unwrap();
+        let a1 = series.column("s_trav align=-1").unwrap();
+        let ms = series.column("model s_trav").unwrap();
+        let ok = a0
+            .iter()
+            .zip(&a1)
+            .zip(&ms)
+            .all(|((&lo, &hi), &m)| m >= lo.min(hi) * 0.98 && m <= lo.max(hi) * 1.02);
+        println!("model within alignment envelope: {}\n", if ok { "yes" } else { "NO" });
+    }
+}

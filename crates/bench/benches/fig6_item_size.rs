@@ -1,0 +1,112 @@
+//! Figure 6 — impact of `R.w` (item size) and `||R||` (region size) on
+//! cache misses (paper §4.4).
+//!
+//! Four panels: (a) L1 / (b) L2 misses of a sequential traversal, (c) L1
+//! / (d) L2 misses of a random traversal, each for item sizes 1…256 B at
+//! several region sizes around the respective capacity. Reproduces the
+//! §4.4 invariants: sequential misses depend only on `||R||` while the
+//! gaps stay below the line size; random misses explode once `||R||`
+//! exceeds the capacity; and for gaps ≥ line size the two coincide.
+
+use gcm_bench::{exec, table::Series};
+use gcm_core::{CostModel, Pattern, Region};
+use gcm_hardware::presets;
+use gcm_sim::MemorySystem;
+use gcm_workload::Workload;
+
+fn measure(
+    spec: &gcm_hardware::HardwareSpec,
+    bytes: u64,
+    w: u64,
+    random: bool,
+    level: usize,
+) -> u64 {
+    let n = bytes / w;
+    let mut mem = MemorySystem::new(spec.clone());
+    let base = mem.alloc(bytes + 256, 4096);
+    let before = mem.snapshot();
+    if random {
+        let perm = Workload::new(bytes ^ w).permutation(n as usize);
+        exec::r_trav(&mut mem, base, w, w, &perm);
+    } else {
+        exec::s_trav(&mut mem, base, n, w, w);
+    }
+    let d = mem.delta_since(&before);
+    d.levels[level].seq_misses + d.levels[level].rand_misses
+}
+
+fn main() {
+    let spec = presets::origin2000();
+    let model = CostModel::new(spec.clone());
+    let kb = 1024u64;
+    let mb = 1024 * kb;
+    let widths: Vec<u64> = (0..=8).map(|i| 1u64 << i).collect();
+
+    let panels: [(&str, &str, bool, Vec<u64>); 4] = [
+        ("a) s_trav, L1", "L1", false, vec![16 * kb, 24 * kb, 32 * kb, 40 * kb, 64 * kb]),
+        ("b) s_trav, L2", "L2", false, vec![2 * mb, 6 * mb, 8 * mb, 12 * mb, 16 * mb]),
+        ("c) r_trav, L1", "L1", true, vec![16 * kb, 24 * kb, 32 * kb, 40 * kb, 64 * kb]),
+        ("d) r_trav, L2", "L2", true, vec![2 * mb, 6 * mb, 8 * mb, 12 * mb, 16 * mb]),
+    ];
+
+    for (panel, level, random, sizes) in panels {
+        let li = spec.level_index(level).unwrap();
+        let mut columns: Vec<String> = vec!["R.w".into()];
+        for &s in &sizes {
+            let label = if s >= mb { format!("{}MB", s / mb) } else { format!("{}kB", s / kb) };
+            columns.push(format!("meas {label}"));
+            columns.push(format!("model {label}"));
+        }
+        let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+        let mut series = Series::new(format!("Figure 6{panel}"), &col_refs);
+        for &w in &widths {
+            let mut row = vec![w as f64];
+            for &bytes in &sizes {
+                let measured = measure(&spec, bytes, w, random, li) as f64;
+                let region = Region::new("R", bytes / w, w);
+                let pattern = if random {
+                    Pattern::r_trav(region)
+                } else {
+                    Pattern::s_trav(region)
+                };
+                let predicted = model.misses(&pattern)[li].total();
+                row.push(measured);
+                row.push(predicted);
+            }
+            series.row(&row);
+        }
+        series.print();
+    }
+
+    println!("Invariant checks (paper §4.4):");
+    // s_trav at fixed ||R||: invariant to w (within 2 % across widths).
+    let li = spec.level_index("L1").unwrap();
+    let base = measure(&spec, 32 * kb, 1, false, li) as f64;
+    let ok_flat = widths.iter().all(|&w| {
+        let m = measure(&spec, 32 * kb, w, false, li) as f64;
+        (m - base).abs() / base < 0.02
+    });
+    println!("  s_trav invariant to item size at fixed ||R||: {}", yesno(ok_flat));
+    // r_trav == s_trav while the region fits the cache.
+    let fits_r = measure(&spec, 16 * kb, 8, true, li);
+    let fits_s = measure(&spec, 16 * kb, 8, false, li);
+    println!(
+        "  r_trav == s_trav for fitting regions: {} ({fits_r} vs {fits_s})",
+        yesno(fits_r == fits_s)
+    );
+    // r_trav >> s_trav once ||R|| exceeds the capacity.
+    let big_r = measure(&spec, 64 * kb, 8, true, li);
+    let big_s = measure(&spec, 64 * kb, 8, false, li);
+    println!(
+        "  r_trav > s_trav for oversized regions: {} ({big_r} vs {big_s})",
+        yesno(big_r > big_s)
+    );
+}
+
+fn yesno(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "NO"
+    }
+}

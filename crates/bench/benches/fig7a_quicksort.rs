@@ -1,0 +1,64 @@
+//! Figure 7a — quick-sort: measured vs predicted L1/L2/TLB misses and
+//! execution time across table sizes (paper §6.2).
+//!
+//! The paper sweeps `||U||` from 128 KB to 128 MB on the Origin2000; we
+//! sweep 128 KB to 32 MB on the simulated machine (same cliff structure:
+//! the L2 step sits at `||U|| = C2 = 4 MB`, the TLB step at the 1 MB TLB
+//! reach).
+
+use gcm_bench::fig7;
+use gcm_bench::table::Series;
+use gcm_core::{CostModel, CpuCost};
+use gcm_engine::{ops, ExecContext};
+use gcm_hardware::presets;
+use gcm_workload::Workload;
+
+fn main() {
+    let spec = presets::origin2000();
+    let model = CostModel::new(spec.clone());
+    let cols = fig7::columns();
+    let mut series = Series::new(
+        "Figure 7a — quick-sort (x = ||U|| in KB, 8-byte tuples)",
+        &cols,
+    );
+
+    let kb = 1024u64;
+    for size in [128 * kb, 512 * kb, 2048 * kb, 8192 * kb, 32_768 * kb] {
+        let n = size / 8;
+        let mut ctx = ExecContext::new(spec.clone());
+        let keys = Workload::new(size).shuffled_keys(n as usize);
+        let rel = ctx.relation_from_keys("U", &keys, 8);
+        let (_, stats) = ctx.measure(|c| ops::sort::quick_sort(c, &rel));
+
+        let pattern = ops::sort::quick_sort_pattern(rel.region());
+        let report = model.report(&pattern);
+        let pred_ops = ops::sort::quick_sort_expected_ops(n);
+
+        series.row(&fig7::row(&spec, (size / kb) as f64, &stats.mem, stats.ops, &report, pred_ops));
+    }
+    series.print();
+    fig7::summarize(&series);
+
+    // The Figure-7a step: L2 misses per tuple jump once ||U|| > C2 (4 MB).
+    let l2 = series.column("L2 meas").unwrap();
+    let xs = series.column("x").unwrap();
+    let per_tuple: Vec<f64> =
+        l2.iter().zip(&xs).map(|(&m, &x)| m / (x * 128.0)).collect(); // n = x KB / 8
+    println!(
+        "L2 misses per tuple: {:?}",
+        per_tuple.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
+    println!(
+        "step at ||U|| = C2: {}",
+        if per_tuple[4] > 2.0 * per_tuple[1] { "reproduced" } else { "NOT reproduced" }
+    );
+
+    // Eq 6.1 check: CPU + memory decomposition printed for the largest run.
+    let cpu = CpuCost::per_op(fig7::PER_OP_NS);
+    let n = 32_768 * kb / 8;
+    let region = gcm_core::Region::new("U", n, 8);
+    let pattern = ops::sort::quick_sort_pattern(&region);
+    let t_mem = model.mem_ns(&pattern) / 1e6;
+    let t_cpu = cpu.ns(ops::sort::quick_sort_expected_ops(n)) / 1e6;
+    println!("largest run decomposition (Eq 6.1): T_mem = {t_mem:.1} ms, T_cpu = {t_cpu:.1} ms");
+}

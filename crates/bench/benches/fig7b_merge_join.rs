@@ -1,0 +1,53 @@
+//! Figure 7b — merge-join: measured vs predicted misses and time across
+//! input sizes (paper §6.2).
+//!
+//! Both operands sorted, equal-sized, 1:1 match. Pure streaming: costs
+//! are proportional to the data size and unaffected by cache capacities
+//! (the paper's "single sequential access is not affected by cache
+//! sizes").
+
+use gcm_bench::fig7;
+use gcm_bench::table::Series;
+use gcm_core::CostModel;
+use gcm_engine::{ops, ExecContext};
+use gcm_hardware::presets;
+
+fn main() {
+    let spec = presets::origin2000();
+    let model = CostModel::new(spec.clone());
+    let cols = fig7::columns();
+    let mut series = Series::new(
+        "Figure 7b — merge-join (x = ||U|| = ||V|| in KB, 8-byte tuples, 16-byte output)",
+        &cols,
+    );
+
+    let kb = 1024u64;
+    for size in [128 * kb, 512 * kb, 2048 * kb, 8192 * kb, 32_768 * kb] {
+        let n = size / 8;
+        let mut ctx = ExecContext::new(spec.clone());
+        let keys: Vec<u64> = (0..n).collect();
+        let u = ctx.relation_from_keys("U", &keys, 8);
+        let v = ctx.relation_from_keys("V", &keys, 8);
+        let (out, stats) = ctx.measure(|c| ops::merge_join::merge_join(c, &u, &v, "W", 16));
+
+        let pattern =
+            ops::merge_join::merge_join_pattern(u.region(), v.region(), out.region());
+        let report = model.report(&pattern);
+        // CPU: one comparison per cursor advance plus one per output.
+        let pred_ops = 2 * n + n;
+
+        series.row(&fig7::row(&spec, (size / kb) as f64, &stats.mem, stats.ops, &report, pred_ops));
+    }
+    series.print();
+    fig7::summarize(&series);
+
+    // Linearity check: cost per input byte is flat across the sweep.
+    let xs = series.column("x").unwrap();
+    let ms = series.column("ms meas").unwrap();
+    let per_kb: Vec<f64> = ms.iter().zip(&xs).map(|(&t, &x)| t / x).collect();
+    let flat = per_kb.iter().all(|&v| (v - per_kb[0]).abs() / per_kb[0] < 0.25);
+    println!(
+        "cost proportional to data size (no cache-size effect): {}",
+        if flat { "reproduced" } else { "NOT reproduced" }
+    );
+}

@@ -1,0 +1,57 @@
+//! Figure 7c — hash-join: measured vs predicted misses and time across
+//! input sizes (paper §6.2).
+//!
+//! The signature effect: L2 and TLB misses jump once the hash table
+//! `||H||` exceeds the respective capacity (`C2 = 4 MB`; TLB reach =
+//! 1 MB). L1 shows no such step in the plotted range because every
+//! table already exceeds the 32 KB L1 (the paper's footnote 7).
+
+use gcm_bench::fig7;
+use gcm_bench::table::Series;
+use gcm_core::{CostModel, Region};
+use gcm_engine::{ops, ExecContext};
+use gcm_hardware::presets;
+use gcm_workload::Workload;
+
+fn main() {
+    let spec = presets::origin2000();
+    let model = CostModel::new(spec.clone());
+    let cols = fig7::columns();
+    let mut series = Series::new(
+        "Figure 7c — hash-join (x = ||U|| = ||V|| in KB; H = open-addressing table, 16-byte entries)",
+        &cols,
+    );
+
+    let kb = 1024u64;
+    for size in [128 * kb, 512 * kb, 2048 * kb, 8192 * kb] {
+        let n = size / 8;
+        let mut ctx = ExecContext::new(spec.clone());
+        let (uk, vk) = Workload::new(size).join_pair(n as usize);
+        let u = ctx.relation_from_keys("U", &uk, 8);
+        let v = ctx.relation_from_keys("V", &vk, 8);
+        let (out, stats) = ctx.measure(|c| ops::hash::hash_join(c, &u, &v, "W", 16));
+
+        let h = Region::new("H", (2 * n).next_power_of_two(), 16);
+        let pattern = ops::hash::hash_join_pattern(u.region(), v.region(), &h, out.region());
+        let report = model.report(&pattern);
+        // CPU: ~2 probes per build insert + ~2 per probe + 1 per output.
+        let pred_ops = 5 * n;
+
+        series.row(&fig7::row(&spec, (size / kb) as f64, &stats.mem, stats.ops, &report, pred_ops));
+    }
+    series.print();
+    fig7::summarize(&series);
+
+    // Cliff checks: per-tuple L2 and TLB misses jump across ||H|| = C.
+    for (metric, label) in [("L2 meas", "||H|| = C2"), ("TLB meas", "||H|| = TLB reach")] {
+        let m = series.column(metric).unwrap();
+        let xs = series.column("x").unwrap();
+        let per_tuple: Vec<f64> = m.iter().zip(&xs).map(|(&v, &x)| v / (x * 128.0)).collect();
+        let jumped = per_tuple.last().unwrap() > &(2.0 * per_tuple[0]);
+        println!(
+            "{label} cliff in {metric}: {} (per-tuple {:?})",
+            if jumped { "reproduced" } else { "NOT reproduced" },
+            per_tuple.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Figure 7e — partitioned hash-join: measured vs predicted misses and
+//! time across the partition size `||Hj||` (paper §6.2).
+//!
+//! Inputs are pre-partitioned (the partitioning cost is Figure 7d's);
+//! the join phase is measured as the per-partition hash-table size
+//! sweeps from input-sized down to a few cache lines. Cost drops once
+//! `||Hj|| ≤ C2`, again at the TLB reach, and at `||Hj|| ≤ C1`.
+
+use gcm_bench::fig7;
+use gcm_bench::table::Series;
+use gcm_core::{CostModel, Region};
+use gcm_engine::{ops, ExecContext};
+use gcm_hardware::presets;
+use gcm_workload::Workload;
+
+fn main() {
+    let spec = presets::origin2000();
+    let model = CostModel::new(spec.clone());
+    let cols = fig7::columns();
+    let n: u64 = 1024 * 1024; // ||U|| = ||V|| = 8 MB
+    let mut series = Series::new(
+        format!(
+            "Figure 7e — partitioned hash-join (x = ||Hj|| in KB; ||U|| = ||V|| = {} MB)",
+            n * 8 / (1024 * 1024)
+        ),
+        &cols,
+    );
+
+    let (uk, vk) = Workload::new(77).join_pair(n as usize);
+    let mut m = 1u64;
+    while m <= 16_384 {
+        let mut ctx = ExecContext::new(spec.clone());
+        let u = ctx.relation_from_keys("U", &uk, 8);
+        let v = ctx.relation_from_keys("V", &vk, 8);
+        // Partition outside the measurement (Figure 7d covers that).
+        let pu = ops::partition::hash_partition(&mut ctx, &u, m, "Up");
+        let pv = ops::partition::hash_partition(&mut ctx, &v, m, "Vp");
+        ctx.cold_caches();
+        let (out, stats) =
+            ctx.measure(|c| ops::part_hash_join::join_partitions(c, &pu, &pv, "W", 16));
+
+        let table_slots = (2 * n / m).next_power_of_two();
+        let hj_bytes = table_slots * 16;
+        let parts = (0..m)
+            .map(|j| {
+                (
+                    pu.rel.region().slice(m),
+                    pv.rel.region().slice(m),
+                    Region::new(format!("H{j}"), table_slots, 16),
+                    out.region().slice(m),
+                )
+            })
+            .collect();
+        let pattern = gcm_core::library::partitioned_hash_join(parts);
+        let report = model.report(&pattern);
+        let pred_ops = 5 * n;
+
+        series.row(&fig7::row(
+            &spec,
+            (hj_bytes / 1024) as f64,
+            &stats.mem,
+            stats.ops,
+            &report,
+            pred_ops,
+        ));
+        m *= 8;
+    }
+    series.print();
+    fig7::summarize(&series);
+
+    // The headline: join cost at cache-fitting partitions is a fraction
+    // of the unpartitioned cost.
+    let ms = series.column("ms meas").unwrap();
+    let best = ms.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "join-phase speedup from partitioning: {:.1}x (unpartitioned {:.1} ms -> best {best:.1} ms)",
+        ms[0] / best,
+        ms[0]
+    );
+}

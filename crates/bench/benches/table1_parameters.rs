@@ -1,0 +1,26 @@
+//! Table 1 — characteristic parameters per cache level (paper §2.3).
+//!
+//! Prints the unified-hardware-model parameter table for the paper's
+//! experimentation platform (the Table-3 values slot into the Table-1
+//! schema) plus the derived quantities (#lines, miss bandwidths).
+
+use gcm_hardware::presets;
+
+fn main() {
+    for spec in [presets::origin2000(), presets::modern_commodity()] {
+        println!("{}", spec.characteristics_table());
+        println!("derived quantities:");
+        for l in spec.levels() {
+            println!(
+                "  {:<5} #={:<8} b_s={:.0} MB/s  b_r={:.0} MB/s  l_s={:.0} cy  l_r={:.0} cy",
+                l.name,
+                l.lines(),
+                l.seq_bandwidth() * 1000.0,
+                l.rand_bandwidth() * 1000.0,
+                spec.ns_to_cycles(l.seq_miss_ns),
+                spec.ns_to_cycles(l.rand_miss_ns),
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,73 @@
+//! Table 2 — sample data access patterns (paper §3.3).
+//!
+//! Prints the pattern-language description of every operator the library
+//! models, in the paper's notation, instantiated for a representative
+//! 1M-tuple workload.
+
+use gcm_core::{library, Region};
+
+fn main() {
+    let n = 1_000_000u64;
+    let u = Region::new("U", n, 8);
+    let v = Region::new("V", n, 8);
+    let h = Region::new("H", (2 * n).next_power_of_two(), 16);
+    let w = Region::new("W", n, 8);
+    let w16 = Region::new("W", n, 16);
+    let g = Region::new("G", 1000, 16);
+    let hp = Region::new("Up", n, 8);
+    let vp = Region::new("Vp", n, 8);
+
+    let rows: Vec<(&str, String)> = vec![
+        ("scan(U)", library::scan(u.clone()).to_string()),
+        ("select(U) -> W", library::select(u.clone(), w.clone()).to_string()),
+        ("project(U, 8) -> W", library::project(u.clone(), 8, w.clone()).to_string()),
+        ("build_hash(V) -> H", library::build_hash(v.clone(), h.clone()).to_string()),
+        (
+            "hash_join(U, V) -> W",
+            library::hash_join(u.clone(), v.clone(), h.clone(), w16.clone()).to_string(),
+        ),
+        (
+            "merge_join(U, V) -> W",
+            library::merge_join(u.clone(), v.clone(), w16.clone()).to_string(),
+        ),
+        (
+            "nl_join(U, V) -> W",
+            library::nested_loop_join(u.clone(), v.clone(), w16.clone()).to_string(),
+        ),
+        ("quick_sort(U)  [first 3 depths]", {
+            let p = library::quick_sort(Region::new("U", 16, 8));
+            p.to_string()
+        }),
+        ("partition(U, 64) -> W", library::partition(u.clone(), w.clone(), 64).to_string()),
+        (
+            "range_partition(U, 64) -> W",
+            library::range_partition(u.clone(), w.clone(), 64).to_string(),
+        ),
+        ("part_hash_join(U, V, m=4)", {
+            // Show the 4-way version; larger fan-outs print analogously.
+            library::partitioned_hash_join_uniform(
+                u.clone(),
+                v.clone(),
+                w16.clone(),
+                4,
+                16,
+            )
+            .to_string()
+        }),
+        (
+            "hash_aggregate(U) -> G",
+            library::hash_aggregate(u.clone(), g.clone(), w.clone()).to_string(),
+        ),
+        ("sort_aggregate(U) -> W", {
+            let p = library::sort_aggregate(Region::new("U", 16, 8), w);
+            p.to_string()
+        }),
+    ];
+
+    println!("### Table 2 — operator descriptions in the pattern language\n");
+    for (name, pattern) in rows {
+        println!("{name}:");
+        println!("    {pattern}\n");
+    }
+    let _ = (hp, vp);
+}

@@ -1,0 +1,20 @@
+//! Table 3 — hardware characteristics measured by the Calibrator
+//! (paper §6.1).
+//!
+//! Runs the blind calibration pipeline against the simulated SGI
+//! Origin2000 and prints configured-vs-calibrated values — the
+//! reproduction of the paper's Table 3 methodology ([MBK00b]).
+
+use gcm_calibrate::{comparison_table, Calibrator};
+use gcm_hardware::presets;
+
+fn main() {
+    for (spec, max) in [
+        (presets::origin2000(), 16 * 1024 * 1024u64),
+        (presets::tiny(), 128 * 1024),
+    ] {
+        let mut cal = Calibrator::new(spec.clone(), max);
+        let report = cal.run();
+        println!("{}", comparison_table(&spec, &report));
+    }
+}

@@ -1,0 +1,149 @@
+//! Pattern executors: drive the simulator with exactly the access
+//! sequence each basic pattern (paper §3.2) describes.
+//!
+//! Every function touches `u` bytes of each `w`-byte item of a region at
+//! `base`, in the order the pattern prescribes. Randomised orders are
+//! taken as explicit argument slices so runs are deterministic and the
+//! same order can be replayed across configurations.
+
+use gcm_sim::{Addr, MemorySystem};
+
+/// `s_trav(R, u)`: one forward sequential sweep.
+pub fn s_trav(mem: &mut MemorySystem, base: Addr, n: u64, w: u64, u: u64) {
+    for i in 0..n {
+        mem.read(base + i * w, u);
+    }
+}
+
+/// A single backward sweep (for bi-directional repetitions).
+pub fn s_trav_rev(mem: &mut MemorySystem, base: Addr, n: u64, w: u64, u: u64) {
+    for i in (0..n).rev() {
+        mem.read(base + i * w, u);
+    }
+}
+
+/// `rs_trav(k, d, R, u)`: `k` sweeps, uni- or bi-directional.
+pub fn rs_trav(mem: &mut MemorySystem, base: Addr, n: u64, w: u64, u: u64, k: u64, bi: bool) {
+    for rep in 0..k {
+        if bi && rep % 2 == 1 {
+            s_trav_rev(mem, base, n, w, u);
+        } else {
+            s_trav(mem, base, n, w, u);
+        }
+    }
+}
+
+/// `r_trav(R, u)`: touch every item once, in the order of `perm`
+/// (a permutation of `0..n`).
+pub fn r_trav(mem: &mut MemorySystem, base: Addr, w: u64, u: u64, perm: &[usize]) {
+    for &i in perm {
+        mem.read(base + i as u64 * w, u);
+    }
+}
+
+/// `rr_trav(k, R, u)`: `k` independent random traversals.
+pub fn rr_trav(mem: &mut MemorySystem, base: Addr, w: u64, u: u64, perms: &[Vec<usize>]) {
+    for perm in perms {
+        r_trav(mem, base, w, u, perm);
+    }
+}
+
+/// `r_acc(R, q, u)`: random accesses with replacement, per `indices`.
+pub fn r_acc(mem: &mut MemorySystem, base: Addr, w: u64, u: u64, indices: &[usize]) {
+    for &i in indices {
+        mem.read(base + i as u64 * w, u);
+    }
+}
+
+/// `nest(R, m, s_trav, rnd)`: `m` local sequential cursors over equal
+/// sub-regions; the global cursor visits them in the order of `picks`
+/// (one entry per access; each value `< m` must occur exactly
+/// `n/m` times for a full traversal).
+pub fn nest_seq(
+    mem: &mut MemorySystem,
+    base: Addr,
+    n: u64,
+    w: u64,
+    u: u64,
+    m: u64,
+    picks: &[usize],
+) {
+    let per = n / m;
+    let mut cursors = vec![0u64; m as usize];
+    for &j in picks {
+        let local = cursors[j];
+        debug_assert!(local < per, "cursor {j} overflow");
+        cursors[j] += 1;
+        let item = j as u64 * per + local;
+        mem.write(base + item * w, u);
+    }
+}
+
+/// A balanced random pick sequence for [`nest_seq`]: each of the `m`
+/// cursors appears exactly `n/m` times, in deterministic shuffled order.
+pub fn balanced_picks(n: u64, m: u64, seed: u64) -> Vec<usize> {
+    let per = n / m;
+    let mut picks: Vec<usize> = (0..m as usize).flat_map(|j| std::iter::repeat_n(j, per as usize)).collect();
+    let mut wl = gcm_workload::Workload::new(seed);
+    wl.shuffle(&mut picks);
+    picks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcm_hardware::presets;
+
+    fn mem() -> MemorySystem {
+        MemorySystem::new(presets::tiny())
+    }
+
+    #[test]
+    fn s_trav_touches_expected_lines() {
+        let mut m = mem();
+        let base = m.alloc(8192, 64);
+        s_trav(&mut m, base, 1024, 8, 8);
+        assert_eq!(m.stats_for("L1").unwrap().misses(), 256); // 8192/32
+    }
+
+    #[test]
+    fn rs_trav_bi_reuses_turning_point() {
+        let mut m = mem();
+        let base = m.alloc(8192, 64); // 4× L1
+        rs_trav(&mut m, base, 1024, 8, 8, 3, true);
+        let bi = m.stats_for("L1").unwrap().misses();
+        let mut m2 = mem();
+        let base2 = m2.alloc(8192, 64);
+        rs_trav(&mut m2, base2, 1024, 8, 8, 3, false);
+        let uni = m2.stats_for("L1").unwrap().misses();
+        assert!(bi < uni, "bi {bi} < uni {uni}");
+    }
+
+    #[test]
+    fn r_trav_visits_everything_once() {
+        let mut m = mem();
+        let base = m.alloc(1024, 64);
+        let perm = gcm_workload::Workload::new(3).permutation(128);
+        r_trav(&mut m, base, 8, 8, &perm);
+        assert_eq!(m.stats_for("L1").unwrap().accesses, 128);
+    }
+
+    #[test]
+    fn nest_writes_each_slot_once() {
+        let mut m = mem();
+        let n = 256u64;
+        let base = m.alloc(n * 8, 64);
+        let picks = balanced_picks(n, 8, 42);
+        assert_eq!(picks.len(), 256);
+        nest_seq(&mut m, base, n, 8, 8, 8, &picks);
+        assert_eq!(m.stats_for("L1").unwrap().accesses, 256);
+    }
+
+    #[test]
+    fn balanced_picks_are_balanced() {
+        let picks = balanced_picks(1000, 10, 1);
+        for j in 0..10 {
+            assert_eq!(picks.iter().filter(|&&p| p == j).count(), 100);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Shared scaffolding for the Figure-7 validation benches: each plots
+//! measured (simulator) vs predicted (model) L1/L2/TLB misses and total
+//! time across a parameter sweep, on the Origin2000 preset.
+
+use crate::table::Series;
+use gcm_core::CostReport;
+use gcm_hardware::HardwareSpec;
+use gcm_sim::Snapshot;
+
+/// Engine CPU calibration: one logical operation per CPU cycle at the
+/// Origin2000's 250 MHz (paper §6.1 calibrates `T_cpu` per algorithm
+/// in-cache; the simulator's logical-op counter plays that role here).
+pub const PER_OP_NS: f64 = 4.0;
+
+/// The standard Figure-7 column set.
+pub fn columns() -> Vec<&'static str> {
+    vec![
+        "x", "L1 meas", "L1 pred", "L2 meas", "L2 pred", "TLB meas", "TLB pred", "ms meas",
+        "ms pred",
+    ]
+}
+
+/// Build one comparison row.
+///
+/// * measured: simulator interval counters + logical ops (time =
+///   charged memory ns + `PER_OP_NS`·ops, the engine-side Eq 6.1);
+/// * predicted: model report + predicted logical ops.
+pub fn row(
+    spec: &HardwareSpec,
+    x: f64,
+    measured: &Snapshot,
+    measured_ops: u64,
+    predicted: &CostReport,
+    predicted_ops: u64,
+) -> Vec<f64> {
+    let idx = |name: &str| spec.level_index(name).expect("level exists");
+    let meas = |name: &str| {
+        let l = &measured.levels[idx(name)];
+        (l.seq_misses + l.rand_misses) as f64
+    };
+    let pred = |name: &str| predicted.level(name).expect("level exists").misses();
+    let ms_meas = (measured.clock_ns + PER_OP_NS * measured_ops as f64) / 1e6;
+    let ms_pred = (predicted.mem_ns + PER_OP_NS * predicted_ops as f64) / 1e6;
+    vec![
+        x,
+        meas("L1"),
+        pred("L1"),
+        meas("L2"),
+        pred("L2"),
+        meas("TLB"),
+        pred("TLB"),
+        ms_meas,
+        ms_pred,
+    ]
+}
+
+/// Print the per-metric geometric-mean prediction ratios for a finished
+/// series (prediction quality summary, like the paper's "the models
+/// accurately predict the actual behavior").
+pub fn summarize(series: &Series) {
+    for metric in ["L1", "L2", "TLB", "ms"] {
+        let meas = series.column(&format!("{metric} meas")).expect("column");
+        let pred = series.column(&format!("{metric} pred")).expect("column");
+        let g = crate::table::geomean_ratio(&pred, &meas);
+        println!("  {metric:>4}: geometric-mean predicted/measured = {g:.2}");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcm_core::{CostModel, Pattern, Region};
+    use gcm_hardware::presets;
+    use gcm_sim::MemorySystem;
+
+    #[test]
+    fn row_layout_matches_columns() {
+        let spec = presets::origin2000();
+        let mut mem = MemorySystem::new(spec.clone());
+        let base = mem.alloc(4096, 64);
+        let before = mem.snapshot();
+        mem.read(base, 4096);
+        let measured = mem.delta_since(&before);
+        let model = CostModel::new(spec.clone());
+        let report = model.report(&Pattern::s_trav(Region::new("R", 512, 8)));
+        let r = row(&spec, 1.0, &measured, 100, &report, 100);
+        assert_eq!(r.len(), columns().len());
+        assert!(r[1] > 0.0); // L1 measured
+        assert!(r[7] > 0.0); // time measured
+    }
+}

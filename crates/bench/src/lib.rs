@@ -1,0 +1,16 @@
+//! # gcm-bench — shared experiment harness
+//!
+//! Code shared by the table/figure bench targets and the integration
+//! tests:
+//!
+//! * [`exec`] — *pattern executors*: programs that drive the memory
+//!   simulator with exactly the access sequence a basic pattern
+//!   describes. They are the "measured" side of Figures 5 and 6.
+//! * [`compare`] — measured-vs-predicted assertion helpers with explicit
+//!   tolerances.
+//! * [`table`] — plain-text series printing in the paper's layout.
+
+pub mod compare;
+pub mod fig7;
+pub mod exec;
+pub mod table;

@@ -1,0 +1,236 @@
+//! Scoring misses with latencies: the paper's Eq 3.1 and Eq 6.1.
+//!
+//! ```text
+//! T_mem = Σ_i ( Ms_i · l_s,i  +  Mr_i · l_r,i )        (3.1)
+//! T     = T_mem + T_cpu                                 (6.1)
+//! ```
+//!
+//! `T_cpu` is the pure CPU cost of the algorithm, calibrated once per
+//! algorithm in an in-cache setting (paper §6.1); [`CpuCost`] carries that
+//! calibration.
+
+use crate::eval::{self, CacheState};
+use crate::misses::{Geometry, MissPair};
+use crate::pattern::Pattern;
+use gcm_hardware::HardwareSpec;
+use std::fmt;
+
+/// Cost contribution of one cache level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelCost {
+    /// Level name (e.g. `"L2"`).
+    pub name: String,
+    /// Estimated sequential misses `Ms_i`.
+    pub seq_misses: f64,
+    /// Estimated random misses `Mr_i`.
+    pub rand_misses: f64,
+    /// `Ms_i·l_s,i + Mr_i·l_r,i` in nanoseconds.
+    pub ns: f64,
+}
+
+impl LevelCost {
+    /// Total misses at this level.
+    pub fn misses(&self) -> f64 {
+        self.seq_misses + self.rand_misses
+    }
+}
+
+/// Full per-level cost breakdown for one pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostReport {
+    /// Per-level breakdown, in spec order.
+    pub levels: Vec<LevelCost>,
+    /// Total memory access time `T_mem` (Eq 3.1) in nanoseconds.
+    pub mem_ns: f64,
+}
+
+impl CostReport {
+    /// Misses at the level called `name`, if present.
+    pub fn level(&self, name: &str) -> Option<&LevelCost> {
+        self.levels.iter().find(|l| l.name == name)
+    }
+
+    /// Total misses across all levels.
+    pub fn total_misses(&self) -> f64 {
+        self.levels.iter().map(LevelCost::misses).sum()
+    }
+}
+
+impl fmt::Display for CostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "level   seq misses      rand misses     time [ns]")?;
+        for l in &self.levels {
+            writeln!(
+                f,
+                "{:<7} {:>14.1} {:>16.1} {:>13.1}",
+                l.name, l.seq_misses, l.rand_misses, l.ns
+            )?;
+        }
+        write!(f, "T_mem = {:.1} ns", self.mem_ns)
+    }
+}
+
+/// Pure CPU cost of an algorithm, calibrated in-cache (paper §6.1): a
+/// fixed overhead plus a per-logical-operation cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuCost {
+    /// Fixed start-up cost in nanoseconds.
+    pub fixed_ns: f64,
+    /// Cost per logical operation in nanoseconds.
+    pub per_op_ns: f64,
+}
+
+impl CpuCost {
+    /// A calibration with zero fixed cost.
+    pub fn per_op(per_op_ns: f64) -> CpuCost {
+        CpuCost { fixed_ns: 0.0, per_op_ns }
+    }
+
+    /// `T_cpu` for `ops` logical operations.
+    pub fn ns(&self, ops: u64) -> f64 {
+        self.fixed_ns + self.per_op_ns * ops as f64
+    }
+}
+
+/// The cost model for one machine: estimates misses per level and scores
+/// them with the machine's latencies.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    spec: HardwareSpec,
+}
+
+impl CostModel {
+    /// A cost model for the given machine.
+    pub fn new(spec: HardwareSpec) -> CostModel {
+        CostModel { spec }
+    }
+
+    /// The machine description.
+    pub fn spec(&self) -> &HardwareSpec {
+        &self.spec
+    }
+
+    /// Estimated misses per level (cold caches), in spec order.
+    pub fn misses(&self, p: &Pattern) -> Vec<MissPair> {
+        eval::eval(p, self.spec.levels())
+    }
+
+    /// Estimated misses per level starting from `state` (one shared
+    /// logical state, applied per level).
+    pub fn misses_from(&self, p: &Pattern, state: &CacheState) -> Vec<MissPair> {
+        self.spec
+            .levels()
+            .iter()
+            .map(|lvl| {
+                let mut st = state.clone();
+                eval::eval_level(p, &Geometry::of(lvl), &mut st)
+            })
+            .collect()
+    }
+
+    /// Full cost report: per-level misses scored with latencies (Eq 3.1).
+    pub fn report(&self, p: &Pattern) -> CostReport {
+        let pairs = self.misses(p);
+        let levels: Vec<LevelCost> = self
+            .spec
+            .levels()
+            .iter()
+            .zip(&pairs)
+            .map(|(lvl, m)| LevelCost {
+                name: lvl.name.clone(),
+                seq_misses: m.seq,
+                rand_misses: m.rand,
+                ns: m.seq * lvl.seq_miss_ns + m.rand * lvl.rand_miss_ns,
+            })
+            .collect();
+        let mem_ns = levels.iter().map(|l| l.ns).sum();
+        CostReport { levels, mem_ns }
+    }
+
+    /// `T_mem` (Eq 3.1) in nanoseconds.
+    pub fn mem_ns(&self, p: &Pattern) -> f64 {
+        self.report(p).mem_ns
+    }
+
+    /// `T = T_mem + T_cpu` (Eq 6.1) in nanoseconds, for an algorithm that
+    /// performs `ops` logical operations under the `cpu` calibration.
+    pub fn total_ns(&self, p: &Pattern, cpu: CpuCost, ops: u64) -> f64 {
+        self.mem_ns(p) + cpu.ns(ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::Region;
+    use gcm_hardware::presets;
+
+    #[test]
+    fn report_scores_misses_with_latencies() {
+        let hw = presets::tiny(); // L1: 5/15 ns, L2: 50/150 ns, TLB: 100 ns
+        let model = CostModel::new(hw);
+        let a = Region::new("A", 1000, 8); // 8000 B
+        let rep = model.report(&Pattern::s_trav(a));
+        // L1: 250 sequential misses × 5 ns.
+        let l1 = rep.level("L1").unwrap();
+        assert!((l1.seq_misses - 250.0).abs() < 1e-9);
+        assert!((l1.ns - 1250.0).abs() < 1e-9);
+        // L2: 125 × 50 ns.
+        let l2 = rep.level("L2").unwrap();
+        assert!((l2.ns - 6250.0).abs() < 1e-9);
+        // TLB: 8 pages; TLB misses use the single latency.
+        let tlb = rep.level("TLB").unwrap();
+        assert!((tlb.ns - 800.0).abs() < 1e-9);
+        assert!((rep.mem_ns - (1250.0 + 6250.0 + 800.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_misses_cost_more() {
+        let hw = presets::tiny();
+        let model = CostModel::new(hw);
+        let a = Region::new("A", 1000, 8);
+        let b = Region::new("B", 1000, 8);
+        let seq_cost = model.mem_ns(&Pattern::s_trav(a));
+        let rand_cost = model.mem_ns(&Pattern::r_trav(b));
+        assert!(rand_cost > seq_cost);
+    }
+
+    #[test]
+    fn eq61_total_adds_cpu() {
+        let model = CostModel::new(presets::tiny());
+        let a = Region::new("A", 1000, 8);
+        let p = Pattern::s_trav(a);
+        let cpu = CpuCost { fixed_ns: 500.0, per_op_ns: 2.0 };
+        let t = model.total_ns(&p, cpu, 1000);
+        assert!((t - (model.mem_ns(&p) + 2500.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_state_reduces_cost() {
+        let model = CostModel::new(presets::tiny());
+        let a = Region::new("A", 100, 8); // fits every level
+        let p = Pattern::s_trav(a.clone());
+        let mut warm = CacheState::cold();
+        warm.set(&a, 1.0);
+        let cold: f64 = model.misses(&p).iter().map(|m| m.total()).sum();
+        let warmed: f64 = model.misses_from(&p, &warm).iter().map(|m| m.total()).sum();
+        assert!(cold > 0.0);
+        assert_eq!(warmed, 0.0);
+    }
+
+    #[test]
+    fn report_display_contains_levels() {
+        let model = CostModel::new(presets::tiny());
+        let a = Region::new("A", 100, 8);
+        let s = model.report(&Pattern::s_trav(a)).to_string();
+        assert!(s.contains("L1") && s.contains("TLB") && s.contains("T_mem"));
+    }
+
+    #[test]
+    fn cpu_cost_helpers() {
+        let c = CpuCost::per_op(3.0);
+        assert_eq!(c.ns(10), 30.0);
+        let c2 = CpuCost { fixed_ns: 100.0, per_op_ns: 1.0 };
+        assert_eq!(c2.ns(0), 100.0);
+    }
+}

@@ -1,0 +1,414 @@
+//! Evaluating compound patterns: cache state, footprints, and the
+//! `⊕`/`⊙` combination rules (paper §5).
+//!
+//! The evaluator walks a [`Pattern`] once per cache level (Eq 3.1 treats
+//! levels independently), threading a [`CacheState`] that records which
+//! fraction of each data region the level currently holds:
+//!
+//! * **Sequential execution `⊕`** (§5.1/5.2): patterns run one after the
+//!   other; a pattern over a region the previous pattern left (partially)
+//!   cached saves misses. A fully cached region costs nothing; random
+//!   patterns benefit *proportionally* from a partially cached region;
+//!   sequential patterns benefit only from a fully cached one (the cached
+//!   fraction would have to be exactly the "head" of the region, which we
+//!   cannot know). After a pattern, (only) its region remains cached, with
+//!   fraction `min(1, C/||R||)`.
+//! * **Concurrent execution `⊙`** (§5.2/Eq 5.3): patterns compete for the
+//!   cache and are each granted a share proportional to their *footprint*
+//!   (the lines they potentially revisit): single sequential traversals
+//!   revisit nothing (footprint 1 line), as do random traversals with
+//!   gaps ≥ line; every other basic pattern may revisit its whole region
+//!   (`|R|` lines). Each pattern is then evaluated against a cache scaled
+//!   to its share, and afterwards each region is cached in proportion to
+//!   its share.
+
+use crate::misses::{Geometry, MissPair};
+use crate::pattern::{LocalPattern, Pattern};
+use crate::region::RegionId;
+use crate::{misses, region::Region};
+use gcm_hardware::CacheLevel;
+use std::collections::HashMap;
+
+/// Which fraction of each region's *root* bytes a cache level holds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CacheState {
+    frac: HashMap<RegionId, f64>,
+}
+
+impl CacheState {
+    /// An empty (cold) cache.
+    pub fn cold() -> CacheState {
+        CacheState::default()
+    }
+
+    /// Cached fraction of the region's root (0 if unknown).
+    pub fn fraction(&self, r: &Region) -> f64 {
+        self.frac.get(&r.id()).copied().unwrap_or(0.0)
+    }
+
+    /// Declare a region (fraction of its root) resident — e.g. to model a
+    /// warm start.
+    pub fn set(&mut self, r: &Region, fraction: f64) {
+        self.frac.insert(r.id(), fraction.clamp(0.0, 1.0));
+    }
+
+    /// True if the region's root is (essentially) fully resident.
+    pub fn fully_cached(&self, r: &Region) -> bool {
+        self.fraction(r) >= 1.0 - 1e-9
+    }
+
+    fn replace_with(&mut self, r: &Region, geo: &Geometry) {
+        // Paper §5.1: after a pattern, (only) the last region remains, with
+        // fraction min(C, ||R||)/root.
+        self.frac.clear();
+        let cached = geo.c.min(r.bytes() as f64);
+        let root = r.root_bytes() as f64;
+        if root > 0.0 {
+            self.frac.insert(r.id(), (cached / root).clamp(0.0, 1.0));
+        }
+    }
+
+    fn merge_add(&mut self, other: &CacheState) {
+        for (id, f) in &other.frac {
+            let e = self.frac.entry(*id).or_insert(0.0);
+            *e = (*e + f).clamp(0.0, 1.0);
+        }
+    }
+}
+
+/// Does this basic pattern benefit *proportionally* from a partially
+/// cached region (paper Eq 5.1: the random patterns do; sequential
+/// patterns require the full region)?
+fn benefits_proportionally(p: &Pattern) -> bool {
+    matches!(
+        p,
+        Pattern::RTrav { .. }
+            | Pattern::RrTrav { .. }
+            | Pattern::RAcc { .. }
+            | Pattern::Nest { local: LocalPattern::RandTraversal { .. }, .. }
+    )
+}
+
+/// Footprint of a pattern at a level, in cache lines (paper §5.2): the
+/// number of lines the pattern potentially revisits.
+pub fn footprint_lines(p: &Pattern, geo: &Geometry) -> f64 {
+    match p {
+        Pattern::STrav { .. } => 1.0,
+        Pattern::RTrav { r, u } => {
+            if (r.w.saturating_sub(*u)) as f64 >= geo.b {
+                1.0
+            } else {
+                r.lines(geo.b as u64).max(1.0)
+            }
+        }
+        Pattern::RsTrav { r, .. }
+        | Pattern::RrTrav { r, .. }
+        | Pattern::RAcc { r, .. }
+        | Pattern::Nest { r, .. } => r.lines(geo.b as u64).max(1.0),
+        // Sequentially executed patterns never coexist: the combination's
+        // footprint is the largest individual one (documented assumption,
+        // DESIGN.md §2).
+        Pattern::Seq(ps) => ps
+            .iter()
+            .map(|q| footprint_lines(q, geo))
+            .fold(1.0_f64, f64::max),
+        // Concurrent patterns coexist: footprints add (paper §5.2).
+        Pattern::Conc(ps) => ps.iter().map(|q| footprint_lines(q, geo)).sum(),
+        // Repetitions of one pattern occupy what one iteration occupies.
+        Pattern::Repeat { inner, .. } => footprint_lines(inner, geo),
+    }
+}
+
+/// Raw (cold-cache) misses of a basic pattern at one level.
+fn basic_misses(p: &Pattern, geo: &Geometry) -> MissPair {
+    match p {
+        Pattern::STrav { r, u, latency } => misses::s_trav(r, *u, *latency, geo),
+        Pattern::RsTrav { r, u, k, dir, latency } => {
+            misses::rs_trav(r, *u, *k, *dir, *latency, geo)
+        }
+        Pattern::RTrav { r, u } => misses::r_trav(r, *u, geo),
+        Pattern::RrTrav { r, u, k } => misses::rr_trav(r, *u, *k, geo),
+        Pattern::RAcc { r, u, accesses } => misses::r_acc(r, *u, *accesses, geo),
+        Pattern::Nest { r, m, local, order } => misses::nest(r, *m, local, *order, geo),
+        Pattern::Seq(_) | Pattern::Conc(_) | Pattern::Repeat { .. } => {
+            unreachable!("compound handled by eval")
+        }
+    }
+}
+
+/// Evaluate `p` at one cache level with geometry `geo`, starting from (and
+/// updating) `state`. Returns the estimated miss pair for this level
+/// (Eq 5.1–5.3).
+pub fn eval_level(p: &Pattern, geo: &Geometry, state: &mut CacheState) -> MissPair {
+    match p {
+        Pattern::Seq(ps) => {
+            // Eq 5.2: children run in order, sharing the evolving state.
+            let mut total = MissPair::default();
+            for child in ps {
+                total += eval_level(child, geo, state);
+            }
+            total
+        }
+        Pattern::Repeat { k, inner } => {
+            // k sequential executions of the same sub-pattern. The first
+            // runs from the incoming state; iterations 2..k all start
+            // from the state the previous iteration left (which is a
+            // fixed point after one iteration, since the state update
+            // depends only on the pattern itself).
+            if *k == 0 {
+                return MissPair::default();
+            }
+            let first = eval_level(inner, geo, state);
+            if *k == 1 {
+                return first;
+            }
+            let steady = eval_level(inner, geo, state);
+            first + steady * (*k - 1) as f64
+        }
+        Pattern::Conc(ps) => {
+            // Eq 5.3: divide the cache proportionally to footprints; every
+            // child starts from the same incoming state.
+            let feet: Vec<f64> = ps.iter().map(|q| footprint_lines(q, geo)).collect();
+            let total_foot: f64 = feet.iter().sum();
+            let mut total = MissPair::default();
+            let mut merged = CacheState::cold();
+            for (child, foot) in ps.iter().zip(&feet) {
+                let share = if total_foot > 0.0 { foot / total_foot } else { 1.0 };
+                let sub_geo = geo.scaled(share);
+                let mut sub_state = state.clone();
+                total += eval_level(child, &sub_geo, &mut sub_state);
+                // Each child's resulting residency (computed against its
+                // scaled share) contributes to the combined state.
+                merged.merge_add(&sub_state);
+            }
+            *state = merged;
+            total
+        }
+        basic => {
+            let r = basic.region().expect("basic pattern has a region");
+            let rho = state.fraction(r);
+            let raw = basic_misses(basic, geo);
+            // A sequential pattern over a *slice* of a partially cached
+            // region is free when the slice fits within the region's
+            // cached bytes: this is how recursive divide-and-conquer
+            // algorithms (quick-sort, §6.2) stop missing once their
+            // working segments fit the cache — the paper's Figure-7a
+            // step. A full-region sequential pattern still requires full
+            // residency (the cached fraction would have to be exactly the
+            // region's head, which we cannot know; §5.1).
+            // Strictly smaller: a segment that exactly equals the cached
+            // bytes thrashes at the margin under LRU (its own traversal
+            // plus any concurrent traffic evicts its tail), so only
+            // strictly-fitting segments ride for free.
+            let cached_bytes = rho * r.root_bytes() as f64;
+            let slice_cached = (r.bytes() as f64) < cached_bytes;
+            let result = if state.fully_cached(r) || slice_cached {
+                MissPair::default()
+            } else if benefits_proportionally(basic) {
+                raw * (1.0 - rho)
+            } else {
+                raw
+            };
+            state.replace_with(r, geo);
+            result
+        }
+    }
+}
+
+/// Evaluate `p` against every level of a hardware spec, starting cold.
+/// Returns one [`MissPair`] per level, in spec order.
+pub fn eval(p: &Pattern, levels: &[CacheLevel]) -> Vec<MissPair> {
+    levels
+        .iter()
+        .map(|lvl| {
+            let mut state = CacheState::cold();
+            eval_level(p, &Geometry::of(lvl), &mut state)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pattern;
+    use gcm_hardware::presets;
+
+    fn geo(c: u64, b: u64) -> Geometry {
+        Geometry { c: c as f64, b: b as f64, lines: c as f64 / b as f64 }
+    }
+
+    #[test]
+    fn seq_of_disjoint_regions_sums() {
+        let a = Region::new("A", 1000, 8);
+        let b = Region::new("B", 1000, 8);
+        let g = geo(1024, 32);
+        let pa = Pattern::s_trav(a);
+        let pb = Pattern::s_trav(b);
+        let ma = eval_level(&pa, &g, &mut CacheState::cold()).total();
+        let mb = eval_level(&pb, &g, &mut CacheState::cold()).total();
+        let seq = Pattern::seq(vec![pa, pb]);
+        let m = eval_level(&seq, &g, &mut CacheState::cold()).total();
+        assert!((m - (ma + mb)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seq_reuse_of_fully_cached_region_is_free() {
+        // Region fits the cache: second traversal costs nothing (Eq 5.1).
+        let a = Region::new("A", 100, 8); // 800 B < 1 KB
+        let g = geo(1024, 32);
+        let p = Pattern::seq(vec![Pattern::s_trav(a.clone()), Pattern::s_trav(a)]);
+        let once = Pattern::s_trav(Region::new("X", 100, 8));
+        let m = eval_level(&p, &g, &mut CacheState::cold()).total();
+        let m1 = eval_level(&once, &g, &mut CacheState::cold()).total();
+        assert!((m - m1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seq_partial_cache_benefits_random_not_sequential() {
+        // Region is 2× the cache: ρ = 0.5 after the first sweep.
+        let a = Region::new("A", 256, 8); // 2048 B vs 1024 B cache
+        let g = geo(1024, 32);
+        // Sequential second sweep: no benefit (needs full residency).
+        let p_seq =
+            Pattern::seq(vec![Pattern::s_trav(a.clone()), Pattern::s_trav(a.clone())]);
+        let m_seq = eval_level(&p_seq, &g, &mut CacheState::cold()).total();
+        assert!((m_seq - 2.0 * 64.0).abs() < 1e-9); // 2 × |R| lines
+        // Random second sweep: proportional benefit.
+        let p_rand = Pattern::seq(vec![Pattern::s_trav(a.clone()), Pattern::r_trav(a.clone())]);
+        let m_rand = eval_level(&p_rand, &g, &mut CacheState::cold()).total();
+        let r_cold = eval_level(&Pattern::r_trav(a), &g, &mut CacheState::cold()).total();
+        assert!((m_rand - (64.0 + 0.5 * r_cold)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn state_replacement_evicts_previous_region() {
+        // A fits; then a big B sweep evicts it; A costs full misses again.
+        let a = Region::new("A", 100, 8);
+        let b = Region::new("B", 10_000, 8);
+        let g = geo(1024, 32);
+        let p = Pattern::seq(vec![
+            Pattern::s_trav(a.clone()),
+            Pattern::s_trav(b),
+            Pattern::s_trav(a.clone()),
+        ]);
+        let m = eval_level(&p, &g, &mut CacheState::cold()).total();
+        let expect = 25.0 + 2500.0 + 25.0;
+        assert!((m - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_start_via_explicit_state() {
+        let a = Region::new("A", 100, 8);
+        let g = geo(1024, 32);
+        let mut st = CacheState::cold();
+        st.set(&a, 1.0);
+        let m = eval_level(&Pattern::s_trav(a), &g, &mut st).total();
+        assert_eq!(m, 0.0);
+    }
+
+    #[test]
+    fn conc_divides_cache_by_footprint() {
+        // s_trav (footprint 1) ⊙ r_trav over region = cache size: the
+        // random traversal gets essentially the whole cache, so its misses
+        // stay near the fitting-case |R|.
+        let a = Region::new("A", 100_000, 8);
+        let h = Region::new("H", 128, 8); // 1024 B = full cache
+        let g = geo(1024, 32);
+        let p = Pattern::conc(vec![Pattern::s_trav(a.clone()), Pattern::r_trav(h.clone())]);
+        let m = eval_level(&p, &g, &mut CacheState::cold()).total();
+        let scan = 100_000.0 * 8.0 / 32.0;
+        let h_lines = 32.0;
+        // r_trav of H at ~full cache: ≈ |H| plus a small shortfall because
+        // its share is (|H|)/(|H|+1) of the cache.
+        assert!(m > scan + h_lines - 1e-9);
+        assert!(m < scan + h_lines + 110.0, "m={m}");
+    }
+
+    #[test]
+    fn conc_equal_footprints_split_evenly() {
+        // Two random traversals over cache-sized regions: each gets half
+        // the cache, so each sees ~half its region uncachable.
+        let a = Region::new("A", 128, 8);
+        let b = Region::new("B", 128, 8);
+        let g = geo(1024, 32);
+        let p = Pattern::conc(vec![Pattern::r_trav(a.clone()), Pattern::r_trav(b)]);
+        let m = eval_level(&p, &g, &mut CacheState::cold()).total();
+        let solo = eval_level(&Pattern::r_trav(a), &g, &mut CacheState::cold()).total();
+        assert!(m > 2.0 * solo, "interference must cost extra: {m} vs 2×{solo}");
+    }
+
+    #[test]
+    fn conc_state_contains_both_regions() {
+        let a = Region::new("A", 64, 8); // 512 B
+        let b = Region::new("B", 64, 8); // 512 B
+        let g = geo(1024, 32);
+        let p = Pattern::conc(vec![Pattern::r_trav(a.clone()), Pattern::r_trav(b.clone())]);
+        let mut st = CacheState::cold();
+        eval_level(&p, &g, &mut st);
+        assert!(st.fraction(&a) > 0.9);
+        assert!(st.fraction(&b) > 0.9);
+    }
+
+    #[test]
+    fn quicksort_shape_state_carries_through_seq_of_conc() {
+        // Two passes of half-region concurrent sweeps over a fitting table:
+        // the second pass is free (the Fig 7a step).
+        let u = Region::new("U", 100, 8); // 800 B < 1 KB
+        let g = geo(1024, 32);
+        let pass = |r: &Region| {
+            Pattern::conc(vec![Pattern::s_trav(r.slice(2)), Pattern::s_trav(r.slice(2))])
+        };
+        let p = Pattern::seq(vec![pass(&u), pass(&u)]);
+        let m = eval_level(&p, &g, &mut CacheState::cold()).total();
+        // One full sweep's worth of misses only (both halves, once).
+        assert!((m - 26.0).abs() < 2.0, "m={m}"); // 2×⌈400/32⌉ = 26 lines
+        // Oversized table: both passes pay.
+        let big = Region::new("B", 10_000, 8);
+        let pb = Pattern::seq(vec![pass(&big), pass(&big)]);
+        let mb = eval_level(&pb, &g, &mut CacheState::cold()).total();
+        assert!(mb > 1.9 * 2500.0);
+    }
+
+    #[test]
+    fn eval_runs_per_level() {
+        let hw = presets::tiny();
+        let a = Region::new("A", 1000, 8);
+        let pairs = eval(&Pattern::s_trav(a), hw.levels());
+        assert_eq!(pairs.len(), 3);
+        // L1 (32 B lines): 250 misses; L2 (64 B): 125; TLB (1 KB pages): 8.
+        assert!((pairs[0].total() - 250.0).abs() < 1e-9);
+        assert!((pairs[1].total() - 125.0).abs() < 1e-9);
+        assert!((pairs[2].total() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn footprints() {
+        let g = geo(1024, 32);
+        let small = Region::new("S", 100, 8); // 25 lines
+        assert_eq!(footprint_lines(&Pattern::s_trav(small.clone()), &g), 1.0);
+        assert_eq!(footprint_lines(&Pattern::r_trav(small.clone()), &g), 25.0);
+        // Sparse random traversal never revisits a line.
+        let wide = Region::new("W", 100, 256);
+        assert_eq!(footprint_lines(&Pattern::r_trav_u(wide, 8), &g), 1.0);
+        // Conc sums, Seq maxes.
+        let c = Pattern::conc(vec![Pattern::s_trav(small.clone()), Pattern::r_trav(small.clone())]);
+        assert_eq!(footprint_lines(&c, &g), 26.0);
+        let s = Pattern::seq(vec![Pattern::s_trav(small.clone()), Pattern::r_trav(small)]);
+        assert_eq!(footprint_lines(&s, &g), 25.0);
+    }
+
+    #[test]
+    fn deep_nesting_evaluates() {
+        // ⊕ of ⊙ of ⊕: regression test for recursion handling.
+        let a = Region::new("A", 100, 8);
+        let b = Region::new("B", 100, 8);
+        let inner = Pattern::seq(vec![Pattern::s_trav(a.clone()), Pattern::r_trav(b.clone())]);
+        let p = Pattern::seq(vec![
+            Pattern::conc(vec![inner, Pattern::s_trav(a.clone())]),
+            Pattern::r_acc(b, 50),
+        ]);
+        let g = geo(1024, 32);
+        let m = eval_level(&p, &g, &mut CacheState::cold());
+        assert!(m.total() > 0.0 && m.total().is_finite());
+    }
+}

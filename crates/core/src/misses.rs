@@ -1,0 +1,676 @@
+//! Cache-miss estimation for the basic access patterns
+//! (paper §4, Equations 4.2–4.9).
+//!
+//! Every function here estimates misses **for one cache level**, described
+//! by its [`Geometry`] (capacity `C`, line size `B`, line count `#`). The
+//! paper's hypothesis (Eq 3.1) is that levels can be treated individually
+//! though equally; the evaluator in [`crate::eval`] simply runs these
+//! estimators once per level.
+//!
+//! Misses come in two flavours, [`MissPair::seq`] and [`MissPair::rand`],
+//! scored later with the level's sequential respectively random miss
+//! latency. Purely random patterns produce only random misses (§4.1).
+//!
+//! Where the source scan of the paper garbles an equation, the
+//! reconstruction is documented inline and in `DESIGN.md` §2; every
+//! reconstruction is validated against the cache simulator in the
+//! integration suite.
+
+use crate::distinct::expected_distinct;
+use crate::pattern::{Direction, GlobalOrder, LatencyClass, LocalPattern};
+use crate::region::Region;
+use gcm_hardware::CacheLevel;
+use std::ops::{Add, AddAssign, Mul};
+
+/// Estimated sequential and random misses at one cache level
+/// (the paper's pair `⟨Ms, Mr⟩`, Eq 4.1).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MissPair {
+    /// Misses scored with sequential miss latency.
+    pub seq: f64,
+    /// Misses scored with random miss latency.
+    pub rand: f64,
+}
+
+impl MissPair {
+    /// A pair with only sequential misses.
+    pub fn seq(n: f64) -> MissPair {
+        MissPair { seq: n, rand: 0.0 }
+    }
+
+    /// A pair with only random misses.
+    pub fn rand(n: f64) -> MissPair {
+        MissPair { seq: 0.0, rand: n }
+    }
+
+    /// Total misses regardless of flavour.
+    pub fn total(&self) -> f64 {
+        self.seq + self.rand
+    }
+
+    /// Route a miss count to the flavour selected by `class`.
+    pub fn classed(n: f64, class: LatencyClass) -> MissPair {
+        match class {
+            LatencyClass::Sequential => MissPair::seq(n),
+            LatencyClass::Random => MissPair::rand(n),
+        }
+    }
+}
+
+impl Add for MissPair {
+    type Output = MissPair;
+    fn add(self, o: MissPair) -> MissPair {
+        MissPair { seq: self.seq + o.seq, rand: self.rand + o.rand }
+    }
+}
+
+impl AddAssign for MissPair {
+    fn add_assign(&mut self, o: MissPair) {
+        self.seq += o.seq;
+        self.rand += o.rand;
+    }
+}
+
+impl Mul<f64> for MissPair {
+    type Output = MissPair;
+    fn mul(self, s: f64) -> MissPair {
+        MissPair { seq: self.seq * s, rand: self.rand * s }
+    }
+}
+
+/// The cost-relevant geometry of one cache level: capacity `C`, line size
+/// `B`, line count `#`. Extracted from a (possibly capacity-scaled)
+/// [`CacheLevel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometry {
+    /// Capacity `C` in bytes.
+    pub c: f64,
+    /// Line size `B` in bytes.
+    pub b: f64,
+    /// Number of lines `# = C/B`.
+    pub lines: f64,
+}
+
+impl Geometry {
+    /// Geometry of a hardware level.
+    pub fn of(level: &CacheLevel) -> Geometry {
+        let c = level.capacity as f64;
+        let b = level.line as f64;
+        Geometry { c, b, lines: c / b }
+    }
+
+    /// A geometry with only `frac` of the capacity (and lines) available;
+    /// line size is unchanged. Used by the concurrent-execution rule.
+    pub fn scaled(&self, frac: f64) -> Geometry {
+        let frac = frac.clamp(0.0, 1.0);
+        let c = (self.c * frac).max(self.b);
+        Geometry { c, b: self.b, lines: c / self.b }
+    }
+}
+
+/// Expected cache lines loaded per access of `u` consecutive bytes at a
+/// uniformly random alignment within a `b`-byte line (paper Eq 4.3/4.5,
+/// Figure 4/5).
+///
+/// Derivation: write `u = q·b + rem` with `rem ∈ [1, b]` (the paper's
+/// `mod'` convention). An access starting at in-line offset `a` loads
+/// `q + 1` lines when `a + rem ≤ b` and `q + 2` otherwise; averaging over
+/// the `b` equally likely offsets gives
+/// `⌊(u−1)/b⌋ + 1 + ((u−1) mod b)/b`.
+pub fn lines_per_item(u: u64, b: f64) -> f64 {
+    if u == 0 {
+        return 0.0;
+    }
+    let bi = b as u64;
+    let q = (u - 1) / bi;
+    let rem = (u - 1) % bi;
+    q as f64 + 1.0 + rem as f64 / b
+}
+
+/// True if the untouched gap between adjacent accesses spans at least a
+/// full cache line — the case split used throughout §4.
+fn gap_at_least_line(r: &Region, u: u64, b: f64) -> bool {
+    (r.w.saturating_sub(u)) as f64 >= b
+}
+
+/// Raw miss count of a single sequential traversal `s_trav(R, u)`
+/// (Eq 4.2 / 4.3). The caller routes it to the flavour of the traversal's
+/// [`LatencyClass`].
+pub fn s_trav_count(r: &Region, u: u64, g: &Geometry) -> f64 {
+    if r.n == 0 {
+        return 0.0;
+    }
+    if gap_at_least_line(r, u, g.b) {
+        // Eq 4.3: each item loads its own lines; no line is shared between
+        // items, and alignment is averaged.
+        r.n as f64 * lines_per_item(u, g.b)
+    } else {
+        // Eq 4.2: gaps smaller than a line mean every line covered by R is
+        // loaded exactly once.
+        r.lines(g.b as u64)
+    }
+}
+
+/// Misses of `s_trav` with the latency flavour applied.
+pub fn s_trav(r: &Region, u: u64, class: LatencyClass, g: &Geometry) -> MissPair {
+    MissPair::classed(s_trav_count(r, u, g), class)
+}
+
+/// Misses of a single random traversal `r_trav(R, u)` (Eq 4.4 / 4.5).
+///
+/// Gap ≥ line: identical count to the sequential case (Eq 4.5) — adjacent
+/// accesses share no lines, so order cannot matter.
+///
+/// Gap < line (Eq 4.4, reconstructed — see `DESIGN.md`): every covered
+/// line is loaded at least once (`|R|`). Once `||R||` exceeds the
+/// capacity, a line that serves several items may be evicted between their
+/// (temporally scattered) accesses; the `R.n − |R|` accesses that would
+/// have reused a line lose that reuse with probability `1 − C/||R||`:
+///
+/// ```text
+/// Mr = |R| + max(0, 1 − C/||R||) · max(0, R.n − |R|)
+/// ```
+///
+/// Limits: `||R|| ≤ C` ⇒ `|R|` (same as sequential);
+/// `||R|| → ∞` ⇒ `R.n` (every access misses) — the two invariants §4.4
+/// states.
+pub fn r_trav(r: &Region, u: u64, g: &Geometry) -> MissPair {
+    if r.n == 0 {
+        return MissPair::default();
+    }
+    if gap_at_least_line(r, u, g.b) {
+        return MissPair::rand(r.n as f64 * lines_per_item(u, g.b));
+    }
+    let lines = r.lines(g.b as u64);
+    let size = r.bytes() as f64;
+    let lost = (1.0 - g.c / size).max(0.0);
+    let reusable = (r.n as f64 - lines).max(0.0);
+    MissPair::rand(lines + lost * reusable)
+}
+
+/// Misses of a repetitive sequential traversal `rs_trav(k, d, R, u)`
+/// (Eq 4.6).
+///
+/// With the first traversal touching `M1` lines: if they all fit
+/// (`M1 ≤ #`), only the first sweep misses. Otherwise uni-directional
+/// sweeps get no reuse (`k·M1`), while bi-directional sweeps reuse the `#`
+/// lines resident at the turning point (`M1 + (k−1)(M1 − #)`).
+pub fn rs_trav(
+    r: &Region,
+    u: u64,
+    k: u64,
+    dir: Direction,
+    class: LatencyClass,
+    g: &Geometry,
+) -> MissPair {
+    if r.n == 0 || k == 0 {
+        return MissPair::default();
+    }
+    let m1 = s_trav_count(r, u, g);
+    let kf = k as f64;
+    let count = if m1 <= g.lines {
+        m1
+    } else {
+        match dir {
+            Direction::Uni => kf * m1,
+            Direction::Bi => m1 + (kf - 1.0) * (m1 - g.lines),
+        }
+    };
+    MissPair::classed(count, class)
+}
+
+/// Misses of a repetitive random traversal `rr_trav(k, R, u)` (Eq 4.7).
+///
+/// When one traversal's lines fit the cache, only the first sweep misses.
+/// Otherwise the `#` most recently used lines survive between sweeps and
+/// each is reused with probability `#/M1` (the paper's estimate), so each
+/// subsequent sweep misses `M1 − #·(#/M1)` times.
+pub fn rr_trav(r: &Region, u: u64, k: u64, g: &Geometry) -> MissPair {
+    if r.n == 0 || k == 0 {
+        return MissPair::default();
+    }
+    let m1 = r_trav(r, u, g).total();
+    let kf = k as f64;
+    let count = if m1 <= g.lines {
+        m1
+    } else {
+        m1 + (kf - 1.0) * (m1 - g.lines * (g.lines / m1))
+    };
+    MissPair::rand(count)
+}
+
+/// Distinct lines `I` touched by `q` random accesses hitting `D` distinct
+/// items (paper §4.6).
+///
+/// Gap ≥ line: no line serves two items, so `I = D · lines_per_item`.
+/// Gap < line: the paper bounds `I` between the packed estimate
+/// `Î = D·R.w/B` (all touched items adjacent) and the spread estimate
+/// `Ĩ = min(D·lines_per_item, |R|)`, and linearly combines them with
+/// weight `D/R.n` (dense hit sets behave packed, sparse ones spread).
+pub fn r_acc_distinct_lines(r: &Region, u: u64, d: f64, g: &Geometry) -> f64 {
+    if d <= 0.0 {
+        return 0.0;
+    }
+    if gap_at_least_line(r, u, g.b) {
+        return d * lines_per_item(u, g.b);
+    }
+    let packed = (d * r.w as f64 / g.b).ceil();
+    let spread = (d * lines_per_item(u, g.b)).min(r.lines(g.b as u64));
+    let density = if r.n == 0 { 1.0 } else { (d / r.n as f64).clamp(0.0, 1.0) };
+    density * packed + (1.0 - density) * spread
+}
+
+/// Misses of `r_acc(R, q, u)` (Eq 4.8): `q` independent random accesses
+/// with replacement.
+///
+/// `D` = expected distinct items touched (closed form of the paper's
+/// Stirling-number expectation, see [`crate::distinct`]), `I` = distinct
+/// lines. The `q` accesses perform `T = q·⌈u/B⌉` line visits in total
+/// (for gaps ≥ line, `lines_per_item` visits); the first visit of each of
+/// the `I` distinct lines must miss, and — following the Eq 4.7 reuse
+/// estimate, where each of the `#` resident lines is the needed one with
+/// probability `#/I` — each of the `T − I` revisits finds its line
+/// evicted with probability `1 − (#/I)²` once `I > #`:
+///
+/// ```text
+/// M = I                              if I ≤ #
+/// M = I + (T − I)·(1 − (#/I)²)       otherwise
+/// ```
+///
+/// Limits: a cached region costs at most `I ≤ |R|` however many accesses;
+/// an arbitrarily large region costs one miss per line visit.
+pub fn r_acc(r: &Region, u: u64, q: u64, g: &Geometry) -> MissPair {
+    if r.n == 0 || q == 0 {
+        return MissPair::default();
+    }
+    let d = expected_distinct(r.n, q);
+    let i = r_acc_distinct_lines(r, u, d, g);
+    if i <= 0.0 {
+        return MissPair::default();
+    }
+    let per_access = if gap_at_least_line(r, u, g.b) {
+        lines_per_item(u, g.b)
+    } else {
+        (u as f64 / g.b).ceil().max(1.0)
+    };
+    let t = q as f64 * per_access;
+    let count = if i <= g.lines {
+        i
+    } else {
+        let reuse_p = (g.lines / i) * (g.lines / i);
+        i + (t - i).max(0.0) * (1.0 - reuse_p)
+    };
+    MissPair::rand(count)
+}
+
+/// Misses of an interleaved multi-cursor access
+/// `nest(R, m, P, g)` (Eq 4.9) — the partitioning pattern.
+///
+/// `R` is divided into `m` equal sub-regions, each with a local cursor
+/// performing `local`; a global cursor interleaves the local cursors in
+/// `order`.
+///
+/// * Local **random** patterns: interleaving random cursors is just a
+///   different random permutation of the same accesses, so the whole thing
+///   behaves like the local pattern applied to all of `R` (§4.7.1).
+/// * Local **sequential** with untouched gaps ≥ line: no line is shared
+///   between items, so the count equals the whole-region traversal count;
+///   the latency flavour degrades to random unless the global order is
+///   itself sequential (§4.7.2, first case).
+/// * Local **sequential** with gaps < line: each cursor keeps
+///   `⌈u/B⌉` lines "open". While the `λ = m·⌈u/B⌉` open lines fit the
+///   cache, every covered line is loaded exactly once (`|R|`). Once
+///   `λ > #`, a cursor's open line is evicted before its next visit with
+///   probability `1 − Δ/λ`, where `Δ` is the number of open lines that
+///   survive one global round: `Δ = #` for a bi-directional sequential
+///   global cursor, `Δ = 0` for uni-directional, and `Δ = #·#/λ` for a
+///   random global cursor (the Eq 4.7 estimate). The
+///   `R.n·⌈u/B⌉ − |R|` would-be reuses that fail are extra random misses.
+///   This reproduces the partitioning cliffs of Figure 7d at `m ≈ #` for
+///   every level.
+pub fn nest(r: &Region, m: u64, local: &LocalPattern, order: GlobalOrder, g: &Geometry) -> MissPair {
+    if r.n == 0 || m == 0 {
+        return MissPair::default();
+    }
+    match local {
+        LocalPattern::RandTraversal { u } => r_trav(r, *u, g),
+        LocalPattern::SeqTraversal { u, latency } => {
+            let u = *u;
+            if gap_at_least_line(r, u, g.b) {
+                let count = r.n as f64 * lines_per_item(u, g.b);
+                let class = match order {
+                    GlobalOrder::Sequential(_) => *latency,
+                    GlobalOrder::Random => LatencyClass::Random,
+                };
+                return MissPair::classed(count, class);
+            }
+            let per_item = (u as f64 / g.b).ceil().max(1.0);
+            let open = m as f64 * per_item; // λ: concurrently open lines
+            let base = r.lines(g.b as u64);
+            if open <= g.lines {
+                let class = match order {
+                    GlobalOrder::Sequential(_) => *latency,
+                    GlobalOrder::Random => LatencyClass::Random,
+                };
+                return MissPair::classed(base, class);
+            }
+            let surviving = match order {
+                GlobalOrder::Sequential(Direction::Bi) => g.lines,
+                GlobalOrder::Sequential(Direction::Uni) => 0.0,
+                GlobalOrder::Random => g.lines * (g.lines / open),
+            };
+            let reuse_p = (surviving / open).clamp(0.0, 1.0);
+            let touches = r.n as f64 * per_item;
+            let extra = (touches - base).max(0.0) * (1.0 - reuse_p);
+            // Heavy interleaving destroys the EDO stream: everything random.
+            MissPair::rand(base + extra)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geo(c: u64, b: u64) -> Geometry {
+        Geometry { c: c as f64, b: b as f64, lines: c as f64 / b as f64 }
+    }
+
+    // ---- lines_per_item (Eq 4.3's alignment average) ----
+
+    #[test]
+    fn lines_per_item_exact_values() {
+        // u = B: (1 + 7·2)/8 pattern → 1 + (B−1)/B.
+        assert!((lines_per_item(8, 8.0) - 1.875).abs() < 1e-12);
+        // u = 1: always exactly 1 line.
+        assert!((lines_per_item(1, 32.0) - 1.0).abs() < 1e-12);
+        // u = 3, B = 8: 1 + 2/8.
+        assert!((lines_per_item(3, 8.0) - 1.25).abs() < 1e-12);
+        // u = 2B: ⌊(2B−1)/B⌋ + 1 + (B−1)/B = 2 + 7/8.
+        assert!((lines_per_item(16, 8.0) - 2.875).abs() < 1e-12);
+        assert_eq!(lines_per_item(0, 8.0), 0.0);
+    }
+
+    #[test]
+    fn lines_per_item_is_brute_force_average() {
+        // Check against direct enumeration of alignments for many (u, B).
+        for b in [8u64, 32, 64] {
+            for u in 1..=3 * b {
+                let direct: f64 = (0..b)
+                    .map(|a| ((a + u) as f64 / b as f64).ceil())
+                    .sum::<f64>()
+                    / b as f64;
+                let formula = lines_per_item(u, b as f64);
+                assert!(
+                    (direct - formula).abs() < 1e-9,
+                    "u={u} b={b}: direct={direct} formula={formula}"
+                );
+            }
+        }
+    }
+
+    // ---- s_trav (Eq 4.2/4.3) ----
+
+    #[test]
+    fn s_trav_dense_counts_region_lines() {
+        // 1000 items × 8 B = 8000 B on 32-B lines → 250 lines.
+        let r = Region::new("R", 1000, 8);
+        let g = geo(1024, 32);
+        assert_eq!(s_trav_count(&r, 8, &g), 250.0);
+        // u < w but gap < B still loads every line.
+        let r2 = Region::new("R2", 1000, 16);
+        assert_eq!(s_trav_count(&r2, 4, &g), 500.0);
+    }
+
+    #[test]
+    fn s_trav_sparse_counts_per_item_lines() {
+        // w = 128, u = 8, B = 32: gap = 120 ≥ 32 → per-item lines.
+        let r = Region::new("R", 1000, 128);
+        let g = geo(1024, 32);
+        let m = s_trav_count(&r, 8, &g);
+        assert!((m - 1000.0 * lines_per_item(8, 32.0)).abs() < 1e-9);
+        assert!(m < r.lines(32)); // fewer than all lines
+    }
+
+    #[test]
+    fn s_trav_latency_flavour() {
+        let r = Region::new("R", 100, 8);
+        let g = geo(1024, 32);
+        let s = s_trav(&r, 8, LatencyClass::Sequential, &g);
+        assert!(s.rand == 0.0 && s.seq == 25.0);
+        let rm = s_trav(&r, 8, LatencyClass::Random, &g);
+        assert!(rm.seq == 0.0 && rm.rand == 25.0);
+    }
+
+    // ---- r_trav (Eq 4.4/4.5) ----
+
+    #[test]
+    fn r_trav_fitting_region_equals_s_trav() {
+        // §4.4 invariant: ||R|| ≤ C ⇒ random = sequential count.
+        let r = Region::new("R", 100, 8); // 800 B < 1024
+        let g = geo(1024, 32);
+        assert!((r_trav(&r, 8, &g).total() - s_trav_count(&r, 8, &g)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn r_trav_oversized_region_exceeds_s_trav() {
+        // §4.4 invariant: ||R|| > C ⇒ random > sequential count.
+        let r = Region::new("R", 10_000, 8); // 80 KB >> 1 KB
+        let g = geo(1024, 32);
+        let rt = r_trav(&r, 8, &g).total();
+        let st = s_trav_count(&r, 8, &g);
+        assert!(rt > st, "random {rt} must exceed sequential {st}");
+        // And approaches one miss per item for huge regions.
+        assert!(rt < 10_000.0 + 1.0);
+        assert!(rt > 0.9 * 10_000.0 * (1.0 - 1024.0 / 80_000.0));
+    }
+
+    #[test]
+    fn r_trav_sparse_equals_s_trav_count() {
+        // §4.4 invariant: gap ≥ B ⇒ counts equal regardless of cache size.
+        let r = Region::new("R", 5_000, 256);
+        let g = geo(1024, 32);
+        assert!((r_trav(&r, 8, &g).total() - s_trav_count(&r, 8, &g)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn r_trav_is_pure_random() {
+        let r = Region::new("R", 100, 8);
+        assert_eq!(r_trav(&r, 8, &geo(1024, 32)).seq, 0.0);
+    }
+
+    // ---- rs_trav (Eq 4.6) ----
+
+    #[test]
+    fn rs_trav_cached_region_pays_once() {
+        let r = Region::new("R", 10, 8); // 80 B ≪ 1 KB
+        let g = geo(1024, 32);
+        let m1 = s_trav_count(&r, 8, &g);
+        for dir in [Direction::Uni, Direction::Bi] {
+            let m = rs_trav(&r, 8, 10, dir, LatencyClass::Sequential, &g);
+            assert!((m.total() - m1).abs() < 1e-9, "{dir:?}");
+        }
+    }
+
+    #[test]
+    fn rs_trav_uni_pays_every_sweep() {
+        let r = Region::new("R", 1000, 8); // 8 KB > 1 KB
+        let g = geo(1024, 32);
+        let m1 = s_trav_count(&r, 8, &g);
+        let m = rs_trav(&r, 8, 4, Direction::Uni, LatencyClass::Sequential, &g);
+        assert!((m.total() - 4.0 * m1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rs_trav_bi_saves_cache_lines() {
+        let r = Region::new("R", 1000, 8);
+        let g = geo(1024, 32); // 32 lines
+        let m1 = s_trav_count(&r, 8, &g); // 250
+        let m = rs_trav(&r, 8, 4, Direction::Bi, LatencyClass::Sequential, &g);
+        assert!((m.total() - (m1 + 3.0 * (m1 - 32.0))).abs() < 1e-9);
+        // Bi ≤ Uni always.
+        let uni = rs_trav(&r, 8, 4, Direction::Uni, LatencyClass::Sequential, &g);
+        assert!(m.total() <= uni.total());
+    }
+
+    // ---- rr_trav (Eq 4.7) ----
+
+    #[test]
+    fn rr_trav_cached_region_pays_once() {
+        let r = Region::new("R", 10, 8);
+        let g = geo(1024, 32);
+        let m = rr_trav(&r, 8, 5, &g);
+        assert!((m.total() - r_trav(&r, 8, &g).total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rr_trav_large_region_partial_reuse() {
+        let r = Region::new("R", 1000, 8);
+        let g = geo(1024, 32);
+        let m1 = r_trav(&r, 8, &g).total();
+        let m = rr_trav(&r, 8, 3, &g).total();
+        // Between "full reuse" (m1) and "no reuse" (3·m1).
+        assert!(m > m1 && m < 3.0 * m1);
+        // Exact Eq 4.7 value.
+        let expect = m1 + 2.0 * (m1 - 32.0 * (32.0 / m1));
+        assert!((m - expect).abs() < 1e-9);
+    }
+
+    // ---- r_acc (Eq 4.8) ----
+
+    #[test]
+    fn r_acc_zero_cases() {
+        let r = Region::new("R", 100, 8);
+        let g = geo(1024, 32);
+        assert_eq!(r_acc(&r, 8, 0, &g).total(), 0.0);
+        let empty = Region::new("E", 0, 8);
+        assert_eq!(r_acc(&empty, 8, 100, &g).total(), 0.0);
+    }
+
+    #[test]
+    fn r_acc_fitting_region_bounded_by_lines() {
+        let r = Region::new("R", 100, 8); // 800 B < 1 KB cache
+        let g = geo(1024, 32);
+        // However many accesses, a cached region costs at most |R| misses.
+        let m = r_acc(&r, 8, 1_000_000, &g).total();
+        assert!(m <= r.lines(32) + 1e-9);
+    }
+
+    #[test]
+    fn r_acc_grows_with_accesses_on_oversized_region() {
+        let r = Region::new("R", 100_000, 8); // 800 KB
+        let g = geo(1024, 32);
+        let m1 = r_acc(&r, 8, 1_000, &g).total();
+        let m2 = r_acc(&r, 8, 100_000, &g).total();
+        assert!(m2 > m1);
+        // Roughly one miss per access when nothing fits.
+        assert!(m2 > 0.8 * 100_000.0);
+    }
+
+    #[test]
+    fn r_acc_few_hits_cost_their_lines() {
+        let r = Region::new("R", 1_000_000, 8);
+        let g = geo(1024, 32);
+        // 10 accesses over a million items: ~10 distinct lines (plus the
+        // alignment average's fractional extra), essentially all missing.
+        let m = r_acc(&r, 8, 10, &g).total();
+        assert!(m > 9.0 && m < 14.0, "m={m}");
+    }
+
+    // ---- nest (Eq 4.9) ----
+
+    #[test]
+    fn nest_local_random_behaves_like_r_trav() {
+        let r = Region::new("R", 10_000, 8);
+        let g = geo(1024, 32);
+        let n = nest(&r, 16, &LocalPattern::RandTraversal { u: 8 }, GlobalOrder::Random, &g);
+        assert!((n.total() - r_trav(&r, 8, &g).total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nest_few_partitions_cost_region_lines() {
+        // m below the line count: pure sequential writes, |R| misses.
+        let r = Region::new("R", 10_000, 8); // 80 KB, 2500 lines of 32 B
+        let g = geo(1024, 32); // 32 lines
+        let m = 8; // 8 open lines ≤ 32
+        let n = nest(
+            &r,
+            m,
+            &LocalPattern::SeqTraversal { u: 8, latency: LatencyClass::Sequential },
+            GlobalOrder::Random,
+            &g,
+        );
+        assert!((n.total() - r.lines(32)).abs() < 1e-9);
+        // Random global order: counted as random misses.
+        assert_eq!(n.seq, 0.0);
+    }
+
+    #[test]
+    fn nest_cliff_at_line_count() {
+        // The Figure-7d cliff: misses jump once m exceeds #.
+        let r = Region::new("R", 100_000, 8);
+        let g = geo(1024, 32); // # = 32
+        let local = LocalPattern::SeqTraversal { u: 8, latency: LatencyClass::Sequential };
+        let below = nest(&r, 32, &local, GlobalOrder::Random, &g).total();
+        let above = nest(&r, 4096, &local, GlobalOrder::Random, &g).total();
+        assert!((below - r.lines(32)).abs() < 1e-9);
+        // below = |R| = 25 000 lines; above saturates towards R.n = 100 000.
+        assert!(above > 3.0 * below, "cliff: {below} -> {above}");
+        // Saturates at ~one miss per item for m ≫ #.
+        let extreme = nest(&r, 1 << 20, &local, GlobalOrder::Random, &g).total();
+        assert!(extreme <= 100_000.0 + r.lines(32));
+        assert!(extreme > 0.95 * 100_000.0);
+    }
+
+    #[test]
+    fn nest_monotone_in_m_past_cliff() {
+        let r = Region::new("R", 100_000, 8);
+        let g = geo(1024, 32);
+        let local = LocalPattern::SeqTraversal { u: 8, latency: LatencyClass::Sequential };
+        let mut prev = 0.0;
+        for m in [32u64, 64, 128, 1024, 16_384] {
+            let cur = nest(&r, m, &local, GlobalOrder::Random, &g).total();
+            assert!(cur >= prev - 1e-9, "m={m}: {cur} < {prev}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn nest_bi_sequential_global_reuses_lines() {
+        let r = Region::new("R", 100_000, 8);
+        let g = geo(1024, 32);
+        let local = LocalPattern::SeqTraversal { u: 8, latency: LatencyClass::Sequential };
+        let m = 64; // 2× the line count
+        let bi = nest(&r, m, &local, GlobalOrder::Sequential(Direction::Bi), &g).total();
+        let uni = nest(&r, m, &local, GlobalOrder::Sequential(Direction::Uni), &g).total();
+        let rnd = nest(&r, m, &local, GlobalOrder::Random, &g).total();
+        assert!(bi < rnd, "bi {bi} < rnd {rnd}");
+        assert!(rnd < uni, "rnd {rnd} < uni {uni}");
+    }
+
+    #[test]
+    fn nest_sparse_items_cost_per_item_lines() {
+        // Wide items, small u: gap ≥ B ⇒ per-item lines, whatever m.
+        let r = Region::new("R", 1000, 256);
+        let g = geo(1024, 32);
+        let local = LocalPattern::SeqTraversal { u: 8, latency: LatencyClass::Sequential };
+        for m in [2u64, 64, 1024] {
+            let n = nest(&r, m, &local, GlobalOrder::Random, &g).total();
+            assert!((n - 1000.0 * lines_per_item(8, 32.0)).abs() < 1e-9);
+        }
+    }
+
+    // ---- MissPair arithmetic ----
+
+    #[test]
+    fn miss_pair_ops() {
+        let a = MissPair::seq(2.0) + MissPair::rand(3.0);
+        assert_eq!(a.total(), 5.0);
+        let b = a * 2.0;
+        assert_eq!(b.seq, 4.0);
+        assert_eq!(b.rand, 6.0);
+        let mut c = MissPair::default();
+        c += b;
+        assert_eq!(c, b);
+    }
+}

@@ -1,0 +1,451 @@
+//! Parsing the pattern language (the inverse of the `Display`
+//! rendering): cost functions from *text*.
+//!
+//! The paper's workflow ends with "describing the algorithms' data
+//! access in a kind of pattern language" (§7). This module makes that
+//! language round-trippable: a pattern printed by the library parses
+//! back to an equivalent pattern, and new operators can be costed from a
+//! one-line description without writing Rust:
+//!
+//! ```
+//! use gcm_core::parse::{parse_pattern, Catalog};
+//! use gcm_core::Region;
+//!
+//! let mut cat = Catalog::new();
+//! cat.add(Region::new("U", 1_000_000, 8));
+//! cat.add(Region::new("H", 2_097_152, 16));
+//! let p = parse_pattern("s_trav(U) ⊙ r_acc(H, 500000)", &cat).unwrap();
+//! assert_eq!(p.to_string(), "s_trav(U) ⊙ r_acc(H, 500000)");
+//! ```
+//!
+//! Grammar (`⊙` binds tighter than `⊕`; `N ×` repetition tighter still;
+//! ASCII spellings `(+)`, `(.)`, `x` are accepted):
+//!
+//! ```text
+//! pattern  := conc ( '⊕' conc )*
+//! conc     := repeat ( '⊙' repeat )*
+//! repeat   := [ INT '×' ] atom
+//! atom     := '(' pattern ')' | call
+//! call     := NAME '(' args ')'
+//! ```
+
+use crate::pattern::{Direction, GlobalOrder, LatencyClass, LocalPattern, Pattern};
+use crate::region::Region;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Known regions, by name, for resolving identifiers in pattern text.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    regions: HashMap<String, Region>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a region under its own name.
+    pub fn add(&mut self, r: Region) -> &mut Self {
+        self.regions.insert(r.name().to_string(), r);
+        self
+    }
+
+    /// Look a region up by name.
+    pub fn get(&self, name: &str) -> Option<&Region> {
+        self.regions.get(name)
+    }
+}
+
+/// A parse error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input.
+    pub at: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+    catalog: &'a Catalog,
+}
+
+/// Parse pattern text against a region catalog.
+pub fn parse_pattern(src: &str, catalog: &Catalog) -> Result<Pattern, ParseError> {
+    let mut p = Parser { src, pos: 0, catalog };
+    let pat = p.pattern()?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err(p.error("trailing input"));
+    }
+    Ok(pat)
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError { at: self.pos, message: message.into() }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.rest().chars().next() {
+            if c.is_whitespace() {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_any(&mut self, tokens: &[&str]) -> bool {
+        tokens.iter().any(|t| self.eat(t))
+    }
+
+    fn pattern(&mut self) -> Result<Pattern, ParseError> {
+        let mut parts = vec![self.conc()?];
+        while self.eat_any(&["⊕", "(+)"]) {
+            parts.push(self.conc()?);
+        }
+        Ok(Pattern::seq(parts))
+    }
+
+    fn conc(&mut self) -> Result<Pattern, ParseError> {
+        let mut parts = vec![self.repeat()?];
+        while self.eat_any(&["⊙", "(.)"]) {
+            parts.push(self.repeat()?);
+        }
+        Ok(Pattern::conc(parts))
+    }
+
+    fn repeat(&mut self) -> Result<Pattern, ParseError> {
+        self.skip_ws();
+        let save = self.pos;
+        if let Ok(k) = self.integer() {
+            if self.eat_any(&["×", "x"]) {
+                let inner = self.atom()?;
+                return Ok(Pattern::repeat(k, inner));
+            }
+            self.pos = save; // not a repetition: backtrack
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Pattern, ParseError> {
+        if self.eat("(") {
+            let inner = self.pattern()?;
+            if !self.eat(")") {
+                return Err(self.error("expected ')'"));
+            }
+            return Ok(inner);
+        }
+        self.call()
+    }
+
+    fn call(&mut self) -> Result<Pattern, ParseError> {
+        let name = self.identifier()?;
+        if !self.eat("(") {
+            return Err(self.error(format!("expected '(' after '{name}'")));
+        }
+        let pat = match name.as_str() {
+            "s_trav" | "s_travʳ" | "s_trav_r" => {
+                let r = self.region()?;
+                let u = self.opt_u(&r)?;
+                if name == "s_trav" {
+                    Pattern::s_trav_u(r, u)
+                } else {
+                    Pattern::s_trav_r(r, u)
+                }
+            }
+            "r_trav" => {
+                let r = self.region()?;
+                let u = self.opt_u(&r)?;
+                Pattern::r_trav_u(r, u)
+            }
+            "rs_trav" => {
+                // rs_trav(k, uni|bi, R [, u=N])
+                let k = self.integer()?;
+                self.expect_comma()?;
+                let dir = self.direction()?;
+                self.expect_comma()?;
+                let r = self.region()?;
+                let u = self.opt_u(&r)?;
+                Pattern::rs_trav_u(r, u, k, dir)
+            }
+            "rr_trav" => {
+                let k = self.integer()?;
+                self.expect_comma()?;
+                let r = self.region()?;
+                let u = self.opt_u(&r)?;
+                Pattern::rr_trav(r, u, k)
+            }
+            "r_acc" => {
+                // r_acc(R [, u=N], q)
+                let r = self.region()?;
+                let u = self.opt_u(&r)?;
+                self.expect_comma()?;
+                let q = self.integer()?;
+                Pattern::r_acc_u(r, u, q)
+            }
+            "nest" => {
+                // nest(R, m, s_trav|r_trav, rnd|seq/uni|seq/bi)
+                let r = self.region()?;
+                self.expect_comma()?;
+                let m = self.integer()?;
+                self.expect_comma()?;
+                let local_name = self.identifier()?;
+                self.expect_comma()?;
+                let order = self.global_order()?;
+                let u = r.w;
+                let local = match local_name.as_str() {
+                    "s_trav" => {
+                        LocalPattern::SeqTraversal { u, latency: LatencyClass::Sequential }
+                    }
+                    "r_trav" => LocalPattern::RandTraversal { u },
+                    other => return Err(self.error(format!("unknown local pattern '{other}'"))),
+                };
+                Pattern::nest(r, m, local, order)
+            }
+            other => return Err(self.error(format!("unknown pattern '{other}'"))),
+        };
+        if !self.eat(")") {
+            return Err(self.error("expected ')'"));
+        }
+        Ok(pat)
+    }
+
+    fn opt_u(&mut self, r: &Region) -> Result<u64, ParseError> {
+        let save = self.pos;
+        if self.eat(",") {
+            self.skip_ws();
+            if self.rest().starts_with("u=") {
+                self.pos += 2;
+                return self.integer();
+            }
+            self.pos = save;
+        }
+        Ok(r.w)
+    }
+
+    fn expect_comma(&mut self) -> Result<(), ParseError> {
+        if self.eat(",") {
+            Ok(())
+        } else {
+            Err(self.error("expected ','"))
+        }
+    }
+
+    fn direction(&mut self) -> Result<Direction, ParseError> {
+        let id = self.identifier()?;
+        match id.as_str() {
+            "uni" => Ok(Direction::Uni),
+            "bi" => Ok(Direction::Bi),
+            other => Err(self.error(format!("expected 'uni' or 'bi', got '{other}'"))),
+        }
+    }
+
+    fn global_order(&mut self) -> Result<GlobalOrder, ParseError> {
+        let id = self.identifier()?;
+        match id.as_str() {
+            "rnd" => Ok(GlobalOrder::Random),
+            "seq" => {
+                if !self.eat("/") {
+                    return Err(self.error("expected 'seq/uni' or 'seq/bi'"));
+                }
+                Ok(GlobalOrder::Sequential(self.direction()?))
+            }
+            other => Err(self.error(format!("expected 'rnd' or 'seq/..', got '{other}'"))),
+        }
+    }
+
+    fn region(&mut self) -> Result<Region, ParseError> {
+        let name = self.identifier()?;
+        self.catalog
+            .get(&name)
+            .cloned()
+            .ok_or_else(|| self.error(format!("unknown region '{name}'")))
+    }
+
+    fn identifier(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        for c in self.rest().chars() {
+            if c.is_alphanumeric() || c == '_' || c == 'ʳ' {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            Err(self.error("expected identifier"))
+        } else {
+            Ok(self.src[start..self.pos].to_string())
+        }
+    }
+
+    fn integer(&mut self) -> Result<u64, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.rest().starts_with(|c: char| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.error("expected integer"));
+        }
+        self.src[start..self.pos]
+            .parse()
+            .map_err(|e| self.error(format!("bad integer: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add(Region::new("U", 1000, 8));
+        c.add(Region::new("V", 1000, 8));
+        c.add(Region::new("H", 2048, 16));
+        c.add(Region::new("W", 1000, 16));
+        c
+    }
+
+    #[test]
+    fn parses_basic_patterns() {
+        let c = catalog();
+        for src in [
+            "s_trav(U)",
+            "s_trav(U, u=4)",
+            "r_trav(H)",
+            "rs_trav(3, bi, V)",
+            "rr_trav(2, V)",
+            "r_acc(H, 500)",
+            "nest(W, 64, s_trav, rnd)",
+            "nest(W, 8, s_trav, seq/bi)",
+            "nest(W, 8, r_trav, rnd)",
+        ] {
+            let p = parse_pattern(src, &c).unwrap_or_else(|e| panic!("{src}: {e}"));
+            assert!(p.is_basic(), "{src}");
+        }
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let c = catalog();
+        let originals = vec![
+            library::hash_join(
+                c.get("U").unwrap().clone(),
+                c.get("V").unwrap().clone(),
+                c.get("H").unwrap().clone(),
+                c.get("W").unwrap().clone(),
+            ),
+            library::merge_join(
+                c.get("U").unwrap().clone(),
+                c.get("V").unwrap().clone(),
+                c.get("W").unwrap().clone(),
+            ),
+            library::partition(c.get("U").unwrap().clone(), c.get("W").unwrap().clone(), 16),
+            library::nested_loop_join(
+                c.get("U").unwrap().clone(),
+                c.get("V").unwrap().clone(),
+                c.get("W").unwrap().clone(),
+            ),
+        ];
+        for p in originals {
+            let text = p.to_string();
+            let reparsed = parse_pattern(&text, &c).unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(reparsed.to_string(), text, "round trip failed");
+        }
+    }
+
+    #[test]
+    fn parsed_pattern_costs_like_built_pattern() {
+        let c = catalog();
+        let built = library::hash_join(
+            c.get("U").unwrap().clone(),
+            c.get("V").unwrap().clone(),
+            c.get("H").unwrap().clone(),
+            c.get("W").unwrap().clone(),
+        );
+        let parsed = parse_pattern(&built.to_string(), &c).unwrap();
+        let model = crate::CostModel::new(gcm_hardware::presets::tiny());
+        assert!((model.mem_ns(&built) - model.mem_ns(&parsed)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ascii_operator_spellings() {
+        let c = catalog();
+        let p = parse_pattern("s_trav(U) (.) r_trav(H) (+) s_trav(V)", &c).unwrap();
+        assert_eq!(p.to_string(), "s_trav(U) ⊙ r_trav(H) ⊕ s_trav(V)");
+        let rep = parse_pattern("4 x (s_trav(U) (.) s_trav(V))", &c).unwrap();
+        assert_eq!(rep.to_string(), "4 × (s_trav(U) ⊙ s_trav(V))");
+    }
+
+    #[test]
+    fn parenthesised_precedence() {
+        let c = catalog();
+        let p = parse_pattern("s_trav(U) ⊙ (s_trav(V) ⊕ s_trav(W))", &c).unwrap();
+        assert_eq!(p.to_string(), "s_trav(U) ⊙ (s_trav(V) ⊕ s_trav(W))");
+    }
+
+    #[test]
+    fn repeat_parses() {
+        let c = catalog();
+        let p = parse_pattern("8 × s_trav(U)", &c).unwrap();
+        match p {
+            Pattern::Repeat { k, .. } => assert_eq!(k, 8),
+            other => panic!("expected Repeat, got {other}"),
+        }
+    }
+
+    #[test]
+    fn error_positions_and_messages() {
+        let c = catalog();
+        let e = parse_pattern("s_trav(X)", &c).unwrap_err();
+        assert!(e.message.contains("unknown region 'X'"), "{e}");
+        let e2 = parse_pattern("bogus(U)", &c).unwrap_err();
+        assert!(e2.message.contains("unknown pattern"), "{e2}");
+        let e3 = parse_pattern("s_trav(U) extra", &c).unwrap_err();
+        assert!(e3.message.contains("trailing"), "{e3}");
+        let e4 = parse_pattern("rs_trav(3, sideways, V)", &c).unwrap_err();
+        assert!(e4.message.contains("uni"), "{e4}");
+    }
+
+    #[test]
+    fn random_latency_variant() {
+        let c = catalog();
+        let p = parse_pattern("s_trav_r(U, u=4)", &c).unwrap();
+        match p {
+            Pattern::STrav { latency, u, .. } => {
+                assert_eq!(latency, LatencyClass::Random);
+                assert_eq!(u, 4);
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Execution context: the engine's handle on the simulated machine.
+//!
+//! Wraps a [`MemorySystem`] and counts *logical CPU operations*
+//! (comparisons, swaps, hash computations, tuple moves). The paper's
+//! Eq 6.1 splits total time into `T_mem + T_cpu` with `T_cpu` calibrated
+//! per algorithm in an in-cache setting; our measured analogue is
+//! `clock_ns (charged memory latency) + per_op_ns × ops`.
+
+use crate::relation::Relation;
+use gcm_hardware::HardwareSpec;
+use gcm_sim::{MemorySystem, Snapshot};
+
+/// Measured counters of one operator run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Per-level interval counters and charged memory nanoseconds.
+    pub mem: Snapshot,
+    /// Logical CPU operations performed.
+    pub ops: u64,
+}
+
+impl RunStats {
+    /// Measured total time under a per-op CPU calibration (the engine-side
+    /// Eq 6.1).
+    pub fn total_ns(&self, per_op_ns: f64) -> f64 {
+        self.mem.clock_ns + per_op_ns * self.ops as f64
+    }
+
+    /// Misses at spec level `idx`.
+    pub fn misses_at(&self, idx: usize) -> u64 {
+        self.mem.levels[idx].seq_misses + self.mem.levels[idx].rand_misses
+    }
+}
+
+/// The engine's execution environment.
+#[derive(Debug)]
+pub struct ExecContext {
+    /// The simulated memory hierarchy (public: operators drive it
+    /// directly).
+    pub mem: MemorySystem,
+    ops: u64,
+}
+
+impl ExecContext {
+    /// A context on the given machine.
+    pub fn new(spec: HardwareSpec) -> ExecContext {
+        ExecContext { mem: MemorySystem::new(spec), ops: 0 }
+    }
+
+    /// A context with [HS89] miss classification enabled.
+    pub fn with_classification(spec: HardwareSpec) -> ExecContext {
+        ExecContext { mem: MemorySystem::with_classification(spec), ops: 0 }
+    }
+
+    /// Allocate a zeroed relation of `n` tuples × `w` bytes, aligned to
+    /// the largest cache line (so regions start line-aligned unless an
+    /// experiment asks otherwise).
+    pub fn relation(&mut self, name: &str, n: u64, w: u64) -> Relation {
+        let align = self
+            .mem
+            .spec()
+            .data_caches()
+            .map(|l| l.line)
+            .max()
+            .unwrap_or(64);
+        let base = self.mem.alloc((n * w).max(1), align);
+        Relation::new(name, base, n, w)
+    }
+
+    /// Allocate a relation and fill its keys host-side (setup data does
+    /// not perturb the counters; payload bytes stay zero).
+    pub fn relation_from_keys(&mut self, name: &str, keys: &[u64], w: u64) -> Relation {
+        let rel = self.relation(name, keys.len() as u64, w);
+        for (i, &k) in keys.iter().enumerate() {
+            self.mem.host_mut().write_u64(rel.tuple(i as u64), k);
+        }
+        rel
+    }
+
+    /// Read tuple `i`'s key (simulated: the access is charged).
+    #[inline]
+    pub fn read_key(&mut self, rel: &Relation, i: u64) -> u64 {
+        self.mem.read_u64(rel.key_addr(i))
+    }
+
+    /// Write tuple `i`'s key (simulated).
+    #[inline]
+    pub fn write_key(&mut self, rel: &Relation, i: u64, key: u64) {
+        self.mem.write_u64(rel.key_addr(i), key);
+    }
+
+    /// Touch tuple `i` entirely (simulated read of all `w` bytes) and
+    /// return its key.
+    #[inline]
+    pub fn read_tuple(&mut self, rel: &Relation, i: u64) -> u64 {
+        let addr = rel.tuple(i);
+        self.mem.touch(addr, rel.w());
+        self.mem.host().read_u64(addr)
+    }
+
+    /// Write tuple `i` entirely (simulated write of all `w` bytes), with
+    /// the given key and zero payload.
+    #[inline]
+    pub fn write_tuple(&mut self, rel: &Relation, i: u64, key: u64) {
+        let addr = rel.tuple(i);
+        self.mem.touch(addr, rel.w());
+        self.mem.host_mut().write_u64(addr, key);
+    }
+
+    /// Copy tuple `src_i` of `src` to `dst_i` of `dst` (both simulated).
+    pub fn copy_tuple(&mut self, src: &Relation, src_i: u64, dst: &Relation, dst_i: u64) {
+        let n = src.w().min(dst.w());
+        self.mem.copy(src.tuple(src_i), dst.tuple(dst_i), n);
+    }
+
+    /// Swap tuples `i` and `j` in place (simulated read+write of both).
+    pub fn swap_tuples(&mut self, rel: &Relation, i: u64, j: u64) {
+        let (a, b) = (rel.tuple(i), rel.tuple(j));
+        let w = rel.w();
+        self.mem.touch(a, w);
+        self.mem.touch(b, w);
+        let mut ta = vec![0u8; w as usize];
+        let mut tb = vec![0u8; w as usize];
+        self.mem.host().read_bytes(a, &mut ta);
+        self.mem.host().read_bytes(b, &mut tb);
+        self.mem.host_mut().write_bytes(a, &tb);
+        self.mem.host_mut().write_bytes(b, &ta);
+    }
+
+    /// Count `k` logical CPU operations.
+    #[inline]
+    pub fn count_ops(&mut self, k: u64) {
+        self.ops += k;
+    }
+
+    /// Logical CPU operations so far.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Run `f`, returning its result and the interval counters (memory
+    /// counters and logical ops) it produced.
+    pub fn measure<T>(&mut self, f: impl FnOnce(&mut ExecContext) -> T) -> (T, RunStats) {
+        let before_mem = self.mem.snapshot();
+        let before_ops = self.ops;
+        let out = f(self);
+        let stats = RunStats {
+            mem: self.mem.delta_since(&before_mem),
+            ops: self.ops - before_ops,
+        };
+        (out, stats)
+    }
+
+    /// Flush all caches (paper §4.5 assumes initially empty caches before
+    /// each experiment).
+    pub fn cold_caches(&mut self) {
+        self.mem.flush_caches();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcm_hardware::presets;
+
+    fn ctx() -> ExecContext {
+        ExecContext::new(presets::tiny())
+    }
+
+    #[test]
+    fn relation_setup_does_not_charge() {
+        let mut c = ctx();
+        let keys: Vec<u64> = (0..100).collect();
+        let rel = c.relation_from_keys("R", &keys, 16);
+        assert_eq!(c.mem.clock_ns(), 0.0);
+        assert_eq!(c.mem.host().read_u64(rel.tuple(7)), 7);
+    }
+
+    #[test]
+    fn read_key_is_simulated() {
+        let mut c = ctx();
+        let rel = c.relation_from_keys("R", &[5, 6, 7], 16);
+        assert_eq!(c.read_key(&rel, 2), 7);
+        assert!(c.mem.clock_ns() > 0.0);
+    }
+
+    #[test]
+    fn swap_tuples_swaps_whole_tuples() {
+        let mut c = ctx();
+        let rel = c.relation_from_keys("R", &[1, 2], 16);
+        c.mem.host_mut().write_u64(rel.tuple(0) + 8, 111); // payload of t0
+        c.swap_tuples(&rel, 0, 1);
+        assert_eq!(c.mem.host().read_u64(rel.tuple(0)), 2);
+        assert_eq!(c.mem.host().read_u64(rel.tuple(1)), 1);
+        assert_eq!(c.mem.host().read_u64(rel.tuple(1) + 8), 111);
+    }
+
+    #[test]
+    fn measure_isolates_intervals() {
+        let mut c = ctx();
+        let rel = c.relation_from_keys("R", &(0..64u64).collect::<Vec<_>>(), 8);
+        let (_, warm) = c.measure(|c| {
+            for i in 0..64 {
+                c.read_key(&rel, i);
+            }
+            c.count_ops(64);
+        });
+        assert_eq!(warm.ops, 64);
+        assert!(warm.mem.clock_ns > 0.0);
+        // A second identical run hits the warm cache.
+        let (_, rerun) = c.measure(|c| {
+            for i in 0..64 {
+                c.read_key(&rel, i);
+            }
+        });
+        assert_eq!(rerun.mem.total_misses(), 0);
+        assert_eq!(rerun.mem.clock_ns, 0.0);
+    }
+
+    #[test]
+    fn cold_caches_restores_misses() {
+        let mut c = ctx();
+        let rel = c.relation_from_keys("R", &[1, 2, 3], 8);
+        c.read_key(&rel, 0);
+        c.cold_caches();
+        let (_, s) = c.measure(|c| {
+            c.read_key(&rel, 0);
+        });
+        assert!(s.mem.total_misses() > 0);
+    }
+
+    #[test]
+    fn run_stats_total_time() {
+        let s = RunStats {
+            mem: Snapshot { levels: vec![], clock_ns: 100.0 },
+            ops: 50,
+        };
+        assert!((s.total_ns(2.0) - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn copy_tuple_moves_data() {
+        let mut c = ctx();
+        let a = c.relation_from_keys("A", &[42], 16);
+        let b = c.relation("B", 1, 16);
+        c.copy_tuple(&a, 0, &b, 0);
+        assert_eq!(c.mem.host().read_u64(b.tuple(0)), 42);
+    }
+}

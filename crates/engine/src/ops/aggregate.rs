@@ -1,0 +1,189 @@
+//! Aggregation and duplicate elimination (paper §3.2: "usually
+//! implemented using sorting or hashing; thus, they perform the
+//! respective patterns").
+
+use crate::ctx::ExecContext;
+use crate::ops::hash::{HashTable, EMPTY};
+use crate::ops::sort::quick_sort;
+use crate::relation::Relation;
+use gcm_core::{library, Pattern, Region};
+
+/// Hash-based group-by count: returns a relation of `(group_key, count)`
+/// pairs (width 16), in table order.
+pub fn hash_group_count(ctx: &mut ExecContext, input: &Relation, out_name: &str) -> Relation {
+    // Host-side distinct count (cardinality oracle) to size table/output.
+    let mut distinct = 0u64;
+    {
+        let host = ctx.mem.host();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..input.n() {
+            if seen.insert(host.read_u64(input.tuple(i))) {
+                distinct += 1;
+            }
+        }
+    }
+    let table = HashTable::alloc(ctx, &format!("H({out_name})"), distinct.max(1));
+    // Aggregate: probe; on hit increment the count in place, else insert 1.
+    for i in 0..input.n() {
+        let key = ctx.read_tuple(input, i);
+        ctx.count_ops(1);
+        upsert_count(ctx, &table, key);
+    }
+    // Emit: sweep the table, writing occupied slots out sequentially.
+    let out = ctx.relation(out_name, distinct, 16);
+    let mut cursor = 0u64;
+    for s in 0..table.capacity() {
+        let addr = table_slot_addr(&table, s);
+        let key = ctx.mem.read_u64(addr);
+        if key != EMPTY {
+            let count = ctx.mem.read_u64(addr + 8);
+            ctx.mem.touch(out.tuple(cursor), 16);
+            ctx.mem.host_mut().write_u64(out.tuple(cursor), key);
+            ctx.mem.host_mut().write_u64(out.tuple(cursor) + 8, count);
+            ctx.count_ops(1);
+            cursor += 1;
+        }
+    }
+    debug_assert_eq!(cursor, distinct);
+    out
+}
+
+fn table_slot_addr(table: &HashTable, slot: u64) -> gcm_sim::Addr {
+    table.slot_addr(slot)
+}
+
+fn upsert_count(ctx: &mut ExecContext, table: &HashTable, key: u64) {
+    let mask = table.capacity() - 1;
+    let mut slot = crate::ops::mix(key) & mask;
+    loop {
+        let addr = table_slot_addr(table, slot);
+        let resident = ctx.mem.read_u64(addr);
+        ctx.count_ops(1);
+        if resident == key {
+            let c = ctx.mem.read_u64(addr + 8);
+            ctx.mem.write_u64(addr + 8, c + 1);
+            return;
+        }
+        if resident == EMPTY {
+            ctx.mem.touch(addr, 16);
+            ctx.mem.host_mut().write_u64(addr, key);
+            ctx.mem.host_mut().write_u64(addr + 8, 1);
+            return;
+        }
+        slot = (slot + 1) & mask;
+    }
+}
+
+/// Pattern of [`hash_group_count`]:
+/// `s_trav(U) ⊙ r_acc(H, U.n) ⊕ s_trav(H) ⊙ s_trav(W)`.
+pub fn hash_group_pattern(input: &Region, h: &Region, output: &Region) -> Pattern {
+    library::hash_aggregate(input.clone(), h.clone(), output.clone())
+}
+
+/// Sort-based duplicate elimination: sorts the input in place, then
+/// emits each distinct key once.
+pub fn sort_dedup(ctx: &mut ExecContext, input: &Relation, out_name: &str) -> Relation {
+    quick_sort(ctx, input);
+    // Distinct count, host-side.
+    let mut distinct = 0u64;
+    {
+        let host = ctx.mem.host();
+        let mut prev = None;
+        for i in 0..input.n() {
+            let k = host.read_u64(input.tuple(i));
+            if prev != Some(k) {
+                distinct += 1;
+                prev = Some(k);
+            }
+        }
+    }
+    let out = ctx.relation(out_name, distinct, input.w());
+    let mut cursor = 0u64;
+    let mut prev = None;
+    for i in 0..input.n() {
+        let k = ctx.read_tuple(input, i);
+        ctx.count_ops(1);
+        if prev != Some(k) {
+            ctx.copy_tuple(input, i, &out, cursor);
+            cursor += 1;
+            prev = Some(k);
+        }
+    }
+    out
+}
+
+/// Pattern of [`sort_dedup`]: `quick_sort(U) ⊕ s_trav(U) ⊙ s_trav(W)`.
+pub fn sort_dedup_pattern(input: &Region, output: &Region) -> Pattern {
+    library::sort_aggregate(input.clone(), output.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcm_hardware::presets;
+    use gcm_workload::Workload;
+
+    fn ctx() -> ExecContext {
+        ExecContext::new(presets::tiny())
+    }
+
+    #[test]
+    fn group_counts_are_exact() {
+        let mut c = ctx();
+        let input = c.relation_from_keys("U", &[3, 1, 3, 2, 3, 1], 8);
+        let out = hash_group_count(&mut c, &input, "G");
+        assert_eq!(out.n(), 3);
+        let mut groups: Vec<(u64, u64)> = (0..3)
+            .map(|i| {
+                (
+                    c.mem.host().read_u64(out.tuple(i)),
+                    c.mem.host().read_u64(out.tuple(i) + 8),
+                )
+            })
+            .collect();
+        groups.sort_unstable();
+        assert_eq!(groups, [(1, 2), (2, 1), (3, 3)]);
+    }
+
+    #[test]
+    fn group_count_skewed_input() {
+        let mut c = ctx();
+        let keys = Workload::new(30).zipf_keys(2000, 50, 1.0);
+        let input = c.relation_from_keys("U", &keys, 8);
+        let out = hash_group_count(&mut c, &input, "G");
+        let total: u64 =
+            (0..out.n()).map(|i| c.mem.host().read_u64(out.tuple(i) + 8)).sum();
+        assert_eq!(total, 2000);
+    }
+
+    #[test]
+    fn dedup_removes_duplicates() {
+        let mut c = ctx();
+        let input = c.relation_from_keys("U", &[5, 1, 5, 2, 1, 1], 8);
+        let out = sort_dedup(&mut c, &input, "D");
+        assert_eq!(out.n(), 3);
+        let got: Vec<u64> = (0..3).map(|i| c.mem.host().read_u64(out.tuple(i))).collect();
+        assert_eq!(got, [1, 2, 5]);
+    }
+
+    #[test]
+    fn dedup_of_distinct_keys_is_identity_sized() {
+        let mut c = ctx();
+        let keys = Workload::new(31).shuffled_keys(500);
+        let input = c.relation_from_keys("U", &keys, 8);
+        let out = sort_dedup(&mut c, &input, "D");
+        assert_eq!(out.n(), 500);
+    }
+
+    #[test]
+    fn patterns_render() {
+        let mut c = ctx();
+        let u = c.relation("U", 100, 8);
+        let h = c.relation("H", 64, 16);
+        let w = c.relation("W", 32, 16);
+        assert!(hash_group_pattern(u.region(), h.region(), w.region())
+            .to_string()
+            .contains("r_acc(H"));
+        assert!(sort_dedup_pattern(u.region(), w.region()).to_string().contains("⊕"));
+    }
+}

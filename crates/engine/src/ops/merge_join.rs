@@ -1,0 +1,174 @@
+//! Merge-join over sorted inputs (paper §6.2, Figure 7b): three
+//! concurrent sequential traversals, `s_trav(U) ⊙ s_trav(V) ⊙ s_trav(W)`.
+
+use crate::ctx::ExecContext;
+use crate::relation::Relation;
+use gcm_core::{library, Pattern, Region};
+
+/// Join two key-sorted relations; emits one output tuple per matching
+/// pair `(u.key == v.key)` into a fresh relation of width `out_w`
+/// (key + zero payload). Handles duplicate keys on both sides.
+///
+/// Logical ops: one per cursor advance and one per emitted tuple.
+pub fn merge_join(
+    ctx: &mut ExecContext,
+    u: &Relation,
+    v: &Relation,
+    out_name: &str,
+    out_w: u64,
+) -> Relation {
+    // Cardinality oracle (host-side): count matches to size the output.
+    let matches = count_matches_host(ctx, u, v);
+    let out = ctx.relation(out_name, matches, out_w);
+
+    let (mut i, mut j, mut o) = (0u64, 0u64, 0u64);
+    while i < u.n() && j < v.n() {
+        let ku = ctx.read_key(u, i);
+        let kv = ctx.read_key(v, j);
+        ctx.count_ops(1);
+        if ku < kv {
+            i += 1;
+        } else if ku > kv {
+            j += 1;
+        } else {
+            // Emit the full group product for duplicate keys.
+            let j_start = j;
+            let mut jj = j_start;
+            while jj < v.n() && ctx.read_key(v, jj) == ku {
+                ctx.write_tuple(&out, o, ku);
+                ctx.count_ops(1);
+                o += 1;
+                jj += 1;
+            }
+            i += 1;
+            // Advance j only when u has no duplicate of this key left.
+            if i >= u.n() || ctx.mem.host().read_u64(u.tuple(i)) != ku {
+                j = jj;
+            }
+        }
+    }
+    debug_assert_eq!(o, matches);
+    out
+}
+
+fn count_matches_host(ctx: &ExecContext, u: &Relation, v: &Relation) -> u64 {
+    let (mut i, mut j, mut m) = (0u64, 0u64, 0u64);
+    let host = ctx.mem.host();
+    while i < u.n() && j < v.n() {
+        let ku = host.read_u64(u.tuple(i));
+        let kv = host.read_u64(v.tuple(j));
+        if ku < kv {
+            i += 1;
+        } else if ku > kv {
+            j += 1;
+        } else {
+            let mut jj = j;
+            while jj < v.n() && host.read_u64(v.tuple(jj)) == ku {
+                m += 1;
+                jj += 1;
+            }
+            i += 1;
+            if i >= u.n() || host.read_u64(u.tuple(i)) != ku {
+                j = jj;
+            }
+        }
+    }
+    m
+}
+
+/// Pattern of [`merge_join`]: `s_trav(U) ⊙ s_trav(V) ⊙ s_trav(W)`.
+pub fn merge_join_pattern(u: &Region, v: &Region, w: &Region) -> Pattern {
+    library::merge_join(u.clone(), v.clone(), w.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcm_hardware::presets;
+
+    fn ctx() -> ExecContext {
+        ExecContext::new(presets::tiny())
+    }
+
+    #[test]
+    fn one_to_one_match() {
+        let mut c = ctx();
+        let u = c.relation_from_keys("U", &[1, 2, 3, 4, 5], 8);
+        let v = c.relation_from_keys("V", &[1, 2, 3, 4, 5], 8);
+        let w = merge_join(&mut c, &u, &v, "W", 16);
+        assert_eq!(w.n(), 5);
+        for i in 0..5 {
+            assert_eq!(c.mem.host().read_u64(w.tuple(i)), i + 1);
+        }
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let mut c = ctx();
+        let u = c.relation_from_keys("U", &[1, 3, 5, 7], 8);
+        let v = c.relation_from_keys("V", &[2, 3, 4, 7, 9], 8);
+        let w = merge_join(&mut c, &u, &v, "W", 16);
+        assert_eq!(w.n(), 2);
+        assert_eq!(c.mem.host().read_u64(w.tuple(0)), 3);
+        assert_eq!(c.mem.host().read_u64(w.tuple(1)), 7);
+    }
+
+    #[test]
+    fn duplicates_produce_products() {
+        let mut c = ctx();
+        let u = c.relation_from_keys("U", &[2, 2, 3], 8);
+        let v = c.relation_from_keys("V", &[2, 2, 2, 3], 8);
+        let w = merge_join(&mut c, &u, &v, "W", 16);
+        // 2×3 for key 2 plus 1×1 for key 3.
+        assert_eq!(w.n(), 7);
+    }
+
+    #[test]
+    fn disjoint_inputs_produce_nothing() {
+        let mut c = ctx();
+        let u = c.relation_from_keys("U", &[1, 2], 8);
+        let v = c.relation_from_keys("V", &[3, 4], 8);
+        let w = merge_join(&mut c, &u, &v, "W", 16);
+        assert_eq!(w.n(), 0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut c = ctx();
+        let u = c.relation("U", 0, 8);
+        let v = c.relation_from_keys("V", &[1], 8);
+        let w = merge_join(&mut c, &u, &v, "W", 16);
+        assert_eq!(w.n(), 0);
+    }
+
+    #[test]
+    fn misses_are_sequential_and_linear() {
+        // Merge-join's accesses are pure streams: sequential misses
+        // dominate and cost scales linearly with input size (§6.2).
+        let mut c = ctx();
+        let keys: Vec<u64> = (0..4096).collect();
+        let u = c.relation_from_keys("U", &keys, 8);
+        let v = c.relation_from_keys("V", &keys, 8);
+        let (_, stats) = c.measure(|c| {
+            merge_join(c, &u, &v, "W", 16);
+        });
+        let l1 = c.mem.spec().level_index("L1").unwrap();
+        let s = stats.mem.levels[l1];
+        assert!(
+            s.seq_misses > 10 * s.rand_misses,
+            "sequential misses must dominate: {s}"
+        );
+    }
+
+    #[test]
+    fn pattern_renders() {
+        let mut c = ctx();
+        let u = c.relation("U", 10, 8);
+        let v = c.relation("V", 10, 8);
+        let w = c.relation("W", 10, 16);
+        assert_eq!(
+            merge_join_pattern(u.region(), v.region(), w.region()).to_string(),
+            "s_trav(U) ⊙ s_trav(V) ⊙ s_trav(W)"
+        );
+    }
+}

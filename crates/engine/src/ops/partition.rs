@@ -1,0 +1,204 @@
+//! Partitioning (paper §6.2, Figure 7d).
+//!
+//! The input is read sequentially; each tuple is appended to one of `m`
+//! output buffers. Within each buffer writes are sequential; the buffer
+//! *order* follows the hash of the keys, i.e. is random. That is exactly
+//! the interleaved multi-cursor pattern:
+//!
+//! ```text
+//! partition(U, m) = s_trav(U) ⊙ nest(W, m, s_trav, rnd)
+//! ```
+//!
+//! The famous result this reproduces: the cost cliffs each time `m`
+//! exceeds a level's line/entry count (TLB entries, then L1 lines, then
+//! L2 lines), because every open output line gets evicted between two
+//! writes to the same buffer.
+//!
+//! Buffer sizes are precomputed host-side (an exact-cardinality oracle;
+//! MonetDB's radix cluster does a separate counting pass, which the
+//! paper's §6.2 experiment models and measures without — we follow the
+//! paper).
+
+use crate::ctx::ExecContext;
+use crate::ops::mix;
+use crate::relation::Relation;
+use gcm_core::{library, Pattern, Region};
+
+/// A partitioned relation: one dense output region holding the `m`
+/// buffers back to back.
+#[derive(Debug)]
+pub struct Partitioned {
+    /// The output region (all buffers, contiguous).
+    pub rel: Relation,
+    /// Partition boundaries: buffer `j` spans
+    /// `offsets[j] .. offsets[j+1]` (tuple indices), `m + 1` entries.
+    pub offsets: Vec<u64>,
+}
+
+impl Partitioned {
+    /// Number of partitions.
+    pub fn m(&self) -> u64 {
+        (self.offsets.len() - 1) as u64
+    }
+
+    /// Partition `j` as a relation view (shares the output's region
+    /// identity).
+    pub fn part(&self, j: u64) -> Relation {
+        let first = self.offsets[j as usize];
+        let count = self.offsets[j as usize + 1] - first;
+        self.rel.subrange(first, count)
+    }
+}
+
+/// Bucket of a key for fan-out `m`.
+#[inline]
+pub fn bucket_of(key: u64, m: u64) -> u64 {
+    // Use the high bits of the mixed key: independent from the low bits
+    // the hash table uses, so partitioned hash-join sub-tables stay
+    // uniform.
+    ((mix(key) >> 32) * m) >> 32
+}
+
+/// Hash-partition `input` into `m` buffers.
+pub fn hash_partition(
+    ctx: &mut ExecContext,
+    input: &Relation,
+    m: u64,
+    out_name: &str,
+) -> Partitioned {
+    assert!(m >= 1);
+    // Host-side counting pass (cardinality oracle).
+    let mut counts = vec![0u64; m as usize];
+    for i in 0..input.n() {
+        let key = ctx.mem.host().read_u64(input.tuple(i));
+        counts[bucket_of(key, m) as usize] += 1;
+    }
+    let mut offsets = Vec::with_capacity(m as usize + 1);
+    let mut acc = 0u64;
+    offsets.push(0);
+    for c in &counts {
+        acc += c;
+        offsets.push(acc);
+    }
+
+    let out = ctx.relation(out_name, input.n(), input.w());
+    let mut cursors: Vec<u64> = offsets[..m as usize].to_vec();
+    for i in 0..input.n() {
+        let key = ctx.read_tuple(input, i);
+        ctx.count_ops(1);
+        let b = bucket_of(key, m) as usize;
+        let dst = cursors[b];
+        cursors[b] += 1;
+        ctx.copy_tuple(input, i, &out, dst);
+    }
+    Partitioned { rel: out, offsets }
+}
+
+/// Pattern of [`hash_partition`]: `s_trav(U) ⊙ nest(W, m, s_trav, rnd)`.
+pub fn partition_pattern(input: &Region, output: &Region, m: u64) -> Pattern {
+    library::partition(input.clone(), output.clone(), m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcm_hardware::presets;
+    use gcm_workload::Workload;
+
+    fn ctx() -> ExecContext {
+        ExecContext::new(presets::tiny())
+    }
+
+    #[test]
+    fn partitions_preserve_multiset() {
+        let mut c = ctx();
+        let keys = Workload::new(8).shuffled_keys(1000);
+        let input = c.relation_from_keys("U", &keys, 8);
+        let parts = hash_partition(&mut c, &input, 7, "W");
+        assert_eq!(parts.m(), 7);
+        assert_eq!(*parts.offsets.last().unwrap(), 1000);
+        let mut out_keys: Vec<u64> =
+            (0..1000).map(|i| c.mem.host().read_u64(parts.rel.tuple(i))).collect();
+        out_keys.sort_unstable();
+        assert_eq!(out_keys, (0..1000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn every_tuple_lands_in_its_bucket() {
+        let mut c = ctx();
+        let keys = Workload::new(9).shuffled_keys(500);
+        let input = c.relation_from_keys("U", &keys, 8);
+        let m = 5;
+        let parts = hash_partition(&mut c, &input, m, "W");
+        for j in 0..m {
+            let p = parts.part(j);
+            for i in 0..p.n() {
+                let k = c.mem.host().read_u64(p.tuple(i));
+                assert_eq!(bucket_of(k, m), j);
+            }
+        }
+    }
+
+    #[test]
+    fn single_partition_is_a_copy() {
+        let mut c = ctx();
+        let keys = vec![5, 3, 8, 1];
+        let input = c.relation_from_keys("U", &keys, 8);
+        let parts = hash_partition(&mut c, &input, 1, "W");
+        let got: Vec<u64> =
+            (0..4).map(|i| c.mem.host().read_u64(parts.rel.tuple(i))).collect();
+        assert_eq!(got, keys); // order preserved within the single bucket
+    }
+
+    #[test]
+    fn buckets_are_reasonably_balanced() {
+        let mut c = ctx();
+        let keys = Workload::new(10).shuffled_keys(8000);
+        let input = c.relation_from_keys("U", &keys, 8);
+        let parts = hash_partition(&mut c, &input, 8, "W");
+        for j in 0..8 {
+            let size = parts.part(j).n();
+            assert!((700..1300).contains(&size), "bucket {j} has {size}");
+        }
+    }
+
+    #[test]
+    fn fanout_cliff_in_tlb_misses() {
+        // tiny TLB: 8 entries. m = 4 keeps all open pages mapped; m = 64
+        // thrashes the TLB — the Figure 7d effect.
+        let tlb_misses = |m: u64| {
+            let mut c = ctx();
+            let keys = Workload::new(11).shuffled_keys(16_384); // 128 KB
+            let input = c.relation_from_keys("U", &keys, 8);
+            c.cold_caches();
+            let (_, stats) = c.measure(|c| {
+                hash_partition(c, &input, m, "W");
+            });
+            let tlb = c.mem.spec().level_index("TLB").unwrap();
+            stats.misses_at(tlb)
+        };
+        let low = tlb_misses(4);
+        let high = tlb_misses(64);
+        assert!(high > 3 * low, "TLB cliff: {low} -> {high}");
+    }
+
+    #[test]
+    fn pattern_renders() {
+        let mut c = ctx();
+        let u = c.relation("U", 100, 8);
+        let w = c.relation("W", 100, 8);
+        assert_eq!(
+            partition_pattern(u.region(), w.region(), 64).to_string(),
+            "s_trav(U) ⊙ nest(W, 64, s_trav, rnd)"
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut c = ctx();
+        let input = c.relation("U", 0, 8);
+        let parts = hash_partition(&mut c, &input, 4, "W");
+        assert_eq!(parts.m(), 4);
+        assert_eq!(*parts.offsets.last().unwrap(), 0);
+    }
+}

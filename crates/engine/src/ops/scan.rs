@@ -1,0 +1,158 @@
+//! Table scan, selection and projection: the purely sequential unary
+//! operators (paper §3.2).
+
+use crate::ctx::ExecContext;
+use crate::relation::Relation;
+use gcm_core::{library, Pattern, Region};
+
+/// Scan the relation and sum the keys, touching `u` bytes of each tuple
+/// (`u = 8` reads just the key; `u = rel.w()` reads whole tuples).
+///
+/// Logical ops: one per tuple.
+pub fn scan_sum(ctx: &mut ExecContext, rel: &Relation, u: u64) -> u64 {
+    let u = u.clamp(8, rel.w());
+    let mut sum = 0u64;
+    for i in 0..rel.n() {
+        let addr = rel.tuple(i);
+        ctx.mem.touch(addr, u);
+        sum = sum.wrapping_add(ctx.mem.host().read_u64(addr));
+        ctx.count_ops(1);
+    }
+    sum
+}
+
+/// Pattern of [`scan_sum`]: `s_trav(U, u)`.
+pub fn scan_pattern(input: &Region, u: u64) -> Pattern {
+    Pattern::s_trav_u(input.clone(), u.clamp(1, input.w))
+}
+
+/// Select tuples with `key < threshold` into a fresh output relation
+/// (exact-sized; the qualifying count is precomputed host-side, which
+/// costs no simulated accesses — mirroring an exact-cardinality oracle,
+/// as the paper assumes for the logical cost component, §1).
+pub fn select_lt(
+    ctx: &mut ExecContext,
+    rel: &Relation,
+    threshold: u64,
+    out_name: &str,
+) -> Relation {
+    // Host-side count (cardinality oracle).
+    let mut hits = 0u64;
+    for i in 0..rel.n() {
+        if ctx.mem.host().read_u64(rel.tuple(i)) < threshold {
+            hits += 1;
+        }
+    }
+    let out = ctx.relation(out_name, hits, rel.w());
+    let mut cursor = 0u64;
+    for i in 0..rel.n() {
+        let key = ctx.read_tuple(rel, i);
+        ctx.count_ops(1);
+        if key < threshold {
+            ctx.copy_tuple(rel, i, &out, cursor);
+            cursor += 1;
+        }
+    }
+    out
+}
+
+/// Pattern of [`select_lt`]: `s_trav(U) ⊙ s_trav(W)`.
+pub fn select_pattern(input: &Region, output: &Region) -> Pattern {
+    library::select(input.clone(), output.clone())
+}
+
+/// Project the first `u` bytes of every tuple into an output relation of
+/// width `u`.
+pub fn project(ctx: &mut ExecContext, rel: &Relation, u: u64, out_name: &str) -> Relation {
+    assert!((8..=rel.w()).contains(&u), "projection width must be 8..=w");
+    let out = ctx.relation(out_name, rel.n(), u);
+    for i in 0..rel.n() {
+        let src = rel.tuple(i);
+        ctx.mem.touch(src, u);
+        let dst = out.tuple(i);
+        ctx.mem.touch(dst, u);
+        let key = ctx.mem.host().read_u64(src);
+        ctx.mem.host_mut().write_u64(dst, key);
+        ctx.count_ops(1);
+    }
+    out
+}
+
+/// Pattern of [`project`]: `s_trav(U, u) ⊙ s_trav(W)`.
+pub fn project_pattern(input: &Region, u: u64, output: &Region) -> Pattern {
+    library::project(input.clone(), u, output.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcm_hardware::presets;
+
+    fn ctx() -> ExecContext {
+        ExecContext::new(presets::tiny())
+    }
+
+    #[test]
+    fn scan_sums_keys() {
+        let mut c = ctx();
+        let rel = c.relation_from_keys("R", &[1, 2, 3, 4], 16);
+        assert_eq!(scan_sum(&mut c, &rel, 8), 10);
+        assert_eq!(c.ops(), 4);
+    }
+
+    #[test]
+    fn scan_narrow_touch_misses_less() {
+        // u = 8 on wide tuples must touch fewer lines than u = w.
+        let mut c = ctx();
+        let keys: Vec<u64> = (0..512).collect();
+        let rel = c.relation_from_keys("R", &keys, 128);
+        let (_, narrow) = c.measure(|c| {
+            scan_sum(c, &rel, 8);
+        });
+        c.cold_caches();
+        let (_, full) = c.measure(|c| {
+            scan_sum(c, &rel, 128);
+        });
+        assert!(narrow.mem.total_misses() < full.mem.total_misses());
+    }
+
+    #[test]
+    fn select_filters_correctly() {
+        let mut c = ctx();
+        let rel = c.relation_from_keys("R", &[5, 1, 9, 3, 7], 16);
+        let out = select_lt(&mut c, &rel, 6, "W");
+        assert_eq!(out.n(), 3);
+        let got: Vec<u64> = (0..3).map(|i| c.mem.host().read_u64(out.tuple(i))).collect();
+        assert_eq!(got, [5, 1, 3]);
+    }
+
+    #[test]
+    fn select_empty_result() {
+        let mut c = ctx();
+        let rel = c.relation_from_keys("R", &[5, 6], 16);
+        let out = select_lt(&mut c, &rel, 0, "W");
+        assert_eq!(out.n(), 0);
+    }
+
+    #[test]
+    fn project_copies_keys() {
+        let mut c = ctx();
+        let rel = c.relation_from_keys("R", &[4, 5, 6], 32);
+        let out = project(&mut c, &rel, 8, "P");
+        assert_eq!(out.w(), 8);
+        for i in 0..3 {
+            assert_eq!(c.mem.host().read_u64(out.tuple(i)), 4 + i);
+        }
+    }
+
+    #[test]
+    fn patterns_render() {
+        let mut c = ctx();
+        let rel = c.relation_from_keys("R", &[1, 2], 16);
+        assert_eq!(scan_pattern(rel.region(), 8).to_string(), "s_trav(R, u=8)");
+        let out = c.relation("W", 2, 16);
+        assert!(select_pattern(rel.region(), out.region())
+            .to_string()
+            .contains("⊙"));
+    }
+}

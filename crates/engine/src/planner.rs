@@ -1,0 +1,296 @@
+//! A cost-based planner on top of the generic model — the paper's
+//! motivating use-case (§1): "the query optimizer uses this information
+//! to choose the most suitable algorithm and/or implementation for each
+//! operator".
+//!
+//! The planner enumerates join algorithms (and partitioning fan-outs),
+//! prices each via its pattern description and Eq 6.1, and ranks them.
+
+use crate::ops;
+use gcm_core::{CostModel, CpuCost, Region};
+use std::fmt;
+
+/// A candidate join algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinAlgorithm {
+    /// Scan the inner input once per outer tuple.
+    NestedLoop,
+    /// Merge-join; `sort_u`/`sort_v` record whether an input must be
+    /// sorted first (quick-sort cost is added).
+    Merge { sort_u: bool, sort_v: bool },
+    /// Build a hash table on the inner input, probe with the outer.
+    Hash,
+    /// Partition both inputs `m` ways, then hash-join partition pairs.
+    PartitionedHash { m: u64 },
+}
+
+impl fmt::Display for JoinAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinAlgorithm::NestedLoop => write!(f, "nested-loop join"),
+            JoinAlgorithm::Merge { sort_u, sort_v } => {
+                write!(f, "merge join")?;
+                match (sort_u, sort_v) {
+                    (false, false) => Ok(()),
+                    (true, false) => write!(f, " (sort outer)"),
+                    (false, true) => write!(f, " (sort inner)"),
+                    (true, true) => write!(f, " (sort both)"),
+                }
+            }
+            JoinAlgorithm::Hash => write!(f, "hash join"),
+            JoinAlgorithm::PartitionedHash { m } => {
+                write!(f, "partitioned hash join (m = {m})")
+            }
+        }
+    }
+}
+
+/// One priced plan alternative.
+#[derive(Debug, Clone)]
+pub struct PlanChoice {
+    /// The algorithm.
+    pub algorithm: JoinAlgorithm,
+    /// Predicted memory time (Eq 3.1), ns.
+    pub mem_ns: f64,
+    /// Predicted CPU time, ns.
+    pub cpu_ns: f64,
+}
+
+impl PlanChoice {
+    /// Predicted total time (Eq 6.1), ns.
+    pub fn total_ns(&self) -> f64 {
+        self.mem_ns + self.cpu_ns
+    }
+}
+
+/// Join statistics the planner needs: input cardinalities/widths and
+/// whether the inputs arrive sorted (the logical cost component, which
+/// the paper assumes a perfect oracle for, §1).
+#[derive(Debug, Clone)]
+pub struct JoinInputs {
+    /// Outer input.
+    pub u: Region,
+    /// Inner input.
+    pub v: Region,
+    /// Output tuple width.
+    pub out_w: u64,
+    /// Expected output cardinality.
+    pub out_n: u64,
+    /// Outer input already sorted on the join key?
+    pub u_sorted: bool,
+    /// Inner input already sorted?
+    pub v_sorted: bool,
+}
+
+/// CPU calibration per logical operation (engine-wide constant; the
+/// paper calibrates `T_cpu` per algorithm — per-algorithm op counts
+/// below play that role).
+const PLANNER_PER_OP_NS: f64 = 4.0;
+
+/// Price all candidate join algorithms, cheapest first.
+pub fn rank_joins(model: &CostModel, inputs: &JoinInputs) -> Vec<PlanChoice> {
+    let cpu = CpuCost::per_op(PLANNER_PER_OP_NS);
+    let u = &inputs.u;
+    let v = &inputs.v;
+    let w = Region::new("W", inputs.out_n, inputs.out_w);
+    let mut choices = Vec::new();
+
+    // Nested loop.
+    {
+        let p = ops::nl_join::nested_loop_join_pattern(u, v, &w);
+        let ops_count = u.n.saturating_mul(v.n);
+        choices.push(PlanChoice {
+            algorithm: JoinAlgorithm::NestedLoop,
+            mem_ns: model.mem_ns(&p),
+            cpu_ns: cpu.ns(ops_count),
+        });
+    }
+
+    // Merge (with sorts as needed).
+    {
+        let mut phases = Vec::new();
+        let mut ops_count = 2 * (u.n + v.n) + inputs.out_n;
+        if !inputs.u_sorted {
+            phases.push(gcm_core::library::quick_sort(u.clone()));
+            ops_count += ops::sort::quick_sort_expected_ops(u.n);
+        }
+        if !inputs.v_sorted {
+            phases.push(gcm_core::library::quick_sort(v.clone()));
+            ops_count += ops::sort::quick_sort_expected_ops(v.n);
+        }
+        phases.push(ops::merge_join::merge_join_pattern(u, v, &w));
+        let p = gcm_core::Pattern::seq(phases);
+        choices.push(PlanChoice {
+            algorithm: JoinAlgorithm::Merge { sort_u: !inputs.u_sorted, sort_v: !inputs.v_sorted },
+            mem_ns: model.mem_ns(&p),
+            cpu_ns: cpu.ns(ops_count),
+        });
+    }
+
+    // Plain hash.
+    {
+        let h = Region::new("H", (2 * v.n.max(1)).next_power_of_two(), ops::hash::ENTRY_BYTES);
+        let p = ops::hash::hash_join_pattern(u, v, &h, &w);
+        choices.push(PlanChoice {
+            algorithm: JoinAlgorithm::Hash,
+            mem_ns: model.mem_ns(&p),
+            cpu_ns: cpu.ns(4 * v.n + 4 * u.n + inputs.out_n),
+        });
+    }
+
+    // Partitioned hash at candidate fan-outs: one per cache level (the
+    // smallest m that makes a partition's hash table fit that level).
+    for lvl in model.spec().data_caches() {
+        let table_bytes = 2 * v.n.max(1) * ops::hash::ENTRY_BYTES;
+        let mut m = (table_bytes / lvl.capacity.max(1)).max(1).next_power_of_two();
+        // Respect the partitioning cliff: the fan-out must stay below the
+        // smallest level's line count or partitioning itself thrashes
+        // (use multi-pass partitioning beyond; see ops::radix).
+        let min_lines = model
+            .spec()
+            .levels()
+            .iter()
+            .map(gcm_hardware::CacheLevel::lines)
+            .min()
+            .unwrap_or(64);
+        m = m.min(min_lines.max(2));
+        if m < 2 {
+            continue;
+        }
+        let up = Region::new("Up", u.n, u.w);
+        let vp = Region::new("Vp", v.n, v.w);
+        let p = ops::part_hash_join::part_hash_join_pattern(u, v, &w, m, &up, &vp);
+        choices.push(PlanChoice {
+            algorithm: JoinAlgorithm::PartitionedHash { m },
+            mem_ns: model.mem_ns(&p),
+            cpu_ns: cpu.ns(2 * (u.n + v.n) + 4 * v.n + 4 * u.n + inputs.out_n),
+        });
+    }
+
+    choices.sort_by(|a, b| a.total_ns().total_cmp(&b.total_ns()));
+    choices.dedup_by(|a, b| a.algorithm == b.algorithm);
+    choices
+}
+
+/// The cheapest join algorithm for the inputs.
+pub fn choose_join(model: &CostModel, inputs: &JoinInputs) -> PlanChoice {
+    rank_joins(model, inputs).into_iter().next().expect("at least one candidate")
+}
+
+/// Price a partitioning fan-out sweep and return `(m, predicted_ns)`
+/// pairs, cheapest-per-tuple fan-outs first — the partition-tuning
+/// use-case of Figure 7d.
+pub fn rank_partition_fanouts(
+    model: &CostModel,
+    input: &Region,
+    candidates: &[u64],
+) -> Vec<(u64, f64)> {
+    let mut out: Vec<(u64, f64)> = candidates
+        .iter()
+        .map(|&m| {
+            let w = Region::new("W", input.n, input.w);
+            let p = ops::partition::partition_pattern(input, &w, m);
+            (m, model.mem_ns(&p))
+        })
+        .collect();
+    out.sort_by(|a, b| a.1.total_cmp(&b.1));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcm_hardware::presets;
+
+    fn model() -> CostModel {
+        CostModel::new(presets::origin2000())
+    }
+
+    fn inputs(n: u64, sorted: bool) -> JoinInputs {
+        JoinInputs {
+            u: Region::new("U", n, 8),
+            v: Region::new("V", n, 8),
+            out_w: 16,
+            out_n: n,
+            u_sorted: sorted,
+            v_sorted: sorted,
+        }
+    }
+
+    #[test]
+    fn sorted_inputs_pick_merge() {
+        let choice = choose_join(&model(), &inputs(1_000_000, true));
+        assert!(matches!(choice.algorithm, JoinAlgorithm::Merge { sort_u: false, sort_v: false }));
+    }
+
+    #[test]
+    fn big_unsorted_inputs_prefer_partitioned_over_plain_hash() {
+        // On the Origin2000, hashing a table beyond the 1 MB TLB reach is
+        // TLB-bound; single-pass partitioning (fan-out capped below the
+        // TLB entry count) recovers part of that, and the sequential-
+        // access sort+merge pipeline wins outright — the memory-access
+        // economics that motivated the radix-cluster line of work
+        // ([MBK00a]; see ops::radix for the multi-pass answer).
+        let ranked = rank_joins(&model(), &inputs(4_000_000, false));
+        assert!(
+            matches!(ranked[0].algorithm, JoinAlgorithm::Merge { .. }),
+            "picked {}",
+            ranked[0].algorithm
+        );
+        let pos = |pred: fn(&JoinAlgorithm) -> bool| {
+            ranked.iter().position(|c| pred(&c.algorithm)).unwrap()
+        };
+        let part = pos(|a| matches!(a, JoinAlgorithm::PartitionedHash { .. }));
+        let hash = pos(|a| matches!(a, JoinAlgorithm::Hash));
+        assert!(part < hash, "partitioned must rank above plain hash");
+    }
+
+    #[test]
+    fn tlb_fitting_table_picks_plain_hash() {
+        // H = 1 MB = the TLB reach: hashing stays cheap and beats paying
+        // two sorts.
+        let choice = choose_join(&model(), &inputs(30_000, false));
+        assert!(
+            matches!(choice.algorithm, JoinAlgorithm::Hash),
+            "picked {}",
+            choice.algorithm
+        );
+    }
+
+    #[test]
+    fn nested_loop_never_wins_at_scale() {
+        {
+            let ranked = rank_joins(&model(), &inputs(100_000, false));
+            let last = ranked.last().unwrap();
+            assert!(matches!(last.algorithm, JoinAlgorithm::NestedLoop));
+        }
+    }
+
+    #[test]
+    fn fanout_ranking_avoids_the_cliff() {
+        let m = model();
+        let input = Region::new("U", 2_000_000, 8);
+        let ranked =
+            rank_partition_fanouts(&m, &input, &[2, 16, 64, 512, 4096, 65_536, 1 << 20]);
+        // The cheapest fan-outs stay below the TLB entry count (64).
+        let (best_m, _) = ranked[0];
+        assert!(best_m <= 64, "best fan-out {best_m} should dodge the TLB cliff");
+        // The most expensive candidate is far past every cliff.
+        let (worst_m, worst_ns) = *ranked.last().unwrap();
+        assert!(worst_m >= 65_536);
+        assert!(worst_ns > 2.0 * ranked[0].1);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(JoinAlgorithm::Hash.to_string(), "hash join");
+        assert_eq!(
+            JoinAlgorithm::Merge { sort_u: true, sort_v: false }.to_string(),
+            "merge join (sort outer)"
+        );
+        assert_eq!(
+            JoinAlgorithm::PartitionedHash { m: 8 }.to_string(),
+            "partitioned hash join (m = 8)"
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! Whole-query costing (paper §6: "Extension to further operations and
+//! whole queries, however, is straight forward, as it just means
+//! applying the same techniques to combine access patterns and derive
+//! their cost functions").
+//!
+//! A [`Pipeline`] chains operators; executing it yields both the real
+//! result (every stage runs over the simulator) and the end-to-end
+//! compound pattern `stage₁ ⊕ stage₂ ⊕ …` with the *actual* intermediate
+//! cardinalities (the paper assumes a perfect logical-cost oracle, §1 —
+//! execution provides one).
+
+use crate::ctx::ExecContext;
+use crate::ops;
+use crate::relation::Relation;
+use gcm_core::{Pattern, Region};
+
+/// One pipeline stage.
+#[derive(Debug, Clone)]
+pub enum Stage {
+    /// Keep tuples with `key < threshold`.
+    SelectLt(u64),
+    /// Sort in place by key.
+    Sort,
+    /// Hash-join against a second relation (the build side).
+    HashJoin(Relation),
+    /// Merge-join against a second (sorted) relation.
+    MergeJoin(Relation),
+    /// Hash partition `m` ways.
+    Partition(u64),
+    /// Group by key, counting.
+    GroupCount,
+    /// Eliminate duplicates via sort.
+    Dedup,
+}
+
+/// A left-deep operator chain over one driving input.
+#[derive(Debug, Default)]
+pub struct Pipeline {
+    stages: Vec<Stage>,
+}
+
+/// Result of running a pipeline: the final relation plus the compound
+/// access pattern describing everything that was executed.
+#[derive(Debug)]
+pub struct QueryRun {
+    /// The final output.
+    pub output: Relation,
+    /// `stage₁ ⊕ stage₂ ⊕ …` with actual intermediate cardinalities.
+    pub pattern: Pattern,
+}
+
+impl Pipeline {
+    /// An empty pipeline (identity).
+    pub fn new() -> Pipeline {
+        Pipeline::default()
+    }
+
+    /// Append a stage.
+    pub fn stage(mut self, s: Stage) -> Pipeline {
+        self.stages.push(s);
+        self
+    }
+
+    /// Execute over `input`, producing the output relation and the
+    /// end-to-end pattern.
+    pub fn run(&self, ctx: &mut ExecContext, input: &Relation) -> QueryRun {
+        let mut current = input.clone();
+        let mut phases: Vec<Pattern> = Vec::new();
+        for (i, stage) in self.stages.iter().enumerate() {
+            let name = format!("q{i}");
+            match stage {
+                Stage::SelectLt(threshold) => {
+                    let out = ops::scan::select_lt(ctx, &current, *threshold, &name);
+                    phases.push(ops::scan::select_pattern(current.region(), out.region()));
+                    current = out;
+                }
+                Stage::Sort => {
+                    ops::sort::quick_sort(ctx, &current);
+                    phases.push(ops::sort::quick_sort_pattern(current.region()));
+                }
+                Stage::HashJoin(build_side) => {
+                    let out = ops::hash::hash_join(ctx, &current, build_side, &name, 16);
+                    let h = Region::new(
+                        format!("H{i}"),
+                        (2 * build_side.n().max(1)).next_power_of_two(),
+                        ops::hash::ENTRY_BYTES,
+                    );
+                    phases.push(ops::hash::hash_join_pattern(
+                        current.region(),
+                        build_side.region(),
+                        &h,
+                        out.region(),
+                    ));
+                    current = out;
+                }
+                Stage::MergeJoin(other) => {
+                    let out = ops::merge_join::merge_join(ctx, &current, other, &name, 16);
+                    phases.push(ops::merge_join::merge_join_pattern(
+                        current.region(),
+                        other.region(),
+                        out.region(),
+                    ));
+                    current = out;
+                }
+                Stage::Partition(m) => {
+                    let parts = ops::partition::hash_partition(ctx, &current, *m, &name);
+                    phases.push(ops::partition::partition_pattern(
+                        current.region(),
+                        parts.rel.region(),
+                        *m,
+                    ));
+                    current = parts.rel;
+                }
+                Stage::GroupCount => {
+                    let out = ops::aggregate::hash_group_count(ctx, &current, &name);
+                    let h = Region::new(
+                        format!("H{i}"),
+                        (2 * out.n().max(1)).next_power_of_two(),
+                        ops::hash::ENTRY_BYTES,
+                    );
+                    phases.push(ops::aggregate::hash_group_pattern(
+                        current.region(),
+                        &h,
+                        out.region(),
+                    ));
+                    current = out;
+                }
+                Stage::Dedup => {
+                    let out = ops::aggregate::sort_dedup(ctx, &current, &name);
+                    phases.push(ops::aggregate::sort_dedup_pattern(
+                        current.region(),
+                        out.region(),
+                    ));
+                    current = out;
+                }
+            }
+        }
+        QueryRun { output: current, pattern: Pattern::seq(phases) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcm_core::CostModel;
+    use gcm_hardware::presets;
+    use gcm_workload::Workload;
+
+    #[test]
+    fn select_join_aggregate_end_to_end() {
+        let spec = presets::tiny_full_assoc();
+        let mut ctx = ExecContext::new(spec.clone());
+        let n = 4096usize;
+        let (uk, vk) = Workload::new(42).join_pair(n);
+        let u = ctx.relation_from_keys("U", &uk, 8);
+        let v = ctx.relation_from_keys("V", &vk, 8);
+
+        let pipeline = Pipeline::new()
+            .stage(Stage::SelectLt(2048)) // half qualify
+            .stage(Stage::HashJoin(v.clone()))
+            .stage(Stage::GroupCount);
+        let (run, stats) = ctx.measure(|c| pipeline.run(c, &u));
+
+        // Correctness: 2048 qualifying keys, each joins once, distinct.
+        assert_eq!(run.output.n(), 2048);
+
+        // The pattern covers all three operators.
+        let s = run.pattern.to_string();
+        assert!(s.contains("r_acc"), "{s}");
+        assert!(s.matches("⊕").count() >= 3, "{s}");
+
+        // End-to-end model agreement within 2× on L2 misses.
+        let model = CostModel::new(spec.clone());
+        let report = model.report(&run.pattern);
+        let l2 = spec.level_index("L2").unwrap();
+        let measured = stats.misses_at(l2) as f64;
+        let predicted = report.levels[l2].misses();
+        let ratio = predicted / measured.max(1.0);
+        assert!((0.4..2.5).contains(&ratio), "L2: measured {measured} predicted {predicted}");
+    }
+
+    #[test]
+    fn sort_then_merge_join_uses_order() {
+        let spec = presets::tiny();
+        let mut ctx = ExecContext::new(spec.clone());
+        let keys = Workload::new(43).shuffled_keys(1024);
+        let sorted: Vec<u64> = (0..1024).collect();
+        let u = ctx.relation_from_keys("U", &keys, 8);
+        let v = ctx.relation_from_keys("V", &sorted, 8);
+
+        let pipeline = Pipeline::new().stage(Stage::Sort).stage(Stage::MergeJoin(v.clone()));
+        let (run, _) = ctx.measure(|c| pipeline.run(c, &u));
+        assert_eq!(run.output.n(), 1024);
+        for i in 1..1024 {
+            let a = ctx.mem.host().read_u64(run.output.tuple(i - 1));
+            let b = ctx.mem.host().read_u64(run.output.tuple(i));
+            assert!(a <= b, "merge output must be ordered");
+        }
+    }
+
+    #[test]
+    fn partition_then_dedup() {
+        let spec = presets::tiny();
+        let mut ctx = ExecContext::new(spec.clone());
+        let keys = Workload::new(44).uniform_keys_bounded(2000, 300);
+        let u = ctx.relation_from_keys("U", &keys, 8);
+        let pipeline = Pipeline::new().stage(Stage::Partition(8)).stage(Stage::Dedup);
+        let (run, _) = ctx.measure(|c| pipeline.run(c, &u));
+        // ≤ 300 distinct keys survive.
+        assert!(run.output.n() <= 300);
+        assert!(run.output.n() > 200, "most keys should appear");
+    }
+
+    #[test]
+    fn empty_pipeline_is_identity() {
+        let spec = presets::tiny();
+        let mut ctx = ExecContext::new(spec.clone());
+        let u = ctx.relation_from_keys("U", &[1, 2, 3], 8);
+        let run = Pipeline::new().run(&mut ctx, &u);
+        assert_eq!(run.output.n(), 3);
+        assert!(matches!(run.pattern, Pattern::Seq(ref v) if v.is_empty()));
+    }
+}

@@ -1,0 +1,111 @@
+//! Relations: fixed-width tuples in simulated memory.
+//!
+//! The engine is column-oriented in spirit (like the paper's Monet
+//! platform): a [`Relation`] is a single dense array of `n` fixed-width
+//! tuples whose first 8 bytes are a `u64` key and whose remaining
+//! `w − 8` bytes are payload. That layout is exactly a data region in the
+//! model's sense (§3.1), and every relation carries its [`Region`].
+
+use gcm_core::Region;
+use gcm_sim::Addr;
+
+/// Minimum tuple width: the 8-byte key.
+pub const KEY_BYTES: u64 = 8;
+
+/// A dense table of fixed-width tuples in simulated memory.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    base: Addr,
+    n: u64,
+    w: u64,
+    region: Region,
+}
+
+impl Relation {
+    /// Wrap an allocated range as a relation. `w ≥ 8` (the key).
+    pub fn new(name: impl Into<String>, base: Addr, n: u64, w: u64) -> Relation {
+        assert!(w >= KEY_BYTES, "tuple width must hold the 8-byte key");
+        Relation { base, n, w, region: Region::new(name, n, w) }
+    }
+
+    /// Base address of the first tuple.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Tuple count `R.n`.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Tuple width `R.w` in bytes.
+    pub fn w(&self) -> u64 {
+        self.w
+    }
+
+    /// Total size `||R||` in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.n * self.w
+    }
+
+    /// The model region describing this relation.
+    pub fn region(&self) -> &Region {
+        &self.region
+    }
+
+    /// Address of tuple `i`.
+    #[inline]
+    pub fn tuple(&self, i: u64) -> Addr {
+        debug_assert!(i < self.n, "tuple index {i} out of {}", self.n);
+        self.base + i * self.w
+    }
+
+    /// Address of tuple `i`'s key (same as [`Relation::tuple`]).
+    #[inline]
+    pub fn key_addr(&self, i: u64) -> Addr {
+        self.tuple(i)
+    }
+
+    /// A view of the contiguous sub-range `[first, first+count)` as a
+    /// relation sharing this relation's region identity (a model slice).
+    pub fn subrange(&self, first: u64, count: u64) -> Relation {
+        assert!(first + count <= self.n);
+        Relation {
+            base: self.base + first * self.w,
+            n: count,
+            w: self.w,
+            region: self.region.slice_items(count),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addressing() {
+        let r = Relation::new("R", 4096, 10, 16);
+        assert_eq!(r.tuple(0), 4096);
+        assert_eq!(r.tuple(3), 4096 + 48);
+        assert_eq!(r.bytes(), 160);
+        assert_eq!(r.region().n, 10);
+        assert_eq!(r.region().w, 16);
+    }
+
+    #[test]
+    fn subrange_shares_region_identity() {
+        let r = Relation::new("R", 4096, 100, 16);
+        let s = r.subrange(10, 20);
+        assert_eq!(s.base(), 4096 + 160);
+        assert_eq!(s.n(), 20);
+        assert_eq!(s.region().id(), r.region().id());
+        assert_eq!(s.region().root_bytes(), 1600);
+    }
+
+    #[test]
+    #[should_panic(expected = "tuple width must hold")]
+    fn narrow_tuples_rejected() {
+        let _ = Relation::new("bad", 0, 1, 4);
+    }
+}

@@ -1,0 +1,76 @@
+//! Validation errors for hardware descriptions.
+
+use std::fmt;
+
+/// An invalid hardware description.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HardwareError {
+    /// A cache level has zero capacity.
+    ZeroCapacity { level: String },
+    /// A cache level has a zero line size.
+    ZeroLine { level: String },
+    /// Line size does not divide the capacity.
+    LineDoesNotDivideCapacity { level: String, capacity: u64, line: u64 },
+    /// Line size is not a power of two (required by the simulator's
+    /// address-to-set mapping; real hardware lines are powers of two too).
+    LineNotPowerOfTwo { level: String, line: u64 },
+    /// A latency is not a positive, finite number.
+    BadLatency { level: String, value: f64 },
+    /// The hierarchy has no data-cache level at all.
+    NoLevels,
+    /// Data-cache levels must have non-decreasing line sizes so that a line
+    /// of level `i` is contained in a line of level `i+1` (TLBs are exempt:
+    /// they form a parallel hierarchy keyed by pages).
+    LineShrinks { outer: String, inner: String },
+    /// CPU speed must be positive.
+    BadCpuSpeed { mhz: f64 },
+}
+
+impl fmt::Display for HardwareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HardwareError::ZeroCapacity { level } => {
+                write!(f, "cache level {level} has zero capacity")
+            }
+            HardwareError::ZeroLine { level } => {
+                write!(f, "cache level {level} has zero line size")
+            }
+            HardwareError::LineDoesNotDivideCapacity { level, capacity, line } => write!(
+                f,
+                "cache level {level}: line size {line} does not divide capacity {capacity}"
+            ),
+            HardwareError::LineNotPowerOfTwo { level, line } => {
+                write!(f, "cache level {level}: line size {line} is not a power of two")
+            }
+            HardwareError::BadLatency { level, value } => {
+                write!(f, "cache level {level}: latency {value} must be positive and finite")
+            }
+            HardwareError::NoLevels => write!(f, "hardware description has no cache levels"),
+            HardwareError::LineShrinks { outer, inner } => write!(
+                f,
+                "cache level {outer} has a smaller line than inner level {inner}"
+            ),
+            HardwareError::BadCpuSpeed { mhz } => {
+                write!(f, "CPU speed {mhz} MHz must be positive and finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HardwareError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = HardwareError::LineDoesNotDivideCapacity {
+            level: "L1".into(),
+            capacity: 100,
+            line: 32,
+        };
+        assert!(e.to_string().contains("does not divide"));
+        assert!(HardwareError::NoLevels.to_string().contains("no cache levels"));
+    }
+}

@@ -1,0 +1,306 @@
+//! A minimal text format for hardware descriptions, so a machine can be
+//! modelled from a config file (e.g. one filled in from `/proc`, vendor
+//! datasheets, or the Calibrator's output) without writing Rust.
+//!
+//! Format: one `machine` line, then one line per level, inside-out.
+//! `#` starts a comment; blank lines are ignored.
+//!
+//! ```text
+//! machine  My Box  @ 3000 MHz
+//! cache L1   32KB line 64  assoc 8     seq 2    rand 4
+//! cache L2    1MB line 64  assoc 16    seq 8    rand 14
+//! tlb   TLB  entries 1536  page 4KB    miss 30
+//! pool  BP   64MB  page 8KB            seq 80000 rand 6000000
+//! ```
+//!
+//! Sizes accept `B`/`KB`/`MB`/`GB` suffixes (binary units); latencies
+//! are nanoseconds; `assoc` accepts a number, `direct`, or `full`.
+
+use crate::error::HardwareError;
+use crate::level::{Associativity, CacheLevel, LevelKind};
+use crate::spec::HardwareSpec;
+use std::fmt;
+
+/// A syntax error in a hardware description file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for TextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TextError {}
+
+impl From<(usize, HardwareError)> for TextError {
+    fn from((line, e): (usize, HardwareError)) -> TextError {
+        TextError { line, message: e.to_string() }
+    }
+}
+
+fn parse_bytes(tok: &str, line: usize) -> Result<u64, TextError> {
+    let t = tok.trim().to_ascii_uppercase();
+    let (num, mult) = if let Some(n) = t.strip_suffix("GB") {
+        (n, 1u64 << 30)
+    } else if let Some(n) = t.strip_suffix("MB") {
+        (n, 1 << 20)
+    } else if let Some(n) = t.strip_suffix("KB") {
+        (n, 1 << 10)
+    } else if let Some(n) = t.strip_suffix("B") {
+        (n, 1)
+    } else {
+        (t.as_str(), 1)
+    };
+    num.trim()
+        .parse::<u64>()
+        .map(|v| v * mult)
+        .map_err(|_| TextError { line, message: format!("bad size '{tok}'") })
+}
+
+fn parse_f64(tok: &str, line: usize) -> Result<f64, TextError> {
+    tok.trim()
+        .parse()
+        .map_err(|_| TextError { line, message: format!("bad number '{tok}'") })
+}
+
+/// Fetch the token after the keyword `key` in `tokens`.
+fn after<'a>(tokens: &[&'a str], key: &str, line: usize) -> Result<&'a str, TextError> {
+    tokens
+        .iter()
+        .position(|&t| t.eq_ignore_ascii_case(key))
+        .and_then(|i| tokens.get(i + 1).copied())
+        .ok_or_else(|| TextError { line, message: format!("missing '{key} <value>'") })
+}
+
+/// Parse a hardware description from text (see the module docs for the
+/// format).
+pub fn spec_from_text(src: &str) -> Result<HardwareSpec, TextError> {
+    let mut name = String::from("unnamed machine");
+    let mut cpu_mhz = 1000.0;
+    let mut levels: Vec<CacheLevel> = Vec::new();
+    let mut saw_machine = false;
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens[0].to_ascii_lowercase().as_str() {
+            "machine" => {
+                saw_machine = true;
+                // machine <name words...> [@ <mhz> MHz]
+                if let Some(at) = tokens.iter().position(|&t| t == "@") {
+                    name = tokens[1..at].join(" ");
+                    let mhz_tok = tokens.get(at + 1).copied().ok_or(TextError {
+                        line: line_no,
+                        message: "expected '@ <MHz>'".into(),
+                    })?;
+                    cpu_mhz = parse_f64(mhz_tok, line_no)?;
+                } else {
+                    name = tokens[1..].join(" ");
+                }
+            }
+            "cache" => {
+                let lvl_name = tokens
+                    .get(1)
+                    .ok_or(TextError { line: line_no, message: "cache needs a name".into() })?;
+                let capacity = parse_bytes(
+                    tokens.get(2).copied().ok_or(TextError {
+                        line: line_no,
+                        message: "cache needs a capacity".into(),
+                    })?,
+                    line_no,
+                )?;
+                let line_b = parse_bytes(after(&tokens, "line", line_no)?, line_no)?;
+                let assoc_tok = after(&tokens, "assoc", line_no)?;
+                let assoc = match assoc_tok.to_ascii_lowercase().as_str() {
+                    "direct" => Associativity::DirectMapped,
+                    "full" => Associativity::Full,
+                    n => Associativity::Ways(n.parse().map_err(|_| TextError {
+                        line: line_no,
+                        message: format!("bad associativity '{n}'"),
+                    })?),
+                };
+                levels.push(CacheLevel {
+                    name: lvl_name.to_string(),
+                    kind: LevelKind::Cache,
+                    capacity,
+                    line: line_b,
+                    assoc,
+                    seq_miss_ns: parse_f64(after(&tokens, "seq", line_no)?, line_no)?,
+                    rand_miss_ns: parse_f64(after(&tokens, "rand", line_no)?, line_no)?,
+                });
+            }
+            "tlb" => {
+                let lvl_name = tokens
+                    .get(1)
+                    .ok_or(TextError { line: line_no, message: "tlb needs a name".into() })?;
+                let entries = parse_bytes(after(&tokens, "entries", line_no)?, line_no)?;
+                let page = parse_bytes(after(&tokens, "page", line_no)?, line_no)?;
+                let miss = parse_f64(after(&tokens, "miss", line_no)?, line_no)?;
+                levels.push(CacheLevel {
+                    name: lvl_name.to_string(),
+                    kind: LevelKind::Tlb,
+                    capacity: entries * page,
+                    line: page,
+                    assoc: Associativity::Full,
+                    seq_miss_ns: miss,
+                    rand_miss_ns: miss,
+                });
+            }
+            "pool" => {
+                let lvl_name = tokens
+                    .get(1)
+                    .ok_or(TextError { line: line_no, message: "pool needs a name".into() })?;
+                let capacity = parse_bytes(
+                    tokens.get(2).copied().ok_or(TextError {
+                        line: line_no,
+                        message: "pool needs a capacity".into(),
+                    })?,
+                    line_no,
+                )?;
+                let page = parse_bytes(after(&tokens, "page", line_no)?, line_no)?;
+                levels.push(CacheLevel {
+                    name: lvl_name.to_string(),
+                    kind: LevelKind::BufferPool,
+                    capacity,
+                    line: page,
+                    assoc: Associativity::Full,
+                    seq_miss_ns: parse_f64(after(&tokens, "seq", line_no)?, line_no)?,
+                    rand_miss_ns: parse_f64(after(&tokens, "rand", line_no)?, line_no)?,
+                });
+            }
+            other => {
+                return Err(TextError {
+                    line: line_no,
+                    message: format!("unknown directive '{other}'"),
+                })
+            }
+        }
+    }
+    if !saw_machine {
+        return Err(TextError { line: 0, message: "missing 'machine' line".into() });
+    }
+    HardwareSpec::new(name, cpu_mhz, levels).map_err(|e| (0usize, e).into())
+}
+
+/// Render a spec back to the text format (round-trip companion of
+/// [`spec_from_text`]).
+pub fn spec_to_text(spec: &HardwareSpec) -> String {
+    let mut out = format!("machine {} @ {} MHz\n", spec.name, spec.cpu_mhz);
+    for l in spec.levels() {
+        match l.kind {
+            LevelKind::Cache => {
+                let assoc = match l.assoc {
+                    Associativity::DirectMapped => "direct".to_string(),
+                    Associativity::Full => "full".to_string(),
+                    Associativity::Ways(n) => n.to_string(),
+                };
+                out.push_str(&format!(
+                    "cache {} {}B line {} assoc {} seq {} rand {}\n",
+                    l.name, l.capacity, l.line, assoc, l.seq_miss_ns, l.rand_miss_ns
+                ));
+            }
+            LevelKind::Tlb => {
+                out.push_str(&format!(
+                    "tlb {} entries {} page {} miss {}\n",
+                    l.name,
+                    l.lines(),
+                    l.line,
+                    l.seq_miss_ns
+                ));
+            }
+            LevelKind::BufferPool => {
+                out.push_str(&format!(
+                    "pool {} {}B page {} seq {} rand {}\n",
+                    l.name, l.capacity, l.line, l.seq_miss_ns, l.rand_miss_ns
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    const SAMPLE: &str = "
+# a three-level commodity box
+machine My Box @ 3000 MHz
+cache L1   32KB line 64  assoc 8   seq 2  rand 4
+cache L2    1MB line 64  assoc 16  seq 8  rand 14
+tlb   TLB  entries 1536  page 4KB  miss 30
+pool  BP   64MB  page 8KB  seq 80000 rand 6000000
+";
+
+    #[test]
+    fn parses_full_machine() {
+        let spec = spec_from_text(SAMPLE).unwrap();
+        assert_eq!(spec.name, "My Box");
+        assert_eq!(spec.cpu_mhz, 3000.0);
+        assert_eq!(spec.levels().len(), 4);
+        let l1 = spec.level("L1").unwrap();
+        assert_eq!(l1.capacity, 32 * 1024);
+        assert_eq!(l1.assoc, Associativity::Ways(8));
+        let tlb = spec.level("TLB").unwrap();
+        assert_eq!(tlb.lines(), 1536);
+        assert_eq!(tlb.line, 4096);
+        let bp = spec.level("BP").unwrap();
+        assert_eq!(bp.kind, LevelKind::BufferPool);
+        assert_eq!(bp.capacity, 64 << 20);
+    }
+
+    #[test]
+    fn round_trips_presets() {
+        for spec in [presets::origin2000(), presets::tiny(), presets::modern_commodity()] {
+            let text = spec_to_text(&spec);
+            let back = spec_from_text(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(back.levels(), spec.levels(), "{text}");
+            assert_eq!(back.cpu_mhz, spec.cpu_mhz);
+        }
+    }
+
+    #[test]
+    fn direct_and_full_associativity_keywords() {
+        let spec = spec_from_text(
+            "machine m @ 100 MHz\ncache L1 1KB line 32 assoc direct seq 1 rand 2\ncache L2 4KB line 32 assoc full seq 5 rand 9",
+        )
+        .unwrap();
+        assert_eq!(spec.level("L1").unwrap().assoc, Associativity::DirectMapped);
+        assert_eq!(spec.level("L2").unwrap().assoc, Associativity::Full);
+    }
+
+    #[test]
+    fn error_reporting() {
+        let e = spec_from_text("cache L1 1KB line 32 assoc 2 seq 1 rand 2").unwrap_err();
+        assert!(e.message.contains("machine"), "{e}");
+        let e2 = spec_from_text("machine m\nwidget L1").unwrap_err();
+        assert_eq!(e2.line, 2);
+        assert!(e2.message.contains("unknown directive"), "{e2}");
+        let e3 = spec_from_text("machine m\ncache L1 1KB line 31 assoc 2 seq 1 rand 2")
+            .unwrap_err();
+        assert!(e3.message.contains("power of two"), "{e3}");
+        let e4 = spec_from_text("machine m\ncache L1 banana line 32 assoc 2 seq 1 rand 2")
+            .unwrap_err();
+        assert!(e4.message.contains("bad size"), "{e4}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let spec = spec_from_text(
+            "# header\n\nmachine m @ 250 MHz # trailing\n# mid\ncache L1 2KB line 32 assoc 2 seq 5 rand 15\n",
+        )
+        .unwrap();
+        assert_eq!(spec.levels().len(), 1);
+    }
+}

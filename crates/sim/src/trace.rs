@@ -1,0 +1,148 @@
+//! Miss-event tracing: a bounded ring buffer of recent miss events,
+//! attachable to a [`crate::MemorySystem`] for diagnosing why an
+//! experiment's miss counts differ from a prediction.
+//!
+//! Traces record *misses only* (hits are the overwhelming majority and
+//! carry no information the counters don't already hold), with the level
+//! index, the line index, and the sequential/random classification.
+
+use std::collections::VecDeque;
+
+/// One recorded miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissEvent {
+    /// Index of the level in the spec's level order.
+    pub level: usize,
+    /// The missed line's index at that level (`addr / B_level`).
+    pub line: u64,
+    /// Was the miss classified sequential (EDO stream)?
+    pub sequential: bool,
+}
+
+/// A bounded miss-event recorder.
+#[derive(Debug)]
+pub struct MissTrace {
+    events: VecDeque<MissEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl MissTrace {
+    /// A trace keeping the most recent `capacity` events.
+    pub fn new(capacity: usize) -> MissTrace {
+        assert!(capacity > 0);
+        MissTrace { events: VecDeque::with_capacity(capacity), capacity, dropped: 0 }
+    }
+
+    /// Record one miss (oldest events fall off when full).
+    pub fn record(&mut self, ev: MissEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &MissEvent> {
+        self.events.iter()
+    }
+
+    /// How many events were evicted from the ring.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Clear the ring (the drop counter is kept).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Stride histogram of the retained events at one level: maps the
+    /// line-distance between consecutive misses to its frequency.
+    /// A dominant `+1` entry identifies a sequential stream; a flat
+    /// histogram identifies random traffic — the quickest way to see
+    /// *which* pattern actually hit a level.
+    pub fn stride_histogram(&self, level: usize) -> std::collections::HashMap<i64, u64> {
+        let mut hist = std::collections::HashMap::new();
+        let mut prev: Option<u64> = None;
+        for ev in &self.events {
+            if ev.level != level {
+                continue;
+            }
+            if let Some(p) = prev {
+                let delta = ev.line as i64 - p as i64;
+                *hist.entry(delta).or_insert(0) += 1;
+            }
+            prev = Some(ev.line);
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(level: usize, line: u64) -> MissEvent {
+        MissEvent { level, line, sequential: false }
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut t = MissTrace::new(8);
+        t.record(ev(0, 1));
+        t.record(ev(0, 2));
+        let lines: Vec<u64> = t.events().map(|e| e.line).collect();
+        assert_eq!(lines, [1, 2]);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = MissTrace::new(3);
+        for i in 0..5 {
+            t.record(ev(0, i));
+        }
+        let lines: Vec<u64> = t.events().map(|e| e.line).collect();
+        assert_eq!(lines, [2, 3, 4]);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn stride_histogram_detects_streams() {
+        let mut t = MissTrace::new(64);
+        for i in 0..10 {
+            t.record(ev(0, i)); // sequential stream at level 0
+        }
+        for &l in &[100u64, 7, 42, 13] {
+            t.record(ev(1, l)); // scattered at level 1
+        }
+        let h0 = t.stride_histogram(0);
+        assert_eq!(h0.get(&1), Some(&9));
+        let h1 = t.stride_histogram(1);
+        assert!(h1.values().all(|&c| c == 1), "{h1:?}");
+    }
+
+    #[test]
+    fn clear_keeps_drop_counter() {
+        let mut t = MissTrace::new(1);
+        t.record(ev(0, 1));
+        t.record(ev(0, 2));
+        assert_eq!(t.dropped(), 1);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+}

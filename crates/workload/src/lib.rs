@@ -1,0 +1,204 @@
+//! # gcm-workload — deterministic data generators
+//!
+//! The paper's experiments (§6) use "randomly distributed (numerical)
+//! data", 1:1 join matches, and sorted inputs for merge-join. This crate
+//! generates those workloads deterministically (seeded), so every
+//! experiment run measures identical access sequences — a property the
+//! simulator-based validation relies on.
+
+pub mod rng;
+
+use rng::SplitMix64;
+
+/// A deterministic generator of experiment columns.
+#[derive(Debug)]
+pub struct Workload {
+    rng: SplitMix64,
+}
+
+impl Workload {
+    /// A workload source with the given seed.
+    pub fn new(seed: u64) -> Workload {
+        Workload { rng: SplitMix64::new(seed) }
+    }
+
+    /// `n` uniformly random `u64` keys (duplicates possible).
+    pub fn uniform_keys(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.rng.next_u64()).collect()
+    }
+
+    /// Uniformly random keys bounded to `[0, bound)`.
+    pub fn uniform_keys_bounded(&mut self, n: usize, bound: u64) -> Vec<u64> {
+        assert!(bound > 0);
+        (0..n).map(|_| self.rng.next_below(bound)).collect()
+    }
+
+    /// The keys `0..n` in random order: distinct values, random placement —
+    /// the paper's "randomly distributed data" for sorting and 1:1 joins.
+    pub fn shuffled_keys(&mut self, n: usize) -> Vec<u64> {
+        let mut keys: Vec<u64> = (0..n as u64).collect();
+        self.shuffle(&mut keys);
+        keys
+    }
+
+    /// The keys `0..n`, sorted ascending (merge-join inputs).
+    pub fn sorted_keys(&mut self, n: usize) -> Vec<u64> {
+        (0..n as u64).collect()
+    }
+
+    /// A pair of columns with a perfect 1:1 match: both contain the keys
+    /// `0..n`, each in its own random order (the paper's §6.2 merge- and
+    /// hash-join workload).
+    pub fn join_pair(&mut self, n: usize) -> (Vec<u64>, Vec<u64>) {
+        (self.shuffled_keys(n), self.shuffled_keys(n))
+    }
+
+    /// Zipf-distributed keys over `[0, universe)` with exponent `theta`
+    /// (skewed workloads for the robustness tests). `theta = 0` is
+    /// uniform; larger values are more skewed.
+    pub fn zipf_keys(&mut self, n: usize, universe: u64, theta: f64) -> Vec<u64> {
+        assert!(universe > 0);
+        // Inverse-CDF sampling over a precomputed harmonic table.
+        let table = universe.min(1 << 16);
+        let mut cdf = Vec::with_capacity(table as usize);
+        let mut acc = 0.0;
+        for k in 1..=table {
+            acc += 1.0 / (k as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        let scale = universe as f64 / table as f64;
+        (0..n)
+            .map(|_| {
+                let x = self.rng.next_f64() * total;
+                let i = match cdf.binary_search_by(|p| p.partial_cmp(&x).expect("finite")) {
+                    Ok(i) | Err(i) => i as u64,
+                };
+                // For universes beyond the table, spread each bucket
+                // uniformly over its share of the key space.
+                let base = (i as f64 * scale) as u64;
+                let width = scale.max(1.0) as u64;
+                (base + self.rng.next_below(width)).min(universe - 1)
+            })
+            .collect()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.rng.next_below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// A random permutation of `0..n` (as indices).
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut idx);
+        idx
+    }
+
+    /// `n` independent random indices into `[0, bound)` (with
+    /// replacement) — the access sequence of `r_acc`.
+    pub fn random_indices(&mut self, n: usize, bound: u64) -> Vec<usize> {
+        (0..n).map(|_| self.rng.next_below(bound) as usize).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = Workload::new(42).uniform_keys(100);
+        let b = Workload::new(42).uniform_keys(100);
+        assert_eq!(a, b);
+        let c = Workload::new(43).uniform_keys(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shuffled_keys_are_a_permutation() {
+        let mut w = Workload::new(7);
+        let mut keys = w.shuffled_keys(1000);
+        keys.sort_unstable();
+        assert_eq!(keys, (0..1000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn shuffle_actually_shuffles() {
+        let mut w = Workload::new(7);
+        let keys = w.shuffled_keys(1000);
+        let sorted: Vec<u64> = (0..1000).collect();
+        assert_ne!(keys, sorted);
+    }
+
+    #[test]
+    fn join_pair_matches_one_to_one() {
+        let mut w = Workload::new(1);
+        let (l, r) = w.join_pair(500);
+        let mut ls = l.clone();
+        let mut rs = r.clone();
+        ls.sort_unstable();
+        rs.sort_unstable();
+        assert_eq!(ls, rs);
+        assert_ne!(l, r); // different orders
+    }
+
+    #[test]
+    fn bounded_keys_respect_bound() {
+        let mut w = Workload::new(3);
+        for k in w.uniform_keys_bounded(10_000, 37) {
+            assert!(k < 37);
+        }
+    }
+
+    #[test]
+    fn sorted_keys_are_sorted() {
+        let mut w = Workload::new(3);
+        let keys = w.sorted_keys(100);
+        assert!(keys.windows(2).all(|p| p[0] <= p[1]));
+    }
+
+    #[test]
+    fn permutation_and_indices() {
+        let mut w = Workload::new(9);
+        let mut p = w.permutation(256);
+        p.sort_unstable();
+        assert_eq!(p, (0..256).collect::<Vec<usize>>());
+        for i in w.random_indices(1000, 50) {
+            assert!(i < 50);
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let mut w = Workload::new(11);
+        let keys = w.zipf_keys(20_000, 1000, 1.0);
+        let low = keys.iter().filter(|&&k| k < 100).count();
+        let high = keys.iter().filter(|&&k| k >= 500).count();
+        // The lowest decile must dominate the whole upper half.
+        assert!(low > high, "low={low} high={high}");
+        for k in keys {
+            assert!(k < 1000);
+        }
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_roughly_uniform() {
+        let mut w = Workload::new(13);
+        let keys = w.zipf_keys(50_000, 100, 0.0);
+        let zeros = keys.iter().filter(|&&k| k == 0).count();
+        // Uniform expectation: 500 hits; allow generous slack.
+        assert!(zeros > 300 && zeros < 800, "zeros={zeros}");
+    }
+
+    #[test]
+    fn zipf_large_universe() {
+        let mut w = Workload::new(17);
+        let keys = w.zipf_keys(1000, 1 << 30, 0.8);
+        assert!(keys.iter().all(|&k| k < (1 << 30)));
+        assert!(keys.iter().any(|&k| k > 1 << 20)); // tail is populated
+    }
+}

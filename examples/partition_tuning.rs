@@ -1,0 +1,67 @@
+//! Tuning the partitioning fan-out with the cost model (the Figure-7d
+//! decision): pick `m` large enough that partitions fit the cache, but
+//! below the TLB/L1 cliffs — and reach for multi-pass radix clustering
+//! when one pass cannot do both.
+//!
+//! ```bash
+//! cargo run --release --example partition_tuning
+//! ```
+
+use gcm::core::{CostModel, Region};
+use gcm::engine::ops::radix::radix_partition_pattern;
+use gcm::engine::planner::rank_partition_fanouts;
+use gcm::engine::{ops, ExecContext};
+use gcm::hardware::presets;
+use gcm::workload::Workload;
+
+fn main() {
+    let hw = presets::origin2000();
+    let model = CostModel::new(hw.clone());
+    let n = 2 * 1024 * 1024u64; // 16 MB table
+    let input = Region::new("U", n, 8);
+
+    // 1. Single-pass fan-out sweep, priced by the model.
+    let candidates: Vec<u64> = (1..=20).map(|i| 1u64 << i).collect();
+    println!("single-pass partitioning of a 16 MB table — model prices per fan-out:");
+    let ranked = rank_partition_fanouts(&model, &input, &candidates);
+    let mut by_m = ranked.clone();
+    by_m.sort_by_key(|&(m, _)| m);
+    for (m, ns) in &by_m {
+        let marker = match *m {
+            64 => "  <- TLB entries",
+            1024 => "  <- L1 lines",
+            32768 => "  <- L2 lines",
+            _ => "",
+        };
+        println!("  m = {m:>8}: {:>8.1} ms{marker}", ns / 1e6);
+    }
+    println!("cheapest fan-out: m = {}\n", ranked[0].0);
+
+    // 2. Reaching 4096 clusters: one pass (past the cliffs) vs two radix
+    //    passes of 64 — model and simulator agree.
+    let w = Region::new("W", n, 8);
+    let single = model.mem_ns(&radix_partition_pattern(&input, &w, 12, 1));
+    let multi = model.mem_ns(&radix_partition_pattern(&input, &w, 12, 2));
+    println!("reaching 4096 clusters (12 radix bits):");
+    println!("  predicted: 1 pass x 4096-way = {:.1} ms, 2 passes x 64-way = {:.1} ms", single / 1e6, multi / 1e6);
+
+    let n_run = 524_288u64; // 4 MB table keeps this example fast
+    let keys = Workload::new(3).shuffled_keys(n_run as usize);
+    let mut measured = Vec::new();
+    for passes in [1u32, 2] {
+        let mut ctx = ExecContext::new(hw.clone());
+        let rel = ctx.relation_from_keys("U", &keys, 8);
+        let (_, stats) = ctx.measure(|c| {
+            ops::radix::radix_partition(c, &rel, 12, passes, "R");
+        });
+        measured.push(stats.mem.clock_ns / 1e6);
+    }
+    println!(
+        "  measured ({n_run} tuples): 1 pass = {:.1} ms, 2 passes = {:.1} ms",
+        measured[0], measured[1]
+    );
+    println!(
+        "  multi-pass radix clustering wins: {}",
+        if measured[1] < measured[0] && multi < single { "confirmed" } else { "NO" }
+    );
+}

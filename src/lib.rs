@@ -1,0 +1,32 @@
+//! # gcm — Generic database cost models for hierarchical memory systems
+//!
+//! Umbrella crate re-exporting the whole workspace: a full reproduction of
+//! Manegold, Boncz & Kersten, *Generic Database Cost Models for Hierarchical
+//! Memory Systems* (CWI INS-R0203 / VLDB 2002).
+//!
+//! * [`hardware`] — the unified hardware model (paper §2): cache levels,
+//!   TLBs, buffer pools, machine presets (including the paper's SGI
+//!   Origin2000, Table 3).
+//! * [`sim`] — the measurement substrate: a set-associative LRU cache
+//!   simulator with per-level hit/miss counters and a charged-latency clock
+//!   (substitute for the paper's R10000 hardware event counters).
+//! * [`core`] — the paper's contribution: data regions, basic access
+//!   patterns, the miss-estimation formulas (Eq 4.2–4.9), the `⊕`/`⊙`
+//!   combinators with cache-state and footprint rules (§5), and cost
+//!   scoring (Eq 3.1/6.1).
+//! * [`engine`] — a column-oriented main-memory engine whose operators run
+//!   over simulated memory and describe themselves in the pattern language
+//!   (paper Table 2).
+//! * [`calibrate`] — the Calibrator: recovers the hardware parameters by
+//!   micro-benchmarking the memory hierarchy (paper §2.3 / [MBK00b]).
+//! * [`workload`] — deterministic data generators for the experiments.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+pub use gcm_calibrate as calibrate;
+pub use gcm_core as core;
+pub use gcm_engine as engine;
+pub use gcm_hardware as hardware;
+pub use gcm_sim as sim;
+pub use gcm_workload as workload;

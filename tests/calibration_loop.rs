@@ -1,0 +1,63 @@
+//! End-to-end calibration loop: blind-calibrate a machine, build a spec
+//! from the measurements, and check the resulting cost model agrees with
+//! the true-spec model — the paper's adaptation workflow (§2.3, §7).
+
+use gcm_calibrate::Calibrator;
+use gcm_core::{library, CostModel, Region};
+use gcm_hardware::presets;
+
+#[test]
+fn calibrated_model_tracks_true_model() {
+    let secret = presets::tiny();
+    let mut cal = Calibrator::new(secret.clone(), 128 * 1024);
+    let report = cal.run();
+    let calibrated = report.to_spec("calibrated", secret.cpu_mhz).expect("valid spec");
+
+    // Structure recovered.
+    assert_eq!(calibrated.data_caches().count(), 2);
+    assert_eq!(calibrated.tlbs().count(), 1);
+
+    let truth = CostModel::new(secret);
+    let guess = CostModel::new(calibrated);
+    let n = 100_000u64;
+    let patterns = vec![
+        library::quick_sort(Region::new("U", n, 8)),
+        library::merge_join(
+            Region::new("U", n, 8),
+            Region::new("V", n, 8),
+            Region::new("W", n, 16),
+        ),
+        library::hash_join(
+            Region::new("U", n, 8),
+            Region::new("V", n, 8),
+            Region::new("H", (2 * n).next_power_of_two(), 16),
+            Region::new("W", n, 16),
+        ),
+        library::partition(Region::new("U", n, 8), Region::new("W", n, 8), 32),
+    ];
+    for p in patterns {
+        let t = truth.mem_ns(&p);
+        let g = guess.mem_ns(&p);
+        let dev = (g / t - 1.0).abs();
+        assert!(dev < 0.15, "calibrated model deviates {:.1}% on {p}", dev * 100.0);
+    }
+}
+
+#[test]
+fn calibration_is_deterministic() {
+    let spec = presets::tiny();
+    let r1 = Calibrator::new(spec.clone(), 128 * 1024).run();
+    let r2 = Calibrator::new(spec, 128 * 1024).run();
+    assert_eq!(r1, r2);
+}
+
+#[test]
+fn to_spec_preserves_ordering_and_kinds() {
+    let mut cal = Calibrator::new(presets::tiny(), 128 * 1024);
+    let report = cal.run();
+    let spec = report.to_spec("x", 100.0).unwrap();
+    let caps: Vec<u64> = spec.data_caches().map(|l| l.capacity).collect();
+    assert!(caps.windows(2).all(|w| w[0] < w[1]), "capacities inside-out: {caps:?}");
+    let tlb = spec.tlbs().next().expect("tlb present");
+    assert_eq!(tlb.seq_miss_ns, tlb.rand_miss_ns);
+}

@@ -1,0 +1,372 @@
+//! Model-vs-simulator validation of every basic access pattern
+//! (the integration-level analogue of the paper's §6).
+//!
+//! For each basic pattern we drive the cache simulator with exactly the
+//! access sequence the pattern describes and compare the measured
+//! per-level miss counts with the analytical estimate (Eq 4.2–4.9).
+//!
+//! The analytical model is deliberately approximate in places —
+//! probabilistic reuse estimates, alignment averaging, no conflict
+//! misses — so tolerances are explicit per test. Fully-associative
+//! variants of the test machine are used where conflict misses would
+//! add noise the model does not (and is not meant to) predict.
+
+use gcm_bench::compare::assert_levels_close;
+use gcm_bench::exec;
+use gcm_core::{CostModel, Direction, GlobalOrder, LatencyClass, LocalPattern, Pattern, Region};
+use gcm_hardware::{presets, HardwareSpec};
+use gcm_sim::MemorySystem;
+use gcm_workload::Workload;
+
+fn model(spec: &HardwareSpec) -> CostModel {
+    CostModel::new(spec.clone())
+}
+
+/// Measure `f` on a fresh memory system of `spec`, returning the
+/// interval snapshot.
+fn measure(
+    spec: &HardwareSpec,
+    bytes: u64,
+    f: impl FnOnce(&mut MemorySystem, u64),
+) -> gcm_sim::Snapshot {
+    let mut mem = MemorySystem::new(spec.clone());
+    let align = spec.data_caches().map(|l| l.line).max().unwrap_or(64);
+    let base = mem.alloc(bytes.max(1), align);
+    let before = mem.snapshot();
+    f(&mut mem, base);
+    mem.delta_since(&before)
+}
+
+// ---------------------------------------------------------------- s_trav
+
+#[test]
+fn s_trav_dense_matches_exactly() {
+    let spec = presets::tiny();
+    for (n, w) in [(4096u64, 8u64), (1024, 16), (512, 32), (333, 24)] {
+        let measured = measure(&spec, n * w, |mem, base| {
+            exec::s_trav(mem, base, n, w, w);
+        });
+        let r = Region::new("R", n, w);
+        let predicted = model(&spec).misses(&Pattern::s_trav(r));
+        assert_levels_close(&spec, &measured, &predicted, 0.05, 4.0, &format!("s_trav n={n} w={w}"));
+    }
+}
+
+#[test]
+fn s_trav_partial_use_matches() {
+    // u < w, gap still below line size: all lines loaded.
+    let spec = presets::tiny();
+    let (n, w, u) = (2048u64, 16u64, 8u64);
+    let measured = measure(&spec, n * w, |mem, base| {
+        exec::s_trav(mem, base, n, w, u);
+    });
+    let predicted = model(&spec).misses(&Pattern::s_trav_u(Region::new("R", n, w), u));
+    assert_levels_close(&spec, &measured, &predicted, 0.05, 4.0, "s_trav partial");
+}
+
+#[test]
+fn s_trav_sparse_matches_per_item_estimate() {
+    // w = 256, u = 8: gaps exceed every line; per-item lines formula.
+    let spec = presets::tiny();
+    let (n, w, u) = (2048u64, 256u64, 8u64);
+    let measured = measure(&spec, n * w, |mem, base| {
+        exec::s_trav(mem, base, n, w, u);
+    });
+    let predicted = model(&spec).misses(&Pattern::s_trav_u(Region::new("R", n, w), u));
+    // The alignment-averaged formula vs. a line-aligned run: the model
+    // expects the average over alignments, the run is the best case —
+    // allow the alignment slack.
+    assert_levels_close(&spec, &measured, &predicted, 0.30, 8.0, "s_trav sparse");
+}
+
+// ---------------------------------------------------------------- r_trav
+
+#[test]
+fn r_trav_fitting_matches() {
+    let spec = presets::tiny_full_assoc();
+    let (n, w) = (256u64, 8u64); // 2 KB: fits L2/TLB, equals L1
+    let perm = Workload::new(7).permutation(n as usize);
+    let measured = measure(&spec, n * w, |mem, base| {
+        exec::r_trav(mem, base, w, w, &perm);
+    });
+    let predicted = model(&spec).misses(&Pattern::r_trav(Region::new("R", n, w)));
+    assert_levels_close(&spec, &measured, &predicted, 0.10, 4.0, "r_trav fitting");
+}
+
+#[test]
+fn r_trav_oversized_matches_within_model_slack() {
+    // 64 KB region vs 2 KB L1 / 16 KB L2: the probabilistic reuse-loss
+    // estimate of Eq 4.4 is validated to 25%.
+    let spec = presets::tiny_full_assoc();
+    let (n, w) = (8192u64, 8u64);
+    let perm = Workload::new(8).permutation(n as usize);
+    let measured = measure(&spec, n * w, |mem, base| {
+        exec::r_trav(mem, base, w, w, &perm);
+    });
+    let predicted = model(&spec).misses(&Pattern::r_trav(Region::new("R", n, w)));
+    assert_levels_close(&spec, &measured, &predicted, 0.25, 16.0, "r_trav oversized");
+}
+
+#[test]
+fn r_trav_sparse_equals_s_trav_measured_and_predicted() {
+    // Gap ≥ line: §4.4's invariant — random order costs the same as
+    // sequential order. Verify on both sides.
+    let spec = presets::tiny_full_assoc();
+    let (n, w, u) = (1024u64, 256u64, 8u64);
+    let perm = Workload::new(9).permutation(n as usize);
+    let m_rand = measure(&spec, n * w, |mem, base| {
+        exec::r_trav(mem, base, w, u, &perm);
+    });
+    let m_seq = measure(&spec, n * w, |mem, base| {
+        exec::s_trav(mem, base, n, w, u);
+    });
+    let l1 = spec.level_index("L1").unwrap();
+    let rand_misses = m_rand.levels[l1].seq_misses + m_rand.levels[l1].rand_misses;
+    let seq_misses = m_seq.levels[l1].seq_misses + m_seq.levels[l1].rand_misses;
+    assert_eq!(rand_misses, seq_misses, "measured L1 misses must match");
+    let p_rand = model(&spec).misses(&Pattern::r_trav_u(Region::new("A", n, w), u));
+    let p_seq = model(&spec).misses(&Pattern::s_trav_u(Region::new("B", n, w), u));
+    assert!((p_rand[l1].total() - p_seq[l1].total()).abs() < 1e-9);
+}
+
+// --------------------------------------------------------------- rs_trav
+
+#[test]
+fn rs_trav_fitting_pays_once_both_sides() {
+    let spec = presets::tiny();
+    let (n, w, k) = (128u64, 8u64, 5u64); // 1 KB < L1
+    let measured = measure(&spec, n * w, |mem, base| {
+        exec::rs_trav(mem, base, n, w, w, k, false);
+    });
+    let predicted =
+        model(&spec).misses(&Pattern::rs_trav(Region::new("R", n, w), k, Direction::Uni));
+    assert_levels_close(&spec, &measured, &predicted, 0.05, 4.0, "rs_trav fitting");
+}
+
+#[test]
+fn rs_trav_uni_oversized_pays_k_times() {
+    let spec = presets::tiny();
+    let (n, w, k) = (1024u64, 8u64, 4u64); // 8 KB: 4× L1, fits L2
+    let measured = measure(&spec, n * w, |mem, base| {
+        exec::rs_trav(mem, base, n, w, w, k, false);
+    });
+    let predicted =
+        model(&spec).misses(&Pattern::rs_trav(Region::new("R", n, w), k, Direction::Uni));
+    assert_levels_close(&spec, &measured, &predicted, 0.05, 4.0, "rs_trav uni");
+}
+
+#[test]
+fn rs_trav_bi_oversized_saves_cache_lines() {
+    let spec = presets::tiny_full_assoc();
+    let (n, w, k) = (1024u64, 8u64, 4u64);
+    let measured = measure(&spec, n * w, |mem, base| {
+        exec::rs_trav(mem, base, n, w, w, k, true);
+    });
+    let predicted =
+        model(&spec).misses(&Pattern::rs_trav(Region::new("R", n, w), k, Direction::Bi));
+    assert_levels_close(&spec, &measured, &predicted, 0.10, 4.0, "rs_trav bi");
+}
+
+// --------------------------------------------------------------- rr_trav
+
+#[test]
+fn rr_trav_fitting_pays_once() {
+    let spec = presets::tiny_full_assoc();
+    let (n, w, k) = (128u64, 8u64, 4u64);
+    let perms: Vec<Vec<usize>> =
+        (0..k).map(|s| Workload::new(40 + s).permutation(n as usize)).collect();
+    let measured = measure(&spec, n * w, |mem, base| {
+        exec::rr_trav(mem, base, w, w, &perms);
+    });
+    let predicted = model(&spec).misses(&Pattern::rr_trav(Region::new("R", n, w), w, k));
+    assert_levels_close(&spec, &measured, &predicted, 0.10, 4.0, "rr_trav fitting");
+}
+
+#[test]
+fn rr_trav_oversized_partial_reuse() {
+    // The #²/M1 reuse estimate of Eq 4.7: validated to 30%.
+    let spec = presets::tiny_full_assoc();
+    let (n, w, k) = (2048u64, 8u64, 3u64); // 16 KB = L2, 8× L1
+    let perms: Vec<Vec<usize>> =
+        (0..k).map(|s| Workload::new(50 + s).permutation(n as usize)).collect();
+    let measured = measure(&spec, n * w, |mem, base| {
+        exec::rr_trav(mem, base, w, w, &perms);
+    });
+    let predicted = model(&spec).misses(&Pattern::rr_trav(Region::new("R", n, w), w, k));
+    assert_levels_close(&spec, &measured, &predicted, 0.30, 16.0, "rr_trav oversized");
+}
+
+// ----------------------------------------------------------------- r_acc
+
+#[test]
+fn r_acc_fitting_costs_distinct_lines() {
+    let spec = presets::tiny_full_assoc();
+    let (n, w, q) = (192u64, 8u64, 2048u64); // 1.5 KB < L1
+    let idx = Workload::new(60).random_indices(q as usize, n);
+    let measured = measure(&spec, n * w, |mem, base| {
+        exec::r_acc(mem, base, w, w, &idx);
+    });
+    let predicted = model(&spec).misses(&Pattern::r_acc(Region::new("R", n, w), q));
+    assert_levels_close(&spec, &measured, &predicted, 0.15, 4.0, "r_acc fitting");
+}
+
+#[test]
+fn r_acc_oversized_misses_per_access() {
+    let spec = presets::tiny_full_assoc();
+    let (n, w, q) = (16_384u64, 8u64, 8192u64); // 128 KB region
+    let idx = Workload::new(61).random_indices(q as usize, n);
+    let measured = measure(&spec, n * w, |mem, base| {
+        exec::r_acc(mem, base, w, w, &idx);
+    });
+    let predicted = model(&spec).misses(&Pattern::r_acc(Region::new("R", n, w), q));
+    assert_levels_close(&spec, &measured, &predicted, 0.30, 16.0, "r_acc oversized");
+}
+
+#[test]
+fn r_acc_few_hits_on_huge_region() {
+    let spec = presets::tiny_full_assoc();
+    let (n, w, q) = (65_536u64, 8u64, 256u64);
+    let idx = Workload::new(62).random_indices(q as usize, n);
+    let measured = measure(&spec, n * w, |mem, base| {
+        exec::r_acc(mem, base, w, w, &idx);
+    });
+    let predicted = model(&spec).misses(&Pattern::r_acc(Region::new("R", n, w), q));
+    assert_levels_close(&spec, &measured, &predicted, 0.30, 8.0, "r_acc sparse hits");
+}
+
+// ------------------------------------------------------------------ nest
+
+#[test]
+fn nest_below_cliff_matches_sequential_cost() {
+    let spec = presets::tiny_full_assoc();
+    let (n, w, m) = (16_384u64, 8u64, 4u64); // 4 cursors ≪ 64 L1 lines
+    let picks = exec::balanced_picks(n, m, 70);
+    let measured = measure(&spec, n * w, |mem, base| {
+        exec::nest_seq(mem, base, n, w, w, m, &picks);
+    });
+    let predicted = model(&spec).misses(&Pattern::nest(
+        Region::new("R", n, w),
+        m,
+        LocalPattern::SeqTraversal { u: w, latency: LatencyClass::Sequential },
+        GlobalOrder::Random,
+    ));
+    assert_levels_close(&spec, &measured, &predicted, 0.10, 8.0, "nest below cliff");
+}
+
+#[test]
+fn nest_above_cliff_matches_per_item_cost() {
+    let spec = presets::tiny_full_assoc();
+    let (n, w, m) = (16_384u64, 8u64, 2048u64); // 2048 cursors ≫ all levels
+    let picks = exec::balanced_picks(n, m, 71);
+    let measured = measure(&spec, n * w, |mem, base| {
+        exec::nest_seq(mem, base, n, w, w, m, &picks);
+    });
+    let predicted = model(&spec).misses(&Pattern::nest(
+        Region::new("R", n, w),
+        m,
+        LocalPattern::SeqTraversal { u: w, latency: LatencyClass::Sequential },
+        GlobalOrder::Random,
+    ));
+    assert_levels_close(&spec, &measured, &predicted, 0.25, 16.0, "nest above cliff");
+}
+
+#[test]
+fn nest_cliff_position_tracks_level_line_counts() {
+    // Sweep m across the TLB (8 entries) and L1 (64 lines) cliffs and
+    // check measured and predicted misses cliff in the same place.
+    let spec = presets::tiny_full_assoc();
+    let (n, w) = (32_768u64, 8u64);
+    let l1 = spec.level_index("L1").unwrap();
+    let tlb = spec.level_index("TLB").unwrap();
+    let mut rows = Vec::new();
+    for m in [4u64, 16, 128, 1024] {
+        let picks = exec::balanced_picks(n, m, 72);
+        let measured = measure(&spec, n * w, |mem, base| {
+            exec::nest_seq(mem, base, n, w, w, m, &picks);
+        });
+        let predicted = model(&spec).misses(&Pattern::nest(
+            Region::new("R", n, w),
+            m,
+            LocalPattern::SeqTraversal { u: w, latency: LatencyClass::Sequential },
+            GlobalOrder::Random,
+        ));
+        rows.push((
+            m,
+            measured.levels[l1].seq_misses + measured.levels[l1].rand_misses,
+            predicted[l1].total(),
+            measured.levels[tlb].seq_misses + measured.levels[tlb].rand_misses,
+            predicted[tlb].total(),
+        ));
+    }
+    // TLB cliffs between m=4 and m=16 (8 entries); L1 between 16 and 128.
+    assert!(rows[1].3 > 3 * rows[0].3, "measured TLB cliff: {rows:?}");
+    assert!(rows[1].4 > 3.0 * rows[0].4, "predicted TLB cliff: {rows:?}");
+    // (m=128 is only 2× the 64 L1 lines, so roughly half the reuse is
+    // lost — a >2× rise, saturating further at m=1024.)
+    assert!(rows[2].1 > 2 * rows[1].1, "measured L1 cliff: {rows:?}");
+    assert!(rows[2].2 > 2.0 * rows[1].2, "predicted L1 cliff: {rows:?}");
+    assert!(rows[3].1 > rows[2].1, "measured L1 saturation: {rows:?}");
+}
+
+// ------------------------------------------------------- compound smoke
+
+#[test]
+fn seq_composition_reuse_measured_and_predicted() {
+    // s_trav(A) ⊕ r_trav(A) with A fitting L2: the random traversal runs
+    // against a warm cache on both sides.
+    let spec = presets::tiny_full_assoc();
+    let (n, w) = (1024u64, 8u64); // 8 KB < 16 KB L2
+    let perm = Workload::new(80).permutation(n as usize);
+    let measured = measure(&spec, n * w, |mem, base| {
+        exec::s_trav(mem, base, n, w, w);
+        exec::r_trav(mem, base, w, w, &perm);
+    });
+    let a = Region::new("A", n, w);
+    let p = Pattern::seq(vec![Pattern::s_trav(a.clone()), Pattern::r_trav(a)]);
+    let predicted = model(&spec).misses(&p);
+    let l2 = spec.level_index("L2").unwrap();
+    // L2: the region fits, so the second traversal adds no misses.
+    let m_l2 = measured.levels[l2].seq_misses + measured.levels[l2].rand_misses;
+    assert_eq!(m_l2, n * w / 64); // one load of every 64-B line
+    assert!((predicted[l2].total() - m_l2 as f64).abs() < 4.0);
+}
+
+#[test]
+fn conc_composition_interference_direction() {
+    // Two concurrent random traversals over L1-sized regions interfere:
+    // both measured and predicted misses exceed two isolated runs.
+    let spec = presets::tiny_full_assoc();
+    let (n, w) = (256u64, 8u64); // each region = L1 capacity
+    let perm_a = Workload::new(81).permutation(n as usize);
+    let perm_b = Workload::new(82).permutation(n as usize);
+    let l1 = spec.level_index("L1").unwrap();
+
+    let solo = measure(&spec, n * w, |mem, base| {
+        exec::r_trav(mem, base, w, w, &perm_a);
+    });
+    let solo_misses = solo.levels[l1].seq_misses + solo.levels[l1].rand_misses;
+
+    // Interleaved execution of two traversals.
+    let mut mem = MemorySystem::new(spec.clone());
+    let base_a = mem.alloc(n * w, 64);
+    let base_b = mem.alloc(n * w, 64);
+    let before = mem.snapshot();
+    for i in 0..n as usize {
+        mem.read(base_a + perm_a[i] as u64 * w, w);
+        mem.read(base_b + perm_b[i] as u64 * w, w);
+    }
+    let both = mem.delta_since(&before);
+    let both_misses = both.levels[l1].seq_misses + both.levels[l1].rand_misses;
+    assert!(
+        both_misses >= 2 * solo_misses,
+        "interference must not reduce misses: {both_misses} vs 2×{solo_misses}"
+    );
+
+    let a = Region::new("A", n, w);
+    let b = Region::new("B", n, w);
+    let p_solo = model(&spec).misses(&Pattern::r_trav(a.clone()))[l1].total();
+    let p_both =
+        model(&spec).misses(&Pattern::conc(vec![Pattern::r_trav(a), Pattern::r_trav(b)]))[l1]
+            .total();
+    assert!(p_both >= 2.0 * p_solo);
+}

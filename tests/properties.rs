@@ -1,0 +1,280 @@
+//! Property-based tests (proptest) on the model's invariants and the
+//! simulator's cache semantics.
+//!
+//! The §4.4 invariants of the paper are checked over randomly drawn
+//! region geometries rather than hand-picked examples; the simulator is
+//! checked for conservation laws (hits + misses = accesses, determinism,
+//! LRU recency) over random access strings.
+
+use gcm_core::{misses, CacheState, CostModel, Direction, Geometry, LatencyClass, Pattern, Region};
+use gcm_hardware::presets;
+use gcm_sim::MemorySystem;
+use proptest::prelude::*;
+
+fn geo(c: u64, b: u64) -> Geometry {
+    Geometry { c: c as f64, b: b as f64, lines: c as f64 / b as f64 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // ------------------------------------------------ model invariants
+
+    #[test]
+    fn misses_are_finite_and_non_negative(
+        n in 0u64..1_000_000,
+        w in 1u64..512,
+        c_pow in 8u32..22,
+        b_pow in 4u32..8,
+    ) {
+        let g = geo(1 << c_pow, 1 << b_pow);
+        let r = Region::new("R", n, w);
+        let u = w;
+        for m in [
+            misses::s_trav(&r, u, LatencyClass::Sequential, &g),
+            misses::r_trav(&r, u, &g),
+            misses::rs_trav(&r, u, 3, Direction::Bi, LatencyClass::Sequential, &g),
+            misses::rr_trav(&r, u, 3, &g),
+            misses::r_acc(&r, u, n / 2 + 1, &g),
+        ] {
+            prop_assert!(m.seq.is_finite() && m.rand.is_finite());
+            prop_assert!(m.seq >= 0.0 && m.rand >= 0.0);
+        }
+    }
+
+    #[test]
+    fn s_trav_monotone_in_items(
+        n in 1u64..500_000,
+        w in 1u64..256,
+        u_frac in 1u64..=100,
+    ) {
+        let g = geo(32 * 1024, 32);
+        let u = ((w * u_frac) / 100).max(1);
+        let small = Region::new("A", n, w);
+        let large = Region::new("B", n * 2, w);
+        let ms = misses::s_trav_count(&small, u, &g);
+        let ml = misses::s_trav_count(&large, u, &g);
+        prop_assert!(ml >= ms, "doubling items cannot reduce misses: {ms} -> {ml}");
+    }
+
+    #[test]
+    fn random_never_cheaper_than_sequential(
+        n in 1u64..200_000,
+        w in 1u64..256,
+    ) {
+        // §4.4: Mr(r_trav) ≥ Ms(s_trav) always (equal when fitting or
+        // when gaps exceed the line).
+        let g = geo(64 * 1024, 64);
+        let r = Region::new("R", n, w);
+        let seq = misses::s_trav_count(&r, w, &g);
+        let rand = misses::r_trav(&r, w, &g).total();
+        prop_assert!(rand >= seq - 1e-9, "random {rand} < sequential {seq}");
+    }
+
+    #[test]
+    fn gap_at_least_line_makes_order_irrelevant(
+        n in 1u64..100_000,
+        w in 96u64..512,
+        u in 1u64..=32,
+    ) {
+        // §4.4: with untouched gaps ≥ B, random == sequential count.
+        let g = geo(32 * 1024, 32);
+        prop_assume!(w - u >= 32);
+        let r = Region::new("R", n, w);
+        let seq = misses::s_trav_count(&r, u, &g);
+        let rand = misses::r_trav(&r, u, &g).total();
+        prop_assert!((seq - rand).abs() < 1e-6, "{seq} vs {rand}");
+    }
+
+    #[test]
+    fn repetition_directions_are_ordered(
+        n in 1u64..100_000,
+        w in 1u64..64,
+        k in 2u64..8,
+    ) {
+        // Eq 4.6: single ≤ bi ≤ uni ≤ k·single.
+        let g = geo(16 * 1024, 32);
+        let r = Region::new("R", n, w);
+        let single = misses::s_trav_count(&r, w, &g);
+        let bi = misses::rs_trav(&r, w, k, Direction::Bi, LatencyClass::Sequential, &g).total();
+        let uni = misses::rs_trav(&r, w, k, Direction::Uni, LatencyClass::Sequential, &g).total();
+        prop_assert!(single <= bi + 1e-9);
+        prop_assert!(bi <= uni + 1e-9);
+        prop_assert!(uni <= k as f64 * single + 1e-9);
+    }
+
+    #[test]
+    fn r_acc_monotone_in_accesses(
+        n in 16u64..1_000_000,
+        q1 in 1u64..100_000,
+    ) {
+        let g = geo(32 * 1024, 32);
+        let r = Region::new("R", n, 8);
+        let m1 = misses::r_acc(&r, 8, q1, &g).total();
+        let m2 = misses::r_acc(&r, 8, q1 * 2, &g).total();
+        prop_assert!(m2 >= m1 - 1e-9, "more accesses cannot miss less: {m1} -> {m2}");
+    }
+
+    #[test]
+    fn cache_state_only_helps(
+        n in 1u64..100_000,
+        w in 1u64..64,
+        rho in 0.0f64..=1.0,
+    ) {
+        // Starting from any warm state can never cost more than cold.
+        let g = geo(16 * 1024, 32);
+        let r = Region::new("R", n, w);
+        for p in [Pattern::s_trav(r.clone()), Pattern::r_trav(r.clone())] {
+            let cold = gcm_core::eval::eval_level(&p, &g, &mut CacheState::cold());
+            let mut warm_state = CacheState::cold();
+            warm_state.set(&r, rho);
+            let warm = gcm_core::eval::eval_level(&p, &g, &mut warm_state);
+            prop_assert!(warm.total() <= cold.total() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn concurrency_only_hurts(
+        n1 in 64u64..50_000,
+        n2 in 64u64..50_000,
+    ) {
+        // ⊙ interference can never reduce the total below the two
+        // full-cache runs.
+        let hw = presets::tiny();
+        let model = CostModel::new(hw);
+        let a = Region::new("A", n1, 8);
+        let b = Region::new("B", n2, 8);
+        let solo_a: f64 = model.misses(&Pattern::r_trav(a.clone())).iter().map(|m| m.total()).sum();
+        let solo_b: f64 = model.misses(&Pattern::r_trav(b.clone())).iter().map(|m| m.total()).sum();
+        let both: f64 = model
+            .misses(&Pattern::conc(vec![Pattern::r_trav(a), Pattern::r_trav(b)]))
+            .iter()
+            .map(|m| m.total())
+            .sum();
+        prop_assert!(both >= solo_a + solo_b - 1e-6);
+    }
+
+    #[test]
+    fn bigger_caches_never_hurt(
+        n in 1u64..200_000,
+        w in 1u64..64,
+        q in 1u64..50_000,
+    ) {
+        let small = geo(8 * 1024, 32);
+        let big = geo(64 * 1024, 32);
+        let r = Region::new("R", n, w);
+        for (ms, mb) in [
+            (misses::r_trav(&r, w, &small).total(), misses::r_trav(&r, w, &big).total()),
+            (misses::r_acc(&r, w, q, &small).total(), misses::r_acc(&r, w, q, &big).total()),
+            (
+                misses::rr_trav(&r, w, 3, &small).total(),
+                misses::rr_trav(&r, w, 3, &big).total(),
+            ),
+        ] {
+            prop_assert!(mb <= ms + 1e-9, "bigger cache increased misses: {ms} -> {mb}");
+        }
+    }
+
+    // -------------------------------------------- simulator invariants
+
+    #[test]
+    fn sim_conservation_laws(
+        ops in proptest::collection::vec((0u64..4096, 1u64..64), 1..200),
+    ) {
+        let mut mem = MemorySystem::new(presets::tiny());
+        let base = mem.alloc(8192, 64);
+        for (off, len) in ops {
+            mem.read(base + off, len.min(4096 - off.min(4095)).max(1));
+        }
+        for l in mem.stats() {
+            prop_assert_eq!(l.hits + l.seq_misses + l.rand_misses, l.accesses);
+        }
+    }
+
+    #[test]
+    fn sim_is_deterministic(
+        ops in proptest::collection::vec(0u64..8192, 1..300),
+    ) {
+        let run = || {
+            let mut mem = MemorySystem::new(presets::tiny());
+            let base = mem.alloc(8192, 64);
+            for &off in &ops {
+                mem.read(base + off, 8.min(8192 - off).max(1));
+            }
+            (mem.snapshot(), mem.clock_ns())
+        };
+        let (s1, c1) = run();
+        let (s2, c2) = run();
+        prop_assert_eq!(s1, s2);
+        prop_assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn sim_immediate_rereference_hits(
+        offsets in proptest::collection::vec(0u64..65_536, 1..100),
+    ) {
+        let mut mem = MemorySystem::new(presets::tiny());
+        let base = mem.alloc(65_536 + 8, 64);
+        for &off in &offsets {
+            mem.read(base + off, 1);
+            let before = mem.snapshot();
+            mem.read(base + off, 1); // LRU: just-touched line must hit
+            let d = mem.delta_since(&before);
+            prop_assert_eq!(d.total_misses(), 0, "re-reference missed at {}", off);
+        }
+    }
+
+    #[test]
+    fn sim_fitting_working_set_stops_missing(
+        lines in proptest::collection::vec(0u64..32, 10..100),
+    ) {
+        // Any working set within the L1 line count eventually stops
+        // missing in L1: replay the string twice; the second pass over
+        // ≤ 32 distinct lines (of 64 available) must be all hits.
+        let mut mem = MemorySystem::new(presets::tiny());
+        let base = mem.alloc(32 * 32, 64);
+        for &l in &lines {
+            mem.read(base + l * 32, 8);
+        }
+        let before = mem.snapshot();
+        for &l in &lines {
+            mem.read(base + l * 32, 8);
+        }
+        let l1 = mem.spec().level_index("L1").unwrap();
+        let d = mem.delta_since(&before);
+        prop_assert_eq!(
+            d.levels[l1].seq_misses + d.levels[l1].rand_misses,
+            0,
+            "fitting working set must be resident"
+        );
+    }
+
+    // --------------------------------------- model-vs-simulator (dense)
+
+    #[test]
+    fn dense_s_trav_model_matches_sim_exactly(
+        n in 64u64..8192,
+        w_pow in 0u32..6,
+    ) {
+        // Dense sequential traversals (gap < B) are exact: model = ⌈||R||/B⌉.
+        let w = 1u64 << w_pow; // 1..32
+        let spec = presets::tiny();
+        let mut mem = MemorySystem::new(spec.clone());
+        let base = mem.alloc(n * w, 1024);
+        let before = mem.snapshot();
+        for i in 0..n {
+            mem.read(base + i * w, w);
+        }
+        let d = mem.delta_since(&before);
+        let model = CostModel::new(spec.clone());
+        let predicted = model.misses(&Pattern::s_trav(Region::new("R", n, w)));
+        for (i, _lvl) in spec.levels().iter().enumerate() {
+            let m = (d.levels[i].seq_misses + d.levels[i].rand_misses) as f64;
+            prop_assert!(
+                (m - predicted[i].total()).abs() <= 1.0,
+                "level {i}: measured {m} predicted {}",
+                predicted[i].total()
+            );
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! The unified-model claim (paper §2.3, §7): main memory viewed as a
+//! cache for disk pages makes I/O cost fall out of the same formulas.
+//!
+//! These tests extend the tiny machine with a buffer-pool level and
+//! validate the model against the simulator *at that level*, exactly as
+//! the other suites do for L1/L2/TLB.
+
+use gcm_bench::exec;
+use gcm_core::{CostModel, Pattern, Region};
+use gcm_hardware::{presets, HardwareSpec};
+use gcm_sim::MemorySystem;
+use gcm_workload::Workload;
+
+/// Tiny machine + a 16 KB buffer pool of 2 KB pages (8 pages resident).
+fn tiny_with_disk() -> HardwareSpec {
+    presets::with_buffer_pool(presets::tiny_full_assoc(), 16 * 1024, 2048)
+}
+
+#[test]
+fn sequential_scan_faults_each_page_once() {
+    let spec = tiny_with_disk();
+    let bp = spec.level_index("BP").unwrap();
+    let mut mem = MemorySystem::new(spec.clone());
+    let bytes = 64 * 1024u64; // 32 pages, 4× the pool
+    let base = mem.alloc(bytes, 2048);
+    let before = mem.snapshot();
+    exec::s_trav(&mut mem, base, bytes / 8, 8, 8);
+    let d = mem.delta_since(&before);
+    let measured = d.levels[bp].seq_misses + d.levels[bp].rand_misses;
+    assert_eq!(measured, 32, "one fault per page");
+
+    let model = CostModel::new(spec.clone());
+    let predicted = model.misses(&Pattern::s_trav(Region::new("T", bytes / 8, 8)))[bp].total();
+    assert!((predicted - 32.0).abs() < 1.0);
+    // And the faults ride the sequential (no-seek) latency.
+    assert!(d.levels[bp].seq_misses >= 31);
+}
+
+#[test]
+fn random_traversal_thrashes_the_pool() {
+    let spec = tiny_with_disk();
+    let bp = spec.level_index("BP").unwrap();
+    let bytes = 64 * 1024u64;
+    let n = bytes / 8;
+    let perm = Workload::new(1).permutation(n as usize);
+
+    let mut mem = MemorySystem::new(spec.clone());
+    let base = mem.alloc(bytes, 2048);
+    let before = mem.snapshot();
+    exec::r_trav(&mut mem, base, 8, 8, &perm);
+    let d = mem.delta_since(&before);
+    let measured = (d.levels[bp].seq_misses + d.levels[bp].rand_misses) as f64;
+
+    let model = CostModel::new(spec.clone());
+    let predicted = model.misses(&Pattern::r_trav(Region::new("T", n, 8)))[bp].total();
+    // Eq 4.4 at the buffer-pool level: far more than one fault per page,
+    // approaching one per access; model within 35% (probabilistic term).
+    assert!(measured > 3.0 * 32.0, "random I/O must thrash: {measured}");
+    let ratio = predicted / measured;
+    assert!((0.65..1.5).contains(&ratio), "measured {measured} predicted {predicted}");
+    // Charged time is seek-dominated. (With only 32 distinct pages, the
+    // 8-stream EDO detector occasionally sees accidental page adjacency,
+    // so a strict majority is the right assertion at this scale.)
+    assert!(d.levels[bp].rand_misses > d.levels[bp].seq_misses);
+}
+
+#[test]
+fn pool_resident_working_set_is_io_free() {
+    let spec = tiny_with_disk();
+    let bp = spec.level_index("BP").unwrap();
+    let mut mem = MemorySystem::new(spec.clone());
+    let bytes = 8 * 1024u64; // half the pool
+    let base = mem.alloc(bytes, 2048);
+    // Warm pass faults the pages in; steady passes do no I/O.
+    exec::s_trav(&mut mem, base, bytes / 8, 8, 8);
+    let before = mem.snapshot();
+    for _ in 0..3 {
+        exec::s_trav(&mut mem, base, bytes / 8, 8, 8);
+    }
+    let d = mem.delta_since(&before);
+    assert_eq!(d.levels[bp].seq_misses + d.levels[bp].rand_misses, 0);
+}
+
+#[test]
+fn model_ranks_io_algorithms_like_memory_algorithms() {
+    // The optimizer story repeats at the I/O level: for data far beyond
+    // the pool, the model must prefer sequential-friendly plans.
+    let spec = tiny_with_disk();
+    let model = CostModel::new(spec);
+    let n = 32 * 1024u64; // 256 KB of tuples vs a 16 KB pool
+    let u = Region::new("U", n, 8);
+    let v = Region::new("V", n, 8);
+    let h = Region::new("H", (2 * n).next_power_of_two(), 16);
+    let w = Region::new("W", n, 16);
+
+    let merge = model.mem_ns(&gcm_core::library::merge_join(u.clone(), v.clone(), w.clone()));
+    let hash = model.mem_ns(&gcm_core::library::hash_join(u, v, h, w));
+    assert!(
+        merge < hash / 5.0,
+        "at I/O scale the streaming join must dominate: merge {merge} vs hash {hash}"
+    );
+}

@@ -39,7 +39,13 @@ fn main() {
 
     let mut series = Series::new(
         "Ablation — conflict misses by associativity (quick-sort + hash-join, L1)",
-        &["variant", "qs L1 total", "qs L1 conflict", "hj L1 total", "hj L1 conflict"],
+        &[
+            "variant",
+            "qs L1 total",
+            "qs L1 conflict",
+            "hj L1 total",
+            "hj L1 conflict",
+        ],
     );
 
     for (i, (name, spec)) in variants.iter().enumerate() {

@@ -63,7 +63,12 @@ fn main() {
     let model = CostModel::new(spec.clone());
     let mut series = Series::new(
         "Ablation — Eq 5.3 footprint division vs even split (hash-join, memory ms)",
-        &["||H|| KB", "measured ms", "footprint model ms", "even-split model ms"],
+        &[
+            "||H|| KB",
+            "measured ms",
+            "footprint model ms",
+            "even-split model ms",
+        ],
     );
 
     for n in [64 * 1024u64, 128 * 1024, 256 * 1024, 512 * 1024] {

@@ -80,7 +80,9 @@ fn main() {
         ]);
     }
 
-    println!("case 0: hash-join, H fits L2; case 1: quick-sort, fits L2; case 2: quick-sort, 4x L2");
+    println!(
+        "case 0: hash-join, H fits L2; case 1: quick-sort, fits L2; case 2: quick-sort, 4x L2"
+    );
     series.print();
     let meas = series.column("measured ms").unwrap();
     let full = series.column("full model ms").unwrap();

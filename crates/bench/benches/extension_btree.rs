@@ -23,7 +23,9 @@ fn main() {
 
     let mut series = Series::new(
         format!("Extension — B+-tree lookups, {n} keys, {q} probes (x = node bytes)"),
-        &["node B", "height", "meas L2", "pred L2", "meas ms", "pred ms"],
+        &[
+            "node B", "height", "meas L2", "pred L2", "meas ms", "pred ms",
+        ],
     );
 
     for node_w in [16u64, 32, 64, 128, 256, 1024] {

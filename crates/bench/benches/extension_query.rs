@@ -39,7 +39,14 @@ fn main() {
 
         let report = model.report(&run.pattern);
         let pred_ops = 8 * n;
-        series.row(&fig7::row(&spec, (size / kb) as f64, &stats.mem, stats.ops, &report, pred_ops));
+        series.row(&fig7::row(
+            &spec,
+            (size / kb) as f64,
+            &stats.mem,
+            stats.ops,
+            &report,
+            pred_ops,
+        ));
     }
     series.print();
     fig7::summarize(&series);

@@ -29,15 +29,21 @@ fn main() {
         let mut ctx = ExecContext::new(spec.clone());
         let keys = Workload::new(passes as u64).shuffled_keys(n as usize);
         let input = ctx.relation_from_keys("U", &keys, 8);
-        let (_, stats) =
-            ctx.measure(|c| ops::radix::radix_partition(c, &input, bits, passes, "R"));
+        let (_, stats) = ctx.measure(|c| ops::radix::radix_partition(c, &input, bits, passes, "R"));
 
         let w = Region::new("W", n, 8);
         let pattern = ops::radix::radix_partition_pattern(input.region(), &w, bits, passes);
         let report = model.report(&pattern);
         let pred_ops = passes as u64 * n;
 
-        series.row(&fig7::row(&spec, passes as f64, &stats.mem, stats.ops, &report, pred_ops));
+        series.row(&fig7::row(
+            &spec,
+            passes as f64,
+            &stats.mem,
+            stats.ops,
+            &report,
+            pred_ops,
+        ));
     }
     series.print();
     fig7::summarize(&series);

@@ -17,7 +17,12 @@ use gcm_workload::Workload;
 const N: u64 = 65_536;
 const W: u64 = 256;
 
-fn measure(spec: &gcm_hardware::HardwareSpec, offset: u64, u: u64, perm: Option<&[usize]>) -> Vec<u64> {
+fn measure(
+    spec: &gcm_hardware::HardwareSpec,
+    offset: u64,
+    u: u64,
+    perm: Option<&[usize]>,
+) -> Vec<u64> {
     let mut mem = MemorySystem::new(spec.clone());
     let base = mem.alloc_offset(N * W + 256, 4096, offset);
     let before = mem.snapshot();
@@ -26,7 +31,10 @@ fn measure(spec: &gcm_hardware::HardwareSpec, offset: u64, u: u64, perm: Option<
         Some(p) => exec::r_trav(&mut mem, base, W, u, p),
     }
     let d = mem.delta_since(&before);
-    d.levels.iter().map(|l| l.seq_misses + l.rand_misses).collect()
+    d.levels
+        .iter()
+        .map(|l| l.seq_misses + l.rand_misses)
+        .collect()
 }
 
 fn main() {
@@ -55,7 +63,10 @@ fn main() {
             let alignm1 = measure(&spec, b - 1, u, None)[li];
             // Average measured over 8 sampled alignments.
             let offsets: Vec<u64> = (0..8).map(|k| k * b / 8).collect();
-            let s_avg: f64 = offsets.iter().map(|&o| measure(&spec, o, u, None)[li] as f64).sum::<f64>()
+            let s_avg: f64 = offsets
+                .iter()
+                .map(|&o| measure(&spec, o, u, None)[li] as f64)
+                .sum::<f64>()
                 / offsets.len() as f64;
             let r_avg: f64 = offsets
                 .iter()
@@ -66,7 +77,15 @@ fn main() {
             let region = Region::new("R", N, W);
             let m_s = model.misses(&Pattern::s_trav_u(region.clone(), u))[li].total();
             let m_r = model.misses(&Pattern::r_trav_u(region, u))[li].total();
-            series.row(&[u as f64, align0 as f64, alignm1 as f64, s_avg, r_avg, m_s, m_r]);
+            series.row(&[
+                u as f64,
+                align0 as f64,
+                alignm1 as f64,
+                s_avg,
+                r_avg,
+                m_s,
+                m_r,
+            ]);
         }
         series.print();
         // Shape check: the model's average must sit between the two
@@ -79,6 +98,9 @@ fn main() {
             .zip(&a1)
             .zip(&ms)
             .all(|((&lo, &hi), &m)| m >= lo.min(hi) * 0.98 && m <= lo.max(hi) * 1.02);
-        println!("model within alignment envelope: {}\n", if ok { "yes" } else { "NO" });
+        println!(
+            "model within alignment envelope: {}\n",
+            if ok { "yes" } else { "NO" }
+        );
     }
 }

@@ -43,17 +43,41 @@ fn main() {
     let widths: Vec<u64> = (0..=8).map(|i| 1u64 << i).collect();
 
     let panels: [(&str, &str, bool, Vec<u64>); 4] = [
-        ("a) s_trav, L1", "L1", false, vec![16 * kb, 24 * kb, 32 * kb, 40 * kb, 64 * kb]),
-        ("b) s_trav, L2", "L2", false, vec![2 * mb, 6 * mb, 8 * mb, 12 * mb, 16 * mb]),
-        ("c) r_trav, L1", "L1", true, vec![16 * kb, 24 * kb, 32 * kb, 40 * kb, 64 * kb]),
-        ("d) r_trav, L2", "L2", true, vec![2 * mb, 6 * mb, 8 * mb, 12 * mb, 16 * mb]),
+        (
+            "a) s_trav, L1",
+            "L1",
+            false,
+            vec![16 * kb, 24 * kb, 32 * kb, 40 * kb, 64 * kb],
+        ),
+        (
+            "b) s_trav, L2",
+            "L2",
+            false,
+            vec![2 * mb, 6 * mb, 8 * mb, 12 * mb, 16 * mb],
+        ),
+        (
+            "c) r_trav, L1",
+            "L1",
+            true,
+            vec![16 * kb, 24 * kb, 32 * kb, 40 * kb, 64 * kb],
+        ),
+        (
+            "d) r_trav, L2",
+            "L2",
+            true,
+            vec![2 * mb, 6 * mb, 8 * mb, 12 * mb, 16 * mb],
+        ),
     ];
 
     for (panel, level, random, sizes) in panels {
         let li = spec.level_index(level).unwrap();
         let mut columns: Vec<String> = vec!["R.w".into()];
         for &s in &sizes {
-            let label = if s >= mb { format!("{}MB", s / mb) } else { format!("{}kB", s / kb) };
+            let label = if s >= mb {
+                format!("{}MB", s / mb)
+            } else {
+                format!("{}kB", s / kb)
+            };
             columns.push(format!("meas {label}"));
             columns.push(format!("model {label}"));
         }
@@ -86,7 +110,10 @@ fn main() {
         let m = measure(&spec, 32 * kb, w, false, li) as f64;
         (m - base).abs() / base < 0.02
     });
-    println!("  s_trav invariant to item size at fixed ||R||: {}", yesno(ok_flat));
+    println!(
+        "  s_trav invariant to item size at fixed ||R||: {}",
+        yesno(ok_flat)
+    );
     // r_trav == s_trav while the region fits the cache.
     let fits_r = measure(&spec, 16 * kb, 8, true, li);
     let fits_s = measure(&spec, 16 * kb, 8, false, li);

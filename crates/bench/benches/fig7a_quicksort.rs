@@ -34,7 +34,14 @@ fn main() {
         let report = model.report(&pattern);
         let pred_ops = ops::sort::quick_sort_expected_ops(n);
 
-        series.row(&fig7::row(&spec, (size / kb) as f64, &stats.mem, stats.ops, &report, pred_ops));
+        series.row(&fig7::row(
+            &spec,
+            (size / kb) as f64,
+            &stats.mem,
+            stats.ops,
+            &report,
+            pred_ops,
+        ));
     }
     series.print();
     fig7::summarize(&series);
@@ -42,15 +49,21 @@ fn main() {
     // The Figure-7a step: L2 misses per tuple jump once ||U|| > C2 (4 MB).
     let l2 = series.column("L2 meas").unwrap();
     let xs = series.column("x").unwrap();
-    let per_tuple: Vec<f64> =
-        l2.iter().zip(&xs).map(|(&m, &x)| m / (x * 128.0)).collect(); // n = x KB / 8
+    let per_tuple: Vec<f64> = l2.iter().zip(&xs).map(|(&m, &x)| m / (x * 128.0)).collect(); // n = x KB / 8
     println!(
         "L2 misses per tuple: {:?}",
-        per_tuple.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+        per_tuple
+            .iter()
+            .map(|v| (v * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
     );
     println!(
         "step at ||U|| = C2: {}",
-        if per_tuple[4] > 2.0 * per_tuple[1] { "reproduced" } else { "NOT reproduced" }
+        if per_tuple[4] > 2.0 * per_tuple[1] {
+            "reproduced"
+        } else {
+            "NOT reproduced"
+        }
     );
 
     // Eq 6.1 check: CPU + memory decomposition printed for the largest run.

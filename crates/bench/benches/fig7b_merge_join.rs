@@ -30,13 +30,19 @@ fn main() {
         let v = ctx.relation_from_keys("V", &keys, 8);
         let (out, stats) = ctx.measure(|c| ops::merge_join::merge_join(c, &u, &v, "W", 16));
 
-        let pattern =
-            ops::merge_join::merge_join_pattern(u.region(), v.region(), out.region());
+        let pattern = ops::merge_join::merge_join_pattern(u.region(), v.region(), out.region());
         let report = model.report(&pattern);
         // CPU: one comparison per cursor advance plus one per output.
         let pred_ops = 2 * n + n;
 
-        series.row(&fig7::row(&spec, (size / kb) as f64, &stats.mem, stats.ops, &report, pred_ops));
+        series.row(&fig7::row(
+            &spec,
+            (size / kb) as f64,
+            &stats.mem,
+            stats.ops,
+            &report,
+            pred_ops,
+        ));
     }
     series.print();
     fig7::summarize(&series);
@@ -45,7 +51,9 @@ fn main() {
     let xs = series.column("x").unwrap();
     let ms = series.column("ms meas").unwrap();
     let per_kb: Vec<f64> = ms.iter().zip(&xs).map(|(&t, &x)| t / x).collect();
-    let flat = per_kb.iter().all(|&v| (v - per_kb[0]).abs() / per_kb[0] < 0.25);
+    let flat = per_kb
+        .iter()
+        .all(|&v| (v - per_kb[0]).abs() / per_kb[0] < 0.25);
     println!(
         "cost proportional to data size (no cache-size effect): {}",
         if flat { "reproduced" } else { "NOT reproduced" }

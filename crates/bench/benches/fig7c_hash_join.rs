@@ -37,7 +37,14 @@ fn main() {
         // CPU: ~2 probes per build insert + ~2 per probe + 1 per output.
         let pred_ops = 5 * n;
 
-        series.row(&fig7::row(&spec, (size / kb) as f64, &stats.mem, stats.ops, &report, pred_ops));
+        series.row(&fig7::row(
+            &spec,
+            (size / kb) as f64,
+            &stats.mem,
+            stats.ops,
+            &report,
+            pred_ops,
+        ));
     }
     series.print();
     fig7::summarize(&series);
@@ -50,8 +57,15 @@ fn main() {
         let jumped = per_tuple.last().unwrap() > &(2.0 * per_tuple[0]);
         println!(
             "{label} cliff in {metric}: {} (per-tuple {:?})",
-            if jumped { "reproduced" } else { "NOT reproduced" },
-            per_tuple.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+            if jumped {
+                "reproduced"
+            } else {
+                "NOT reproduced"
+            },
+            per_tuple
+                .iter()
+                .map(|v| (v * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
         );
     }
 }

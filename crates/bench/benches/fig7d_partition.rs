@@ -21,7 +21,10 @@ fn main() {
     // structure, a sixth of the simulation time.
     let n: u64 = 2 * 1024 * 1024;
     let mut series = Series::new(
-        format!("Figure 7d — partitioning (x = m; ||U|| = {} MB)", n * 8 / (1024 * 1024)),
+        format!(
+            "Figure 7d — partitioning (x = m; ||U|| = {} MB)",
+            n * 8 / (1024 * 1024)
+        ),
         &cols,
     );
 
@@ -30,15 +33,15 @@ fn main() {
         let mut ctx = ExecContext::new(spec.clone());
         let keys = Workload::new(m).shuffled_keys(n as usize);
         let input = ctx.relation_from_keys("U", &keys, 8);
-        let (parts, stats) =
-            ctx.measure(|c| ops::partition::hash_partition(c, &input, m, "W"));
+        let (parts, stats) = ctx.measure(|c| ops::partition::hash_partition(c, &input, m, "W"));
 
-        let pattern =
-            ops::partition::partition_pattern(input.region(), parts.rel.region(), m);
+        let pattern = ops::partition::partition_pattern(input.region(), parts.rel.region(), m);
         let report = model.report(&pattern);
         let pred_ops = n; // one bucket computation per tuple
 
-        series.row(&fig7::row(&spec, m as f64, &stats.mem, stats.ops, &report, pred_ops));
+        series.row(&fig7::row(
+            &spec, m as f64, &stats.mem, stats.ops, &report, pred_ops,
+        ));
         m *= 8;
     }
     series.print();
@@ -49,8 +52,6 @@ fn main() {
     for (metric, lines) in [("TLB meas", 64u64), ("L1 meas", 1024), ("L2 meas", 32768)] {
         let col = series.column(metric).unwrap();
         let ratio = col.last().unwrap() / col[0].max(1.0);
-        println!(
-            "{metric}: misses grow {ratio:.0}x across the m sweep (cliff at m = {lines})"
-        );
+        println!("{metric}: misses grow {ratio:.0}x across the m sweep (cliff at m = {lines})");
     }
 }

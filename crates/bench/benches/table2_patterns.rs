@@ -19,9 +19,18 @@ fn main() {
 
     let rows: Vec<(&str, String)> = vec![
         ("scan(U)", library::scan(u.clone()).to_string()),
-        ("select(U) -> W", library::select(u.clone(), w.clone()).to_string()),
-        ("project(U, 8) -> W", library::project(u.clone(), 8, w.clone()).to_string()),
-        ("build_hash(V) -> H", library::build_hash(v.clone(), h.clone()).to_string()),
+        (
+            "select(U) -> W",
+            library::select(u.clone(), w.clone()).to_string(),
+        ),
+        (
+            "project(U, 8) -> W",
+            library::project(u.clone(), 8, w.clone()).to_string(),
+        ),
+        (
+            "build_hash(V) -> H",
+            library::build_hash(v.clone(), h.clone()).to_string(),
+        ),
         (
             "hash_join(U, V) -> W",
             library::hash_join(u.clone(), v.clone(), h.clone(), w16.clone()).to_string(),
@@ -38,21 +47,18 @@ fn main() {
             let p = library::quick_sort(Region::new("U", 16, 8));
             p.to_string()
         }),
-        ("partition(U, 64) -> W", library::partition(u.clone(), w.clone(), 64).to_string()),
+        (
+            "partition(U, 64) -> W",
+            library::partition(u.clone(), w.clone(), 64).to_string(),
+        ),
         (
             "range_partition(U, 64) -> W",
             library::range_partition(u.clone(), w.clone(), 64).to_string(),
         ),
         ("part_hash_join(U, V, m=4)", {
             // Show the 4-way version; larger fan-outs print analogously.
-            library::partitioned_hash_join_uniform(
-                u.clone(),
-                v.clone(),
-                w16.clone(),
-                4,
-                16,
-            )
-            .to_string()
+            library::partitioned_hash_join_uniform(u.clone(), v.clone(), w16.clone(), 4, 16)
+                .to_string()
         }),
         (
             "hash_aggregate(U) -> G",

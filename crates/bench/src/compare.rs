@@ -94,7 +94,11 @@ mod tests {
 
     #[test]
     fn ratio_and_within() {
-        let c = LevelComparison { name: "L1".into(), measured: 100.0, predicted: 110.0 };
+        let c = LevelComparison {
+            name: "L1".into(),
+            measured: 100.0,
+            predicted: 110.0,
+        };
         assert!((c.ratio() - 1.1).abs() < 1e-12);
         assert!(c.within(0.15, 1.0));
         assert!(!c.within(0.05, 1.0));
@@ -102,14 +106,22 @@ mod tests {
 
     #[test]
     fn small_counts_are_exempt() {
-        let c = LevelComparison { name: "TLB".into(), measured: 2.0, predicted: 8.0 };
+        let c = LevelComparison {
+            name: "TLB".into(),
+            measured: 2.0,
+            predicted: 8.0,
+        };
         assert!(c.within(0.10, 10.0));
         assert!(!c.within(0.10, 1.0));
     }
 
     #[test]
     fn zero_measured_zero_predicted_is_fine() {
-        let c = LevelComparison { name: "L2".into(), measured: 0.0, predicted: 0.0 };
+        let c = LevelComparison {
+            name: "L2".into(),
+            measured: 0.0,
+            predicted: 0.0,
+        };
         assert_eq!(c.ratio(), 1.0);
         assert!(c.within(0.01, 1.0));
     }

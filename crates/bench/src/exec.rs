@@ -83,7 +83,9 @@ pub fn nest_seq(
 /// cursors appears exactly `n/m` times, in deterministic shuffled order.
 pub fn balanced_picks(n: u64, m: u64, seed: u64) -> Vec<usize> {
     let per = n / m;
-    let mut picks: Vec<usize> = (0..m as usize).flat_map(|j| std::iter::repeat_n(j, per as usize)).collect();
+    let mut picks: Vec<usize> = (0..m as usize)
+        .flat_map(|j| std::iter::repeat_n(j, per as usize))
+        .collect();
     let mut wl = gcm_workload::Workload::new(seed);
     wl.shuffle(&mut picks);
     picks

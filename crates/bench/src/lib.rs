@@ -11,6 +11,6 @@
 //! * [`table`] — plain-text series printing in the paper's layout.
 
 pub mod compare;
-pub mod fig7;
 pub mod exec;
+pub mod fig7;
 pub mod table;

@@ -43,9 +43,13 @@ impl Chase {
         for w in 0..count as usize {
             let from = order[w];
             let to = order[(w + 1) % count as usize];
-            mem.host_mut().write_u64(base + from * stride, base + to * stride);
+            mem.host_mut()
+                .write_u64(base + from * stride, base + to * stride);
         }
-        Chase { start: base + order[0] * stride, count }
+        Chase {
+            start: base + order[0] * stride,
+            count,
+        }
     }
 
     /// Number of nodes in the cycle.

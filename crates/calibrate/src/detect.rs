@@ -75,7 +75,11 @@ impl Calibrator {
     /// outermost capacity you expect, exactly like the real tool's
     /// command-line argument).
     pub fn new(spec: HardwareSpec, max_bytes: u64) -> Calibrator {
-        Calibrator { spec, max_bytes, seed: 0xC0FFEE }
+        Calibrator {
+            spec,
+            max_bytes,
+            seed: 0xC0FFEE,
+        }
     }
 
     fn fresh(&self) -> MemorySystem {
@@ -110,7 +114,11 @@ impl Calibrator {
                 let entries = k1 / 2;
                 let page = p1;
                 let miss_ns = self.tlb_latency(page, entries);
-                return Some(DetectedTlb { entries, page, miss_ns });
+                return Some(DetectedTlb {
+                    entries,
+                    page,
+                    miss_ns,
+                });
             }
         }
         None
@@ -192,8 +200,7 @@ impl Calibrator {
                     .as_ref()
                     .map(|t| {
                         let reach = (t.entries * t.page) as f64;
-                        ((1.0 - (reach / size as f64).min(1.0)) * t.miss_ns * 1.15)
-                            .min(t.miss_ns)
+                        ((1.0 - (reach / size as f64).min(1.0)) * t.miss_ns * 1.15).min(t.miss_ns)
                     })
                     .unwrap_or(0.0);
                 (size, (raw - tlb_part).max(0.0))
@@ -245,7 +252,12 @@ impl Calibrator {
             let per_byte = self.seq_cost_per_byte(footprint, tlb);
             let seq_ns = ((per_byte - inner_per_byte) * line as f64).max(0.0);
             inner_per_byte += seq_ns / line as f64;
-            levels.push(DetectedCache { capacity, line, seq_miss_ns: seq_ns, rand_miss_ns: rand_ns });
+            levels.push(DetectedCache {
+                capacity,
+                line,
+                seq_miss_ns: seq_ns,
+                rand_miss_ns: rand_ns,
+            });
         }
         levels
     }
@@ -317,8 +329,7 @@ impl Calibrator {
                     continue;
                 }
                 if cache_idx < levels && result[cache_idx] == 0 {
-                    let misses =
-                        delta.levels[li].seq_misses + delta.levels[li].rand_misses;
+                    let misses = delta.levels[li].seq_misses + delta.levels[li].rand_misses;
                     if misses as f64 >= 0.99 * count as f64 {
                         result[cache_idx] = stride;
                     }
@@ -364,19 +375,44 @@ mod tests {
         let tlb = report.tlb.as_ref().expect("TLB must be found");
         assert_eq!(tlb.page, 1024, "page size");
         assert_eq!(tlb.entries, 8, "entries");
-        assert!((tlb.miss_ns - 100.0).abs() < 35.0, "TLB latency {}", tlb.miss_ns);
+        assert!(
+            (tlb.miss_ns - 100.0).abs() < 35.0,
+            "TLB latency {}",
+            tlb.miss_ns
+        );
 
-        assert_eq!(report.caches.len(), 2, "two cache levels: {:?}", report.caches);
+        assert_eq!(
+            report.caches.len(),
+            2,
+            "two cache levels: {:?}",
+            report.caches
+        );
         let l1 = &report.caches[0];
         assert_eq!(l1.capacity, 2048);
         assert_eq!(l1.line, 32);
-        assert!((l1.rand_miss_ns - 15.0).abs() < 6.0, "L1 rand {}", l1.rand_miss_ns);
-        assert!((l1.seq_miss_ns - 5.0).abs() < 3.0, "L1 seq {}", l1.seq_miss_ns);
+        assert!(
+            (l1.rand_miss_ns - 15.0).abs() < 6.0,
+            "L1 rand {}",
+            l1.rand_miss_ns
+        );
+        assert!(
+            (l1.seq_miss_ns - 5.0).abs() < 3.0,
+            "L1 seq {}",
+            l1.seq_miss_ns
+        );
         let l2 = &report.caches[1];
         assert_eq!(l2.capacity, 16 * 1024);
         assert_eq!(l2.line, 64);
-        assert!((l2.rand_miss_ns - 150.0).abs() < 40.0, "L2 rand {}", l2.rand_miss_ns);
-        assert!((l2.seq_miss_ns - 50.0).abs() < 20.0, "L2 seq {}", l2.seq_miss_ns);
+        assert!(
+            (l2.rand_miss_ns - 150.0).abs() < 40.0,
+            "L2 rand {}",
+            l2.rand_miss_ns
+        );
+        assert!(
+            (l2.seq_miss_ns - 50.0).abs() < 20.0,
+            "L2 seq {}",
+            l2.seq_miss_ns
+        );
     }
 
     #[test]
@@ -413,7 +449,11 @@ mod origin_tests {
         let tlb = report.tlb.as_ref().expect("TLB must be found");
         assert_eq!(tlb.entries, 64);
         assert_eq!(tlb.page, 16 * 1024);
-        assert!((tlb.miss_ns - 228.0).abs() < 30.0, "TLB latency {}", tlb.miss_ns);
+        assert!(
+            (tlb.miss_ns - 228.0).abs() < 30.0,
+            "TLB latency {}",
+            tlb.miss_ns
+        );
 
         assert_eq!(report.caches.len(), 2, "{:?}", report.caches);
         let l1 = &report.caches[0];

@@ -37,7 +37,11 @@ impl CalibrationReport {
     ///
     /// Associativity is not measurable by the timing scans (and the model
     /// ignores it); calibrated specs are created fully associative.
-    pub fn to_spec(&self, name: impl Into<String>, cpu_mhz: f64) -> Result<HardwareSpec, gcm_hardware::HardwareError> {
+    pub fn to_spec(
+        &self,
+        name: impl Into<String>,
+        cpu_mhz: f64,
+    ) -> Result<HardwareSpec, gcm_hardware::HardwareError> {
         let mut levels: Vec<CacheLevel> = self
             .caches
             .iter()
@@ -107,17 +111,20 @@ pub fn comparison_table(spec: &HardwareSpec, report: &CalibrationReport) -> Stri
         out.push_str(&format!(
             "TLB entries                       {:>11} {:>14}\n",
             tlb_spec.lines(),
-            det.map(|t| t.entries.to_string()).unwrap_or_else(|| "-".into())
+            det.map(|t| t.entries.to_string())
+                .unwrap_or_else(|| "-".into())
         ));
         out.push_str(&format!(
             "page size [bytes]                 {:>11} {:>14}\n",
             tlb_spec.line,
-            det.map(|t| t.page.to_string()).unwrap_or_else(|| "-".into())
+            det.map(|t| t.page.to_string())
+                .unwrap_or_else(|| "-".into())
         ));
         out.push_str(&format!(
             "TLB miss latency [ns]             {:>11} {:>14}\n",
             tlb_spec.seq_miss_ns,
-            det.map(|t| format!("{:.1}", t.miss_ns)).unwrap_or_else(|| "-".into())
+            det.map(|t| format!("{:.1}", t.miss_ns))
+                .unwrap_or_else(|| "-".into())
         ));
     }
     out
@@ -137,7 +144,11 @@ mod tests {
                 seq_miss_ns: 5.0,
                 rand_miss_ns: 15.0,
             }],
-            tlb: Some(DetectedTlb { entries: 8, page: 1024, miss_ns: 100.0 }),
+            tlb: Some(DetectedTlb {
+                entries: 8,
+                page: 1024,
+                miss_ns: 100.0,
+            }),
         };
         let table = comparison_table(&presets::tiny(), &report);
         assert!(table.contains("L1 capacity"));

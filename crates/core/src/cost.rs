@@ -83,7 +83,10 @@ pub struct CpuCost {
 impl CpuCost {
     /// A calibration with zero fixed cost.
     pub fn per_op(per_op_ns: f64) -> CpuCost {
-        CpuCost { fixed_ns: 0.0, per_op_ns }
+        CpuCost {
+            fixed_ns: 0.0,
+            per_op_ns,
+        }
     }
 
     /// `T_cpu` for `ops` logical operations.
@@ -200,7 +203,10 @@ mod tests {
         let model = CostModel::new(presets::tiny());
         let a = Region::new("A", 1000, 8);
         let p = Pattern::s_trav(a);
-        let cpu = CpuCost { fixed_ns: 500.0, per_op_ns: 2.0 };
+        let cpu = CpuCost {
+            fixed_ns: 500.0,
+            per_op_ns: 2.0,
+        };
         let t = model.total_ns(&p, cpu, 1000);
         assert!((t - (model.mem_ns(&p) + 2500.0)).abs() < 1e-9);
     }
@@ -230,7 +236,10 @@ mod tests {
     fn cpu_cost_helpers() {
         let c = CpuCost::per_op(3.0);
         assert_eq!(c.ns(10), 30.0);
-        let c2 = CpuCost { fixed_ns: 100.0, per_op_ns: 1.0 };
+        let c2 = CpuCost {
+            fixed_ns: 100.0,
+            per_op_ns: 1.0,
+        };
         assert_eq!(c2.ns(0), 100.0);
     }
 }

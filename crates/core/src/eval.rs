@@ -85,7 +85,10 @@ fn benefits_proportionally(p: &Pattern) -> bool {
         Pattern::RTrav { .. }
             | Pattern::RrTrav { .. }
             | Pattern::RAcc { .. }
-            | Pattern::Nest { local: LocalPattern::RandTraversal { .. }, .. }
+            | Pattern::Nest {
+                local: LocalPattern::RandTraversal { .. },
+                ..
+            }
     )
 }
 
@@ -123,9 +126,13 @@ pub fn footprint_lines(p: &Pattern, geo: &Geometry) -> f64 {
 fn basic_misses(p: &Pattern, geo: &Geometry) -> MissPair {
     match p {
         Pattern::STrav { r, u, latency } => misses::s_trav(r, *u, *latency, geo),
-        Pattern::RsTrav { r, u, k, dir, latency } => {
-            misses::rs_trav(r, *u, *k, *dir, *latency, geo)
-        }
+        Pattern::RsTrav {
+            r,
+            u,
+            k,
+            dir,
+            latency,
+        } => misses::rs_trav(r, *u, *k, *dir, *latency, geo),
         Pattern::RTrav { r, u } => misses::r_trav(r, *u, geo),
         Pattern::RrTrav { r, u, k } => misses::rr_trav(r, *u, *k, geo),
         Pattern::RAcc { r, u, accesses } => misses::r_acc(r, *u, *accesses, geo),
@@ -173,7 +180,11 @@ pub fn eval_level(p: &Pattern, geo: &Geometry, state: &mut CacheState) -> MissPa
             let mut total = MissPair::default();
             let mut merged = CacheState::cold();
             for (child, foot) in ps.iter().zip(&feet) {
-                let share = if total_foot > 0.0 { foot / total_foot } else { 1.0 };
+                let share = if total_foot > 0.0 {
+                    foot / total_foot
+                } else {
+                    1.0
+                };
                 let sub_geo = geo.scaled(share);
                 let mut sub_state = state.clone();
                 total += eval_level(child, &sub_geo, &mut sub_state);
@@ -234,7 +245,11 @@ mod tests {
     use gcm_hardware::presets;
 
     fn geo(c: u64, b: u64) -> Geometry {
-        Geometry { c: c as f64, b: b as f64, lines: c as f64 / b as f64 }
+        Geometry {
+            c: c as f64,
+            b: b as f64,
+            lines: c as f64 / b as f64,
+        }
     }
 
     #[test]
@@ -269,10 +284,10 @@ mod tests {
         let a = Region::new("A", 256, 8); // 2048 B vs 1024 B cache
         let g = geo(1024, 32);
         // Sequential second sweep: no benefit (needs full residency).
-        let p_seq =
-            Pattern::seq(vec![Pattern::s_trav(a.clone()), Pattern::s_trav(a.clone())]);
+        let p_seq = Pattern::seq(vec![Pattern::s_trav(a.clone()), Pattern::s_trav(a.clone())]);
         let m_seq = eval_level(&p_seq, &g, &mut CacheState::cold()).total();
         assert!((m_seq - 2.0 * 64.0).abs() < 1e-9); // 2 × |R| lines
+
         // Random second sweep: proportional benefit.
         let p_rand = Pattern::seq(vec![Pattern::s_trav(a.clone()), Pattern::r_trav(a.clone())]);
         let m_rand = eval_level(&p_rand, &g, &mut CacheState::cold()).total();
@@ -334,7 +349,10 @@ mod tests {
         let p = Pattern::conc(vec![Pattern::r_trav(a.clone()), Pattern::r_trav(b)]);
         let m = eval_level(&p, &g, &mut CacheState::cold()).total();
         let solo = eval_level(&Pattern::r_trav(a), &g, &mut CacheState::cold()).total();
-        assert!(m > 2.0 * solo, "interference must cost extra: {m} vs 2×{solo}");
+        assert!(
+            m > 2.0 * solo,
+            "interference must cost extra: {m} vs 2×{solo}"
+        );
     }
 
     #[test]
@@ -356,12 +374,16 @@ mod tests {
         let u = Region::new("U", 100, 8); // 800 B < 1 KB
         let g = geo(1024, 32);
         let pass = |r: &Region| {
-            Pattern::conc(vec![Pattern::s_trav(r.slice(2)), Pattern::s_trav(r.slice(2))])
+            Pattern::conc(vec![
+                Pattern::s_trav(r.slice(2)),
+                Pattern::s_trav(r.slice(2)),
+            ])
         };
         let p = Pattern::seq(vec![pass(&u), pass(&u)]);
         let m = eval_level(&p, &g, &mut CacheState::cold()).total();
         // One full sweep's worth of misses only (both halves, once).
         assert!((m - 26.0).abs() < 2.0, "m={m}"); // 2×⌈400/32⌉ = 26 lines
+
         // Oversized table: both passes pay.
         let big = Region::new("B", 10_000, 8);
         let pb = Pattern::seq(vec![pass(&big), pass(&big)]);
@@ -391,7 +413,10 @@ mod tests {
         let wide = Region::new("W", 100, 256);
         assert_eq!(footprint_lines(&Pattern::r_trav_u(wide, 8), &g), 1.0);
         // Conc sums, Seq maxes.
-        let c = Pattern::conc(vec![Pattern::s_trav(small.clone()), Pattern::r_trav(small.clone())]);
+        let c = Pattern::conc(vec![
+            Pattern::s_trav(small.clone()),
+            Pattern::r_trav(small.clone()),
+        ]);
         assert_eq!(footprint_lines(&c, &g), 26.0);
         let s = Pattern::seq(vec![Pattern::s_trav(small.clone()), Pattern::r_trav(small)]);
         assert_eq!(footprint_lines(&s, &g), 25.0);

@@ -54,7 +54,11 @@ pub fn hash_join(u: Region, v: Region, h: Region, w: Region) -> Pattern {
 /// `merge_join(U, V) → W` over sorted inputs: three concurrent sequential
 /// sweeps.
 pub fn merge_join(u: Region, v: Region, w: Region) -> Pattern {
-    Pattern::conc(vec![Pattern::s_trav(u), Pattern::s_trav(v), Pattern::s_trav(w)])
+    Pattern::conc(vec![
+        Pattern::s_trav(u),
+        Pattern::s_trav(v),
+        Pattern::s_trav(w),
+    ])
 }
 
 /// `nested_loop_join(U, V) → W`: the outer input is swept once while the
@@ -83,12 +87,15 @@ pub fn nested_loop_join(u: Region, v: Region, w: Region) -> Pattern {
 /// Figure-7a step: depths whose segments fit a cache level cost nothing
 /// at that level beyond the first touch.
 pub fn quick_sort(u: Region) -> Pattern {
-    let depth = if u.n <= 1 { 1 } else { (u.n as f64).log2().ceil() as u64 };
+    let depth = if u.n <= 1 {
+        1
+    } else {
+        (u.n as f64).log2().ceil() as u64
+    };
     let passes = (0..depth)
         .map(|i| {
             let half = u.slice(1u64 << (i + 1).min(63));
-            let pass =
-                Pattern::conc(vec![Pattern::s_trav(half.clone()), Pattern::s_trav(half)]);
+            let pass = Pattern::conc(vec![Pattern::s_trav(half.clone()), Pattern::s_trav(half)]);
             Pattern::repeat(1u64 << i.min(63), pass)
         })
         .collect();
@@ -107,7 +114,10 @@ pub fn partition(u: Region, w: Region, m: u64) -> Pattern {
         Pattern::nest(
             w,
             m,
-            LocalPattern::SeqTraversal { u: item, latency: LatencyClass::Sequential },
+            LocalPattern::SeqTraversal {
+                u: item,
+                latency: LatencyClass::Sequential,
+            },
             GlobalOrder::Random,
         ),
     ])
@@ -122,7 +132,10 @@ pub fn range_partition(u: Region, w: Region, m: u64) -> Pattern {
         Pattern::nest(
             w,
             m,
-            LocalPattern::SeqTraversal { u: item, latency: LatencyClass::Sequential },
+            LocalPattern::SeqTraversal {
+                u: item,
+                latency: LatencyClass::Sequential,
+            },
             GlobalOrder::Sequential(Direction::Bi),
         ),
     ])
@@ -208,7 +221,10 @@ mod tests {
         let h = reg("H", 1000, 16);
         let w = reg("W", 1000, 8);
         assert_eq!(scan(u.clone()).to_string(), "s_trav(U)");
-        assert_eq!(select(u.clone(), w.clone()).to_string(), "s_trav(U) ⊙ s_trav(W)");
+        assert_eq!(
+            select(u.clone(), w.clone()).to_string(),
+            "s_trav(U) ⊙ s_trav(W)"
+        );
         assert_eq!(
             hash_join(u.clone(), v.clone(), h.clone(), w.clone()).to_string(),
             "s_trav(V) ⊙ r_trav(H) ⊕ s_trav(U) ⊙ r_acc(H, 1000) ⊙ s_trav(W)"
@@ -256,9 +272,7 @@ mod tests {
     #[test]
     fn merge_join_is_linear_in_input() {
         let m = model();
-        let mk = |n: u64| {
-            m.mem_ns(&merge_join(reg("U", n, 8), reg("V", n, 8), reg("W", n, 8)))
-        };
+        let mk = |n: u64| m.mem_ns(&merge_join(reg("U", n, 8), reg("V", n, 8), reg("W", n, 8)));
         let c1 = mk(10_000);
         let c2 = mk(20_000);
         let ratio = c2 / c1;
@@ -269,7 +283,11 @@ mod tests {
     fn nested_loop_join_dwarfs_hash_join() {
         let m = model();
         let n = 4096;
-        let nl = m.mem_ns(&nested_loop_join(reg("U", n, 8), reg("V", n, 8), reg("W", n, 8)));
+        let nl = m.mem_ns(&nested_loop_join(
+            reg("U", n, 8),
+            reg("V", n, 8),
+            reg("W", n, 8),
+        ));
         let hj = m.mem_ns(&hash_join(
             reg("U", n, 8),
             reg("V", n, 8),
@@ -306,9 +324,7 @@ mod tests {
     fn partition_cost_cliffs_with_fanout() {
         let m = model(); // tiny L1: 64 lines; TLB: 8 pages
         let n = 32_768;
-        let mk = |parts: u64| {
-            m.mem_ns(&partition(reg("U", n, 8), reg("W", n, 8), parts))
-        };
+        let mk = |parts: u64| m.mem_ns(&partition(reg("U", n, 8), reg("W", n, 8), parts));
         let below = mk(4);
         let above = mk(4096);
         assert!(above > 3.0 * below, "fan-out cliff: {below} -> {above}");

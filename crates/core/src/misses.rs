@@ -60,7 +60,10 @@ impl MissPair {
 impl Add for MissPair {
     type Output = MissPair;
     fn add(self, o: MissPair) -> MissPair {
-        MissPair { seq: self.seq + o.seq, rand: self.rand + o.rand }
+        MissPair {
+            seq: self.seq + o.seq,
+            rand: self.rand + o.rand,
+        }
     }
 }
 
@@ -74,7 +77,10 @@ impl AddAssign for MissPair {
 impl Mul<f64> for MissPair {
     type Output = MissPair;
     fn mul(self, s: f64) -> MissPair {
-        MissPair { seq: self.seq * s, rand: self.rand * s }
+        MissPair {
+            seq: self.seq * s,
+            rand: self.rand * s,
+        }
     }
 }
 
@@ -104,7 +110,11 @@ impl Geometry {
     pub fn scaled(&self, frac: f64) -> Geometry {
         let frac = frac.clamp(0.0, 1.0);
         let c = (self.c * frac).max(self.b);
-        Geometry { c, b: self.b, lines: c / self.b }
+        Geometry {
+            c,
+            b: self.b,
+            lines: c / self.b,
+        }
     }
 }
 
@@ -256,7 +266,11 @@ pub fn r_acc_distinct_lines(r: &Region, u: u64, d: f64, g: &Geometry) -> f64 {
     }
     let packed = (d * r.w as f64 / g.b).ceil();
     let spread = (d * lines_per_item(u, g.b)).min(r.lines(g.b as u64));
-    let density = if r.n == 0 { 1.0 } else { (d / r.n as f64).clamp(0.0, 1.0) };
+    let density = if r.n == 0 {
+        1.0
+    } else {
+        (d / r.n as f64).clamp(0.0, 1.0)
+    };
     density * packed + (1.0 - density) * spread
 }
 
@@ -328,7 +342,13 @@ pub fn r_acc(r: &Region, u: u64, q: u64, g: &Geometry) -> MissPair {
 ///   `R.n·⌈u/B⌉ − |R|` would-be reuses that fail are extra random misses.
 ///   This reproduces the partitioning cliffs of Figure 7d at `m ≈ #` for
 ///   every level.
-pub fn nest(r: &Region, m: u64, local: &LocalPattern, order: GlobalOrder, g: &Geometry) -> MissPair {
+pub fn nest(
+    r: &Region,
+    m: u64,
+    local: &LocalPattern,
+    order: GlobalOrder,
+    g: &Geometry,
+) -> MissPair {
     if r.n == 0 || m == 0 {
         return MissPair::default();
     }
@@ -373,7 +393,11 @@ mod tests {
     use super::*;
 
     fn geo(c: u64, b: u64) -> Geometry {
-        Geometry { c: c as f64, b: b as f64, lines: c as f64 / b as f64 }
+        Geometry {
+            c: c as f64,
+            b: b as f64,
+            lines: c as f64 / b as f64,
+        }
     }
 
     // ---- lines_per_item (Eq 4.3's alignment average) ----
@@ -583,7 +607,13 @@ mod tests {
     fn nest_local_random_behaves_like_r_trav() {
         let r = Region::new("R", 10_000, 8);
         let g = geo(1024, 32);
-        let n = nest(&r, 16, &LocalPattern::RandTraversal { u: 8 }, GlobalOrder::Random, &g);
+        let n = nest(
+            &r,
+            16,
+            &LocalPattern::RandTraversal { u: 8 },
+            GlobalOrder::Random,
+            &g,
+        );
         assert!((n.total() - r_trav(&r, 8, &g).total()).abs() < 1e-9);
     }
 
@@ -596,7 +626,10 @@ mod tests {
         let n = nest(
             &r,
             m,
-            &LocalPattern::SeqTraversal { u: 8, latency: LatencyClass::Sequential },
+            &LocalPattern::SeqTraversal {
+                u: 8,
+                latency: LatencyClass::Sequential,
+            },
             GlobalOrder::Random,
             &g,
         );
@@ -610,7 +643,10 @@ mod tests {
         // The Figure-7d cliff: misses jump once m exceeds #.
         let r = Region::new("R", 100_000, 8);
         let g = geo(1024, 32); // # = 32
-        let local = LocalPattern::SeqTraversal { u: 8, latency: LatencyClass::Sequential };
+        let local = LocalPattern::SeqTraversal {
+            u: 8,
+            latency: LatencyClass::Sequential,
+        };
         let below = nest(&r, 32, &local, GlobalOrder::Random, &g).total();
         let above = nest(&r, 4096, &local, GlobalOrder::Random, &g).total();
         assert!((below - r.lines(32)).abs() < 1e-9);
@@ -626,7 +662,10 @@ mod tests {
     fn nest_monotone_in_m_past_cliff() {
         let r = Region::new("R", 100_000, 8);
         let g = geo(1024, 32);
-        let local = LocalPattern::SeqTraversal { u: 8, latency: LatencyClass::Sequential };
+        let local = LocalPattern::SeqTraversal {
+            u: 8,
+            latency: LatencyClass::Sequential,
+        };
         let mut prev = 0.0;
         for m in [32u64, 64, 128, 1024, 16_384] {
             let cur = nest(&r, m, &local, GlobalOrder::Random, &g).total();
@@ -639,7 +678,10 @@ mod tests {
     fn nest_bi_sequential_global_reuses_lines() {
         let r = Region::new("R", 100_000, 8);
         let g = geo(1024, 32);
-        let local = LocalPattern::SeqTraversal { u: 8, latency: LatencyClass::Sequential };
+        let local = LocalPattern::SeqTraversal {
+            u: 8,
+            latency: LatencyClass::Sequential,
+        };
         let m = 64; // 2× the line count
         let bi = nest(&r, m, &local, GlobalOrder::Sequential(Direction::Bi), &g).total();
         let uni = nest(&r, m, &local, GlobalOrder::Sequential(Direction::Uni), &g).total();
@@ -653,7 +695,10 @@ mod tests {
         // Wide items, small u: gap ≥ B ⇒ per-item lines, whatever m.
         let r = Region::new("R", 1000, 256);
         let g = geo(1024, 32);
-        let local = LocalPattern::SeqTraversal { u: 8, latency: LatencyClass::Sequential };
+        let local = LocalPattern::SeqTraversal {
+            u: 8,
+            latency: LatencyClass::Sequential,
+        };
         for m in [2u64, 64, 1024] {
             let n = nest(&r, m, &local, GlobalOrder::Random, &g).total();
             assert!((n - 1000.0 * lines_per_item(8, 32.0)).abs() < 1e-9);

@@ -83,7 +83,11 @@ struct Parser<'a> {
 
 /// Parse pattern text against a region catalog.
 pub fn parse_pattern(src: &str, catalog: &Catalog) -> Result<Pattern, ParseError> {
-    let mut p = Parser { src, pos: 0, catalog };
+    let mut p = Parser {
+        src,
+        pos: 0,
+        catalog,
+    };
     let pat = p.pattern()?;
     p.skip_ws();
     if p.pos != p.src.len() {
@@ -94,7 +98,10 @@ pub fn parse_pattern(src: &str, catalog: &Catalog) -> Result<Pattern, ParseError
 
 impl<'a> Parser<'a> {
     fn error(&self, message: impl Into<String>) -> ParseError {
-        ParseError { at: self.pos, message: message.into() }
+        ParseError {
+            at: self.pos,
+            message: message.into(),
+        }
     }
 
     fn rest(&self) -> &'a str {
@@ -221,9 +228,10 @@ impl<'a> Parser<'a> {
                 let order = self.global_order()?;
                 let u = r.w;
                 let local = match local_name.as_str() {
-                    "s_trav" => {
-                        LocalPattern::SeqTraversal { u, latency: LatencyClass::Sequential }
-                    }
+                    "s_trav" => LocalPattern::SeqTraversal {
+                        u,
+                        latency: LatencyClass::Sequential,
+                    },
                     "r_trav" => LocalPattern::RandTraversal { u },
                     other => return Err(self.error(format!("unknown local pattern '{other}'"))),
                 };

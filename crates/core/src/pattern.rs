@@ -63,10 +63,20 @@ pub enum LocalPattern {
 pub enum Pattern {
     /// `s_trav(R, u)`: one sequential sweep over `R`, touching `u` bytes
     /// of each item.
-    STrav { r: Region, u: u64, latency: LatencyClass },
+    STrav {
+        r: Region,
+        u: u64,
+        latency: LatencyClass,
+    },
     /// `rs_trav(k, d, R, u)`: `k` sequential sweeps, uni- or
     /// bi-directional.
-    RsTrav { r: Region, u: u64, k: u64, dir: Direction, latency: LatencyClass },
+    RsTrav {
+        r: Region,
+        u: u64,
+        k: u64,
+        dir: Direction,
+        latency: LatencyClass,
+    },
     /// `r_trav(R, u)`: touch every item exactly once, in random order.
     RTrav { r: Region, u: u64 },
     /// `rr_trav(k, R, u)`: `k` independent random traversals.
@@ -76,7 +86,12 @@ pub enum Pattern {
     /// `nest(R, m, P, g)`: `R` divided into `m` equal sub-regions, each
     /// with a local cursor performing `local`; the global cursor picks
     /// local cursors in order `g`.
-    Nest { r: Region, m: u64, local: LocalPattern, order: GlobalOrder },
+    Nest {
+        r: Region,
+        m: u64,
+        local: LocalPattern,
+        order: GlobalOrder,
+    },
     /// `P₁ ⊕ P₂ ⊕ …`: sequential execution.
     Seq(Vec<Pattern>),
     /// `P₁ ⊙ P₂ ⊙ …`: concurrent execution.
@@ -93,32 +108,56 @@ impl Pattern {
     /// `s_trav^s(R)` touching all `R.w` bytes per item.
     pub fn s_trav(r: Region) -> Pattern {
         let u = r.w;
-        Pattern::STrav { r, u, latency: LatencyClass::Sequential }
+        Pattern::STrav {
+            r,
+            u,
+            latency: LatencyClass::Sequential,
+        }
     }
 
     /// `s_trav^s(R, u)` touching `u ≤ R.w` bytes per item.
     pub fn s_trav_u(r: Region, u: u64) -> Pattern {
         assert!(u >= 1 && u <= r.w, "need 1 <= u <= R.w");
-        Pattern::STrav { r, u, latency: LatencyClass::Sequential }
+        Pattern::STrav {
+            r,
+            u,
+            latency: LatencyClass::Sequential,
+        }
     }
 
     /// `s_trav^r(R, u)`: a sequential sweep whose implementation cannot
     /// reach sequential latency (paper §4.1).
     pub fn s_trav_r(r: Region, u: u64) -> Pattern {
         assert!(u >= 1 && u <= r.w, "need 1 <= u <= R.w");
-        Pattern::STrav { r, u, latency: LatencyClass::Random }
+        Pattern::STrav {
+            r,
+            u,
+            latency: LatencyClass::Random,
+        }
     }
 
     /// `rs_trav(k, d, R)` touching all bytes per item.
     pub fn rs_trav(r: Region, k: u64, dir: Direction) -> Pattern {
         let u = r.w;
-        Pattern::RsTrav { r, u, k, dir, latency: LatencyClass::Sequential }
+        Pattern::RsTrav {
+            r,
+            u,
+            k,
+            dir,
+            latency: LatencyClass::Sequential,
+        }
     }
 
     /// `rs_trav(k, d, R, u)`.
     pub fn rs_trav_u(r: Region, u: u64, k: u64, dir: Direction) -> Pattern {
         assert!(u >= 1 && u <= r.w, "need 1 <= u <= R.w");
-        Pattern::RsTrav { r, u, k, dir, latency: LatencyClass::Sequential }
+        Pattern::RsTrav {
+            r,
+            u,
+            k,
+            dir,
+            latency: LatencyClass::Sequential,
+        }
     }
 
     /// `r_trav(R)` touching all bytes per item.
@@ -194,7 +233,10 @@ impl Pattern {
         if k == 1 {
             inner
         } else {
-            Pattern::Repeat { k, inner: Box::new(inner) }
+            Pattern::Repeat {
+                k,
+                inner: Box::new(inner),
+            }
         }
     }
 
@@ -210,7 +252,10 @@ impl Pattern {
 
     /// True if this is a basic (non-compound) pattern.
     pub fn is_basic(&self) -> bool {
-        !matches!(self, Pattern::Seq(_) | Pattern::Conc(_) | Pattern::Repeat { .. })
+        !matches!(
+            self,
+            Pattern::Seq(_) | Pattern::Conc(_) | Pattern::Repeat { .. }
+        )
     }
 
     /// The region a basic pattern operates on.
@@ -359,12 +404,18 @@ mod tests {
             Pattern::rs_trav(reg("V"), 3, Direction::Bi).to_string(),
             "rs_trav(3, bi, V)"
         );
-        assert_eq!(Pattern::rr_trav(reg("V"), 8, 2).to_string(), "rr_trav(2, V)");
+        assert_eq!(
+            Pattern::rr_trav(reg("V"), 8, 2).to_string(),
+            "rr_trav(2, V)"
+        );
         assert_eq!(
             Pattern::nest(
                 reg("W"),
                 64,
-                LocalPattern::SeqTraversal { u: 8, latency: LatencyClass::Sequential },
+                LocalPattern::SeqTraversal {
+                    u: 8,
+                    latency: LatencyClass::Sequential
+                },
                 GlobalOrder::Random
             )
             .to_string(),
@@ -430,8 +481,11 @@ mod tests {
             Pattern::conc(vec![Pattern::s_trav(reg("A")), Pattern::r_trav(reg("B"))]),
             Pattern::s_trav(reg("C")),
         ]);
-        let names: Vec<String> =
-            p.leaves().iter().map(|l| l.region().unwrap().name().to_string()).collect();
+        let names: Vec<String> = p
+            .leaves()
+            .iter()
+            .map(|l| l.region().unwrap().name().to_string())
+            .collect();
         assert_eq!(names, ["A", "B", "C"]);
     }
 

@@ -110,7 +110,10 @@ impl Region {
     /// table of `n` `w`-byte tuples viewed as `n·w/8` 8-byte words). Keeps
     /// identity and root size; `new_w` must divide the slice size.
     pub fn reinterpret(&self, new_w: u64) -> Region {
-        assert!(new_w > 0 && self.bytes().is_multiple_of(new_w), "width must tile the region");
+        assert!(
+            new_w > 0 && self.bytes().is_multiple_of(new_w),
+            "width must tile the region"
+        );
         Region {
             id: self.id,
             name: self.name.clone(),

@@ -44,12 +44,18 @@ pub struct ExecContext {
 impl ExecContext {
     /// A context on the given machine.
     pub fn new(spec: HardwareSpec) -> ExecContext {
-        ExecContext { mem: MemorySystem::new(spec), ops: 0 }
+        ExecContext {
+            mem: MemorySystem::new(spec),
+            ops: 0,
+        }
     }
 
     /// A context with [HS89] miss classification enabled.
     pub fn with_classification(spec: HardwareSpec) -> ExecContext {
-        ExecContext { mem: MemorySystem::with_classification(spec), ops: 0 }
+        ExecContext {
+            mem: MemorySystem::with_classification(spec),
+            ops: 0,
+        }
     }
 
     /// Allocate a zeroed relation of `n` tuples × `w` bytes, aligned to
@@ -232,7 +238,10 @@ mod tests {
     #[test]
     fn run_stats_total_time() {
         let s = RunStats {
-            mem: Snapshot { levels: vec![], clock_ns: 100.0 },
+            mem: Snapshot {
+                levels: vec![],
+                clock_ns: 100.0,
+            },
             ops: 50,
         };
         assert!((s.total_ns(2.0) - 200.0).abs() < 1e-12);

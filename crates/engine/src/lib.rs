@@ -36,9 +36,9 @@
 //! ```
 
 pub mod ctx;
+pub mod ops;
 pub mod planner;
 pub mod query;
-pub mod ops;
 pub mod relation;
 
 pub use ctx::{ExecContext, RunStats};

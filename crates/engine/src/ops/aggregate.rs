@@ -151,8 +151,9 @@ mod tests {
         let keys = Workload::new(30).zipf_keys(2000, 50, 1.0);
         let input = c.relation_from_keys("U", &keys, 8);
         let out = hash_group_count(&mut c, &input, "G");
-        let total: u64 =
-            (0..out.n()).map(|i| c.mem.host().read_u64(out.tuple(i) + 8)).sum();
+        let total: u64 = (0..out.n())
+            .map(|i| c.mem.host().read_u64(out.tuple(i) + 8))
+            .sum();
         assert_eq!(total, 2000);
     }
 
@@ -162,7 +163,9 @@ mod tests {
         let input = c.relation_from_keys("U", &[5, 1, 5, 2, 1, 1], 8);
         let out = sort_dedup(&mut c, &input, "D");
         assert_eq!(out.n(), 3);
-        let got: Vec<u64> = (0..3).map(|i| c.mem.host().read_u64(out.tuple(i))).collect();
+        let got: Vec<u64> = (0..3)
+            .map(|i| c.mem.host().read_u64(out.tuple(i)))
+            .collect();
         assert_eq!(got, [1, 2, 5]);
     }
 
@@ -184,6 +187,8 @@ mod tests {
         assert!(hash_group_pattern(u.region(), h.region(), w.region())
             .to_string()
             .contains("r_acc(H"));
-        assert!(sort_dedup_pattern(u.region(), w.region()).to_string().contains("⊕"));
+        assert!(sort_dedup_pattern(u.region(), w.region())
+            .to_string()
+            .contains("⊕"));
     }
 }

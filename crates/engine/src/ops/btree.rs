@@ -34,7 +34,10 @@ impl BTree {
     /// Bulk-load from the (sorted) `keys`; `node_w` must be a multiple
     /// of 8 and at least 16 (≥ 2 keys per node).
     pub fn build(ctx: &mut ExecContext, keys: &[u64], node_w: u64, name: &str) -> BTree {
-        assert!(node_w >= 16 && node_w.is_multiple_of(8), "node must hold >= 2 keys");
+        assert!(
+            node_w >= 16 && node_w.is_multiple_of(8),
+            "node must hold >= 2 keys"
+        );
         assert!(!keys.is_empty(), "cannot index an empty table");
         debug_assert!(keys.windows(2).all(|p| p[0] <= p[1]), "keys must be sorted");
         let fanout = node_w / 8;
@@ -53,7 +56,9 @@ impl BTree {
             // Pad the last node with u64::MAX sentinels.
             let last = rel.n() - 1;
             for slot in (n_keys - last * fanout)..fanout {
-                ctx.mem.host_mut().write_u64(rel.tuple(last) + slot * 8, u64::MAX);
+                ctx.mem
+                    .host_mut()
+                    .write_u64(rel.tuple(last) + slot * 8, u64::MAX);
             }
             let node_count = rel.n();
             levels.push(rel);
@@ -80,7 +85,11 @@ impl BTree {
     /// The per-level regions, root first (for pattern construction and
     /// diagnostics).
     pub fn level_regions(&self) -> Vec<Region> {
-        self.levels.iter().rev().map(|l| l.region().clone()).collect()
+        self.levels
+            .iter()
+            .rev()
+            .map(|l| l.region().clone())
+            .collect()
     }
 
     /// Total bytes of all levels.

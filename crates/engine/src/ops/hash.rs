@@ -39,7 +39,10 @@ impl HashTable {
         for i in 0..capacity {
             ctx.mem.host_mut().write_u64(slots.tuple(i), EMPTY);
         }
-        HashTable { slots, mask: capacity - 1 }
+        HashTable {
+            slots,
+            mask: capacity - 1,
+        }
     }
 
     /// Table capacity in slots.
@@ -262,8 +265,9 @@ mod tests {
         let v = c.relation_from_keys("V", &vk, 8);
         let out = hash_join(&mut c, &u, &v, "W", 16);
         assert_eq!(out.n(), 500);
-        let mut keys: Vec<u64> =
-            (0..500).map(|i| c.mem.host().read_u64(out.tuple(i))).collect();
+        let mut keys: Vec<u64> = (0..500)
+            .map(|i| c.mem.host().read_u64(out.tuple(i)))
+            .collect();
         keys.sort_unstable();
         assert_eq!(keys, (0..500).collect::<Vec<u64>>());
     }

@@ -16,9 +16,9 @@ pub mod btree;
 pub mod hash;
 pub mod merge_join;
 pub mod nl_join;
+pub mod part_hash_join;
 pub mod partition;
 pub mod radix;
-pub mod part_hash_join;
 pub mod scan;
 pub mod set_ops;
 pub mod sort;

@@ -124,8 +124,9 @@ mod tests {
         let v = c.relation_from_keys("V", &vk, 8);
         let out = part_hash_join(&mut c, &u, &v, 8, "W", 16);
         assert_eq!(out.n(), 1000);
-        let mut keys: Vec<u64> =
-            (0..1000).map(|i| c.mem.host().read_u64(out.tuple(i))).collect();
+        let mut keys: Vec<u64> = (0..1000)
+            .map(|i| c.mem.host().read_u64(out.tuple(i)))
+            .collect();
         keys.sort_unstable();
         assert_eq!(keys, (0..1000).collect::<Vec<u64>>());
     }
@@ -140,10 +141,12 @@ mod tests {
         let plain = hash_join(&mut c, &u, &v, "Wp", 16);
         let parted = part_hash_join(&mut c, &u, &v, 4, "Wq", 16);
         assert_eq!(plain.n(), parted.n());
-        let mut a: Vec<u64> =
-            (0..plain.n()).map(|i| c.mem.host().read_u64(plain.tuple(i))).collect();
-        let mut b: Vec<u64> =
-            (0..parted.n()).map(|i| c.mem.host().read_u64(parted.tuple(i))).collect();
+        let mut a: Vec<u64> = (0..plain.n())
+            .map(|i| c.mem.host().read_u64(plain.tuple(i)))
+            .collect();
+        let mut b: Vec<u64> = (0..parted.n())
+            .map(|i| c.mem.host().read_u64(parted.tuple(i)))
+            .collect();
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);

@@ -117,8 +117,9 @@ mod tests {
         let parts = hash_partition(&mut c, &input, 7, "W");
         assert_eq!(parts.m(), 7);
         assert_eq!(*parts.offsets.last().unwrap(), 1000);
-        let mut out_keys: Vec<u64> =
-            (0..1000).map(|i| c.mem.host().read_u64(parts.rel.tuple(i))).collect();
+        let mut out_keys: Vec<u64> = (0..1000)
+            .map(|i| c.mem.host().read_u64(parts.rel.tuple(i)))
+            .collect();
         out_keys.sort_unstable();
         assert_eq!(out_keys, (0..1000).collect::<Vec<u64>>());
     }
@@ -145,8 +146,9 @@ mod tests {
         let keys = vec![5, 3, 8, 1];
         let input = c.relation_from_keys("U", &keys, 8);
         let parts = hash_partition(&mut c, &input, 1, "W");
-        let got: Vec<u64> =
-            (0..4).map(|i| c.mem.host().read_u64(parts.rel.tuple(i))).collect();
+        let got: Vec<u64> = (0..4)
+            .map(|i| c.mem.host().read_u64(parts.rel.tuple(i)))
+            .collect();
         assert_eq!(got, keys); // order preserved within the single bucket
     }
 

@@ -46,8 +46,7 @@ pub fn radix_partition(
     // Per-pass bit widths (earlier passes take the larger share).
     let base = bits / passes;
     let extra = bits % passes;
-    let pass_bits: Vec<u32> =
-        (0..passes).map(|p| base + u32::from(p < extra)).collect();
+    let pass_bits: Vec<u32> = (0..passes).map(|p| base + u32::from(p < extra)).collect();
 
     // Ping-pong buffers. The first pass reads `input`; later passes read
     // the previous output. Cluster boundaries refine every pass.
@@ -93,17 +92,15 @@ pub fn radix_partition(
         done_bits += pb;
         src = out.clone();
     }
-    Partitioned { rel: out, offsets: bounds }
+    Partitioned {
+        rel: out,
+        offsets: bounds,
+    }
 }
 
 /// Pattern of [`radix_partition`]: one `s_trav ⊙ nest` phase per pass,
 /// each with only the per-pass fan-out open.
-pub fn radix_partition_pattern(
-    input: &Region,
-    output: &Region,
-    bits: u32,
-    passes: u32,
-) -> Pattern {
+pub fn radix_partition_pattern(input: &Region, output: &Region, bits: u32, passes: u32) -> Pattern {
     let base = bits / passes;
     let extra = bits % passes;
     let phases = (0..passes)
@@ -148,8 +145,9 @@ mod tests {
         let keys = Workload::new(2).shuffled_keys(1500);
         let input = c.relation_from_keys("U", &keys, 8);
         let parts = radix_partition(&mut c, &input, 8, 3, "R");
-        let mut got: Vec<u64> =
-            (0..1500).map(|i| c.mem.host().read_u64(parts.rel.tuple(i))).collect();
+        let mut got: Vec<u64> = (0..1500)
+            .map(|i| c.mem.host().read_u64(parts.rel.tuple(i)))
+            .collect();
         got.sort_unstable();
         assert_eq!(got, (0..1500).collect::<Vec<u64>>());
     }

@@ -122,7 +122,9 @@ mod tests {
         let rel = c.relation_from_keys("R", &[5, 1, 9, 3, 7], 16);
         let out = select_lt(&mut c, &rel, 6, "W");
         assert_eq!(out.n(), 3);
-        let got: Vec<u64> = (0..3).map(|i| c.mem.host().read_u64(out.tuple(i))).collect();
+        let got: Vec<u64> = (0..3)
+            .map(|i| c.mem.host().read_u64(out.tuple(i)))
+            .collect();
         assert_eq!(got, [5, 1, 3]);
     }
 

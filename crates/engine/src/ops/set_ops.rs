@@ -155,7 +155,9 @@ mod tests {
     }
 
     fn keys_of(c: &ExecContext, rel: &Relation) -> Vec<u64> {
-        (0..rel.n()).map(|i| c.mem.host().read_u64(rel.tuple(i))).collect()
+        (0..rel.n())
+            .map(|i| c.mem.host().read_u64(rel.tuple(i)))
+            .collect()
     }
 
     #[test]

@@ -114,9 +114,8 @@ mod tests {
     }
 
     fn is_sorted(c: &ExecContext, rel: &Relation) -> bool {
-        (1..rel.n()).all(|i| {
-            c.mem.host().read_u64(rel.tuple(i - 1)) <= c.mem.host().read_u64(rel.tuple(i))
-        })
+        (1..rel.n())
+            .all(|i| c.mem.host().read_u64(rel.tuple(i - 1)) <= c.mem.host().read_u64(rel.tuple(i)))
     }
 
     #[test]
@@ -203,8 +202,7 @@ mod tests {
         let l2 = c.mem.spec().level_index("L2").unwrap();
         let compulsory = 4096 / 64; // ||U|| / B2
         assert!(
-            stats.mem.levels[l2].seq_misses + stats.mem.levels[l2].rand_misses
-                <= 2 * compulsory,
+            stats.mem.levels[l2].seq_misses + stats.mem.levels[l2].rand_misses <= 2 * compulsory,
             "L2 misses should be ~compulsory only"
         );
     }

@@ -121,7 +121,10 @@ pub fn rank_joins(model: &CostModel, inputs: &JoinInputs) -> Vec<PlanChoice> {
         phases.push(ops::merge_join::merge_join_pattern(u, v, &w));
         let p = gcm_core::Pattern::seq(phases);
         choices.push(PlanChoice {
-            algorithm: JoinAlgorithm::Merge { sort_u: !inputs.u_sorted, sort_v: !inputs.v_sorted },
+            algorithm: JoinAlgorithm::Merge {
+                sort_u: !inputs.u_sorted,
+                sort_v: !inputs.v_sorted,
+            },
             mem_ns: model.mem_ns(&p),
             cpu_ns: cpu.ns(ops_count),
         });
@@ -129,7 +132,11 @@ pub fn rank_joins(model: &CostModel, inputs: &JoinInputs) -> Vec<PlanChoice> {
 
     // Plain hash.
     {
-        let h = Region::new("H", (2 * v.n.max(1)).next_power_of_two(), ops::hash::ENTRY_BYTES);
+        let h = Region::new(
+            "H",
+            (2 * v.n.max(1)).next_power_of_two(),
+            ops::hash::ENTRY_BYTES,
+        );
         let p = ops::hash::hash_join_pattern(u, v, &h, &w);
         choices.push(PlanChoice {
             algorithm: JoinAlgorithm::Hash,
@@ -142,7 +149,9 @@ pub fn rank_joins(model: &CostModel, inputs: &JoinInputs) -> Vec<PlanChoice> {
     // smallest m that makes a partition's hash table fit that level).
     for lvl in model.spec().data_caches() {
         let table_bytes = 2 * v.n.max(1) * ops::hash::ENTRY_BYTES;
-        let mut m = (table_bytes / lvl.capacity.max(1)).max(1).next_power_of_two();
+        let mut m = (table_bytes / lvl.capacity.max(1))
+            .max(1)
+            .next_power_of_two();
         // Respect the partitioning cliff: the fan-out must stay below the
         // smallest level's line count or partitioning itself thrashes
         // (use multi-pass partitioning beyond; see ops::radix).
@@ -174,7 +183,10 @@ pub fn rank_joins(model: &CostModel, inputs: &JoinInputs) -> Vec<PlanChoice> {
 
 /// The cheapest join algorithm for the inputs.
 pub fn choose_join(model: &CostModel, inputs: &JoinInputs) -> PlanChoice {
-    rank_joins(model, inputs).into_iter().next().expect("at least one candidate")
+    rank_joins(model, inputs)
+        .into_iter()
+        .next()
+        .expect("at least one candidate")
 }
 
 /// Price a partitioning fan-out sweep and return `(m, predicted_ns)`
@@ -220,7 +232,13 @@ mod tests {
     #[test]
     fn sorted_inputs_pick_merge() {
         let choice = choose_join(&model(), &inputs(1_000_000, true));
-        assert!(matches!(choice.algorithm, JoinAlgorithm::Merge { sort_u: false, sort_v: false }));
+        assert!(matches!(
+            choice.algorithm,
+            JoinAlgorithm::Merge {
+                sort_u: false,
+                sort_v: false
+            }
+        ));
     }
 
     #[test]
@@ -270,11 +288,13 @@ mod tests {
     fn fanout_ranking_avoids_the_cliff() {
         let m = model();
         let input = Region::new("U", 2_000_000, 8);
-        let ranked =
-            rank_partition_fanouts(&m, &input, &[2, 16, 64, 512, 4096, 65_536, 1 << 20]);
+        let ranked = rank_partition_fanouts(&m, &input, &[2, 16, 64, 512, 4096, 65_536, 1 << 20]);
         // The cheapest fan-outs stay below the TLB entry count (64).
         let (best_m, _) = ranked[0];
-        assert!(best_m <= 64, "best fan-out {best_m} should dodge the TLB cliff");
+        assert!(
+            best_m <= 64,
+            "best fan-out {best_m} should dodge the TLB cliff"
+        );
         // The most expensive candidate is far past every cliff.
         let (worst_m, worst_ns) = *ranked.last().unwrap();
         assert!(worst_m >= 65_536);
@@ -285,7 +305,11 @@ mod tests {
     fn display_names() {
         assert_eq!(JoinAlgorithm::Hash.to_string(), "hash join");
         assert_eq!(
-            JoinAlgorithm::Merge { sort_u: true, sort_v: false }.to_string(),
+            JoinAlgorithm::Merge {
+                sort_u: true,
+                sort_v: false
+            }
+            .to_string(),
             "merge join (sort outer)"
         );
         assert_eq!(

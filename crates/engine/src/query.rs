@@ -135,7 +135,10 @@ impl Pipeline {
                 }
             }
         }
-        QueryRun { output: current, pattern: Pattern::seq(phases) }
+        QueryRun {
+            output: current,
+            pattern: Pattern::seq(phases),
+        }
     }
 }
 
@@ -176,7 +179,10 @@ mod tests {
         let measured = stats.misses_at(l2) as f64;
         let predicted = report.levels[l2].misses();
         let ratio = predicted / measured.max(1.0);
-        assert!((0.4..2.5).contains(&ratio), "L2: measured {measured} predicted {predicted}");
+        assert!(
+            (0.4..2.5).contains(&ratio),
+            "L2: measured {measured} predicted {predicted}"
+        );
     }
 
     #[test]
@@ -188,7 +194,9 @@ mod tests {
         let u = ctx.relation_from_keys("U", &keys, 8);
         let v = ctx.relation_from_keys("V", &sorted, 8);
 
-        let pipeline = Pipeline::new().stage(Stage::Sort).stage(Stage::MergeJoin(v.clone()));
+        let pipeline = Pipeline::new()
+            .stage(Stage::Sort)
+            .stage(Stage::MergeJoin(v.clone()));
         let (run, _) = ctx.measure(|c| pipeline.run(c, &u));
         assert_eq!(run.output.n(), 1024);
         for i in 1..1024 {
@@ -204,7 +212,9 @@ mod tests {
         let mut ctx = ExecContext::new(spec.clone());
         let keys = Workload::new(44).uniform_keys_bounded(2000, 300);
         let u = ctx.relation_from_keys("U", &keys, 8);
-        let pipeline = Pipeline::new().stage(Stage::Partition(8)).stage(Stage::Dedup);
+        let pipeline = Pipeline::new()
+            .stage(Stage::Partition(8))
+            .stage(Stage::Dedup);
         let (run, _) = ctx.measure(|c| pipeline.run(c, &u));
         // ≤ 300 distinct keys survive.
         assert!(run.output.n() <= 300);

@@ -25,7 +25,12 @@ impl Relation {
     /// Wrap an allocated range as a relation. `w ≥ 8` (the key).
     pub fn new(name: impl Into<String>, base: Addr, n: u64, w: u64) -> Relation {
         assert!(w >= KEY_BYTES, "tuple width must hold the 8-byte key");
-        Relation { base, n, w, region: Region::new(name, n, w) }
+        Relation {
+            base,
+            n,
+            w,
+            region: Region::new(name, n, w),
+        }
     }
 
     /// Base address of the first tuple.

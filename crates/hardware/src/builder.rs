@@ -27,7 +27,11 @@ pub struct HardwareBuilder {
 impl HardwareBuilder {
     /// Start a description for a machine running at `cpu_mhz` MHz.
     pub fn new(name: impl Into<String>, cpu_mhz: f64) -> Self {
-        HardwareBuilder { name: name.into(), cpu_mhz, levels: Vec::new() }
+        HardwareBuilder {
+            name: name.into(),
+            cpu_mhz,
+            levels: Vec::new(),
+        }
     }
 
     /// Append a data-cache level (inside-out order).

@@ -10,7 +10,11 @@ pub enum HardwareError {
     /// A cache level has a zero line size.
     ZeroLine { level: String },
     /// Line size does not divide the capacity.
-    LineDoesNotDivideCapacity { level: String, capacity: u64, line: u64 },
+    LineDoesNotDivideCapacity {
+        level: String,
+        capacity: u64,
+        line: u64,
+    },
     /// Line size is not a power of two (required by the simulator's
     /// address-to-set mapping; real hardware lines are powers of two too).
     LineNotPowerOfTwo { level: String, line: u64 },
@@ -35,15 +39,25 @@ impl fmt::Display for HardwareError {
             HardwareError::ZeroLine { level } => {
                 write!(f, "cache level {level} has zero line size")
             }
-            HardwareError::LineDoesNotDivideCapacity { level, capacity, line } => write!(
+            HardwareError::LineDoesNotDivideCapacity {
+                level,
+                capacity,
+                line,
+            } => write!(
                 f,
                 "cache level {level}: line size {line} does not divide capacity {capacity}"
             ),
             HardwareError::LineNotPowerOfTwo { level, line } => {
-                write!(f, "cache level {level}: line size {line} is not a power of two")
+                write!(
+                    f,
+                    "cache level {level}: line size {line} is not a power of two"
+                )
             }
             HardwareError::BadLatency { level, value } => {
-                write!(f, "cache level {level}: latency {value} must be positive and finite")
+                write!(
+                    f,
+                    "cache level {level}: latency {value} must be positive and finite"
+                )
             }
             HardwareError::NoLevels => write!(f, "hardware description has no cache levels"),
             HardwareError::LineShrinks { outer, inner } => write!(
@@ -71,6 +85,8 @@ mod tests {
             line: 32,
         };
         assert!(e.to_string().contains("does not divide"));
-        assert!(HardwareError::NoLevels.to_string().contains("no cache levels"));
+        assert!(HardwareError::NoLevels
+            .to_string()
+            .contains("no cache levels"));
     }
 }

@@ -72,8 +72,12 @@ pub fn origin2000_full_assoc() -> HardwareSpec {
             l
         })
         .collect();
-    HardwareSpec::new(format!("{} [fully associative]", base.name), base.cpu_mhz, levels)
-        .expect("valid")
+    HardwareSpec::new(
+        format!("{} [fully associative]", base.name),
+        base.cpu_mhz,
+        levels,
+    )
+    .expect("valid")
 }
 
 /// A small machine for unit tests: cliffs are reachable with kilobytes of
@@ -135,8 +139,12 @@ pub fn tiny_full_assoc() -> HardwareSpec {
             l
         })
         .collect();
-    HardwareSpec::new(format!("{} [fully associative]", base.name), base.cpu_mhz, levels)
-        .expect("valid")
+    HardwareSpec::new(
+        format!("{} [fully associative]", base.name),
+        base.cpu_mhz,
+        levels,
+    )
+    .expect("valid")
 }
 
 /// A contemporary commodity machine: three data-cache levels plus TLB.
@@ -230,6 +238,7 @@ mod tests {
         assert_eq!(tlb.lines(), 64);
         assert_eq!(tlb.line, 16 * 1024);
         assert_eq!(tlb.capacity, 1024 * 1024); // "(virtual) capacity 1 MB"
+
         // Latency table: 2/6 cycles L1, 47/100 cycles L2, 57 cycles TLB.
         assert!((hw.ns_to_cycles(l1.seq_miss_ns) - 2.0).abs() < 1e-9);
         assert!((hw.ns_to_cycles(l1.rand_miss_ns) - 6.0).abs() < 1e-9);

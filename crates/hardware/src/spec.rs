@@ -29,7 +29,11 @@ impl HardwareSpec {
         cpu_mhz: f64,
         levels: Vec<CacheLevel>,
     ) -> Result<Self, HardwareError> {
-        let spec = HardwareSpec { name: name.into(), cpu_mhz, levels };
+        let spec = HardwareSpec {
+            name: name.into(),
+            cpu_mhz,
+            levels,
+        };
         spec.validate()?;
         Ok(spec)
     }
@@ -43,10 +47,14 @@ impl HardwareSpec {
         }
         for l in &self.levels {
             if l.capacity == 0 {
-                return Err(HardwareError::ZeroCapacity { level: l.name.clone() });
+                return Err(HardwareError::ZeroCapacity {
+                    level: l.name.clone(),
+                });
             }
             if l.line == 0 {
-                return Err(HardwareError::ZeroLine { level: l.name.clone() });
+                return Err(HardwareError::ZeroLine {
+                    level: l.name.clone(),
+                });
             }
             if !l.line.is_power_of_two() {
                 return Err(HardwareError::LineNotPowerOfTwo {
@@ -63,13 +71,19 @@ impl HardwareSpec {
             }
             for v in [l.seq_miss_ns, l.rand_miss_ns] {
                 if !(v.is_finite() && v > 0.0) {
-                    return Err(HardwareError::BadLatency { level: l.name.clone(), value: v });
+                    return Err(HardwareError::BadLatency {
+                        level: l.name.clone(),
+                        value: v,
+                    });
                 }
             }
         }
         // Data-cache inclusion: line sizes must not shrink outward.
-        let caches: Vec<&CacheLevel> =
-            self.levels.iter().filter(|l| l.kind == LevelKind::Cache).collect();
+        let caches: Vec<&CacheLevel> = self
+            .levels
+            .iter()
+            .filter(|l| l.kind == LevelKind::Cache)
+            .collect();
         for pair in caches.windows(2) {
             if pair[1].line < pair[0].line {
                 return Err(HardwareError::LineShrinks {
@@ -131,7 +145,10 @@ impl HardwareSpec {
     /// Render the paper's Table 1 / Table 3 style characteristics table.
     pub fn characteristics_table(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("machine: {}\nCPU speed: {} MHz\n", self.name, self.cpu_mhz));
+        out.push_str(&format!(
+            "machine: {}\nCPU speed: {} MHz\n",
+            self.name, self.cpu_mhz
+        ));
         out.push_str(
             "level      kind         C [bytes]      B [bytes]  #lines     assoc            l_s [ns]  l_r [ns]\n",
         );
@@ -195,7 +212,10 @@ mod tests {
 
     #[test]
     fn rejects_empty() {
-        assert_eq!(HardwareSpec::new("x", 100.0, vec![]), Err(HardwareError::NoLevels));
+        assert_eq!(
+            HardwareSpec::new("x", 100.0, vec![]),
+            Err(HardwareError::NoLevels)
+        );
     }
 
     #[test]
@@ -213,7 +233,10 @@ mod tests {
     #[test]
     fn rejects_indivisible_line() {
         let e = HardwareSpec::new("x", 100.0, vec![lvl("L1", 100, 32, LevelKind::Cache)]);
-        assert!(matches!(e, Err(HardwareError::LineDoesNotDivideCapacity { .. })));
+        assert!(matches!(
+            e,
+            Err(HardwareError::LineDoesNotDivideCapacity { .. })
+        ));
     }
 
     #[test]
@@ -221,7 +244,10 @@ mod tests {
         let e = HardwareSpec::new(
             "x",
             100.0,
-            vec![lvl("L1", 1024, 64, LevelKind::Cache), lvl("L2", 8192, 32, LevelKind::Cache)],
+            vec![
+                lvl("L1", 1024, 64, LevelKind::Cache),
+                lvl("L2", 8192, 32, LevelKind::Cache),
+            ],
         );
         assert!(matches!(e, Err(HardwareError::LineShrinks { .. })));
         // A TLB with a big "line" (page) between caches is fine.

@@ -40,7 +40,10 @@ impl std::error::Error for TextError {}
 
 impl From<(usize, HardwareError)> for TextError {
     fn from((line, e): (usize, HardwareError)) -> TextError {
-        TextError { line, message: e.to_string() }
+        TextError {
+            line,
+            message: e.to_string(),
+        }
     }
 }
 
@@ -60,13 +63,17 @@ fn parse_bytes(tok: &str, line: usize) -> Result<u64, TextError> {
     num.trim()
         .parse::<u64>()
         .map(|v| v * mult)
-        .map_err(|_| TextError { line, message: format!("bad size '{tok}'") })
+        .map_err(|_| TextError {
+            line,
+            message: format!("bad size '{tok}'"),
+        })
 }
 
 fn parse_f64(tok: &str, line: usize) -> Result<f64, TextError> {
-    tok.trim()
-        .parse()
-        .map_err(|_| TextError { line, message: format!("bad number '{tok}'") })
+    tok.trim().parse().map_err(|_| TextError {
+        line,
+        message: format!("bad number '{tok}'"),
+    })
 }
 
 /// Fetch the token after the keyword `key` in `tokens`.
@@ -75,7 +82,10 @@ fn after<'a>(tokens: &[&'a str], key: &str, line: usize) -> Result<&'a str, Text
         .iter()
         .position(|&t| t.eq_ignore_ascii_case(key))
         .and_then(|i| tokens.get(i + 1).copied())
-        .ok_or_else(|| TextError { line, message: format!("missing '{key} <value>'") })
+        .ok_or_else(|| TextError {
+            line,
+            message: format!("missing '{key} <value>'"),
+        })
 }
 
 /// Parse a hardware description from text (see the module docs for the
@@ -109,9 +119,10 @@ pub fn spec_from_text(src: &str) -> Result<HardwareSpec, TextError> {
                 }
             }
             "cache" => {
-                let lvl_name = tokens
-                    .get(1)
-                    .ok_or(TextError { line: line_no, message: "cache needs a name".into() })?;
+                let lvl_name = tokens.get(1).ok_or(TextError {
+                    line: line_no,
+                    message: "cache needs a name".into(),
+                })?;
                 let capacity = parse_bytes(
                     tokens.get(2).copied().ok_or(TextError {
                         line: line_no,
@@ -140,9 +151,10 @@ pub fn spec_from_text(src: &str) -> Result<HardwareSpec, TextError> {
                 });
             }
             "tlb" => {
-                let lvl_name = tokens
-                    .get(1)
-                    .ok_or(TextError { line: line_no, message: "tlb needs a name".into() })?;
+                let lvl_name = tokens.get(1).ok_or(TextError {
+                    line: line_no,
+                    message: "tlb needs a name".into(),
+                })?;
                 let entries = parse_bytes(after(&tokens, "entries", line_no)?, line_no)?;
                 let page = parse_bytes(after(&tokens, "page", line_no)?, line_no)?;
                 let miss = parse_f64(after(&tokens, "miss", line_no)?, line_no)?;
@@ -157,9 +169,10 @@ pub fn spec_from_text(src: &str) -> Result<HardwareSpec, TextError> {
                 });
             }
             "pool" => {
-                let lvl_name = tokens
-                    .get(1)
-                    .ok_or(TextError { line: line_no, message: "pool needs a name".into() })?;
+                let lvl_name = tokens.get(1).ok_or(TextError {
+                    line: line_no,
+                    message: "pool needs a name".into(),
+                })?;
                 let capacity = parse_bytes(
                     tokens.get(2).copied().ok_or(TextError {
                         line: line_no,
@@ -187,7 +200,10 @@ pub fn spec_from_text(src: &str) -> Result<HardwareSpec, TextError> {
         }
     }
     if !saw_machine {
-        return Err(TextError { line: 0, message: "missing 'machine' line".into() });
+        return Err(TextError {
+            line: 0,
+            message: "missing 'machine' line".into(),
+        });
     }
     HardwareSpec::new(name, cpu_mhz, levels).map_err(|e| (0usize, e).into())
 }
@@ -262,7 +278,11 @@ pool  BP   64MB  page 8KB  seq 80000 rand 6000000
 
     #[test]
     fn round_trips_presets() {
-        for spec in [presets::origin2000(), presets::tiny(), presets::modern_commodity()] {
+        for spec in [
+            presets::origin2000(),
+            presets::tiny(),
+            presets::modern_commodity(),
+        ] {
             let text = spec_to_text(&spec);
             let back = spec_from_text(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
             assert_eq!(back.levels(), spec.levels(), "{text}");
@@ -287,11 +307,11 @@ pool  BP   64MB  page 8KB  seq 80000 rand 6000000
         let e2 = spec_from_text("machine m\nwidget L1").unwrap_err();
         assert_eq!(e2.line, 2);
         assert!(e2.message.contains("unknown directive"), "{e2}");
-        let e3 = spec_from_text("machine m\ncache L1 1KB line 31 assoc 2 seq 1 rand 2")
-            .unwrap_err();
+        let e3 =
+            spec_from_text("machine m\ncache L1 1KB line 31 assoc 2 seq 1 rand 2").unwrap_err();
         assert!(e3.message.contains("power of two"), "{e3}");
-        let e4 = spec_from_text("machine m\ncache L1 banana line 32 assoc 2 seq 1 rand 2")
-            .unwrap_err();
+        let e4 =
+            spec_from_text("machine m\ncache L1 banana line 32 assoc 2 seq 1 rand 2").unwrap_err();
         assert!(e4.message.contains("bad size"), "{e4}");
     }
 

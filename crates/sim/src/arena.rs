@@ -22,7 +22,10 @@ pub struct Arena {
 impl Arena {
     /// An empty arena.
     pub fn new() -> Self {
-        Arena { data: Vec::new(), next: ARENA_BASE }
+        Arena {
+            data: Vec::new(),
+            next: ARENA_BASE,
+        }
     }
 
     /// Allocate `bytes` bytes aligned to `align` (must be a power of two).

@@ -16,7 +16,10 @@ pub enum AccessOutcome {
     /// true when the missed line is the successor of the previously missed
     /// line (the EDO-friendly stream of §2.2), `class` is the optional
     /// [HS89] classification.
-    Miss { sequential: bool, class: Option<MissClass> },
+    Miss {
+        sequential: bool,
+        class: Option<MissClass>,
+    },
 }
 
 impl AccessOutcome {
@@ -102,7 +105,10 @@ impl SimCache {
     /// access).
     pub fn with_classification(mut self) -> Self {
         let lines = self.level.lines().max(1) as usize;
-        self.shadow = Some(Shadow { seen: HashSet::new(), full_assoc: LruSet::new(lines) });
+        self.shadow = Some(Shadow {
+            seen: HashSet::new(),
+            full_assoc: LruSet::new(lines),
+        });
         self
     }
 
@@ -310,6 +316,7 @@ mod tests {
         };
         assert_eq!(class(c.access(0)), MissClass::Compulsory);
         assert_eq!(class(c.access(64)), MissClass::Compulsory); // line 2, set 0, evicts 0
+
         // Line 0 again: a fully-assoc cache of 2 lines would still hold it
         // => conflict miss.
         assert_eq!(class(c.access(0)), MissClass::Conflict);

@@ -112,7 +112,11 @@ impl LruSet {
             idx
         } else {
             let idx = self.nodes.len() as u32;
-            self.nodes.push(Node { tag, prev: NIL, next: NIL });
+            self.nodes.push(Node {
+                tag,
+                prev: NIL,
+                next: NIL,
+            });
             idx
         };
         self.push_front(idx);

@@ -18,8 +18,8 @@
 
 use crate::arena::Arena;
 use crate::cache::{AccessOutcome, SimCache};
-use crate::trace::{MissEvent, MissTrace};
 use crate::stats::{LevelStats, MissClass};
+use crate::trace::{MissEvent, MissTrace};
 use crate::Addr;
 use gcm_hardware::{HardwareSpec, LevelKind};
 
@@ -174,7 +174,11 @@ impl MemorySystem {
                 AccessOutcome::Hit => st.hits += 1,
                 AccessOutcome::Miss { sequential, class } => {
                     let lvl = self.caches[ti].level();
-                    let ns = if sequential { lvl.seq_miss_ns } else { lvl.rand_miss_ns };
+                    let ns = if sequential {
+                        lvl.seq_miss_ns
+                    } else {
+                        lvl.rand_miss_ns
+                    };
                     if sequential {
                         st.seq_misses += 1;
                     } else {
@@ -204,7 +208,11 @@ impl MemorySystem {
                 }
                 AccessOutcome::Miss { sequential, class } => {
                     let lvl = self.caches[di].level();
-                    let ns = if sequential { lvl.seq_miss_ns } else { lvl.rand_miss_ns };
+                    let ns = if sequential {
+                        lvl.seq_miss_ns
+                    } else {
+                        lvl.rand_miss_ns
+                    };
                     if sequential {
                         st.seq_misses += 1;
                     } else {
@@ -322,7 +330,10 @@ impl MemorySystem {
 
     /// Copy all counters for an interval measurement.
     pub fn snapshot(&self) -> Snapshot {
-        Snapshot { levels: self.stats.clone(), clock_ns: self.clock_ns }
+        Snapshot {
+            levels: self.stats.clone(),
+            clock_ns: self.clock_ns,
+        }
     }
 
     /// Counters accumulated since `earlier`.
@@ -531,7 +542,10 @@ mod tests {
         let l1 = m.stats_for("L1").unwrap();
         assert_eq!(l1.compulsory, 256);
         assert!(l1.capacity_misses > 0);
-        assert_eq!(l1.compulsory + l1.capacity_misses + l1.conflict_misses, l1.misses());
+        assert_eq!(
+            l1.compulsory + l1.capacity_misses + l1.conflict_misses,
+            l1.misses()
+        );
     }
 
     #[test]
@@ -553,7 +567,10 @@ mod tests {
         // Detach and reuse.
         let owned = m.take_trace().unwrap();
         assert!(m.trace().is_none());
-        assert_eq!(owned.len(), 32 + owned.events().filter(|e| e.level != 0).count());
+        assert_eq!(
+            owned.len(),
+            32 + owned.events().filter(|e| e.level != 0).count()
+        );
     }
 
     #[test]

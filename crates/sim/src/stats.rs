@@ -115,7 +115,13 @@ mod tests {
 
     #[test]
     fn rates() {
-        let s = LevelStats { accesses: 10, hits: 7, seq_misses: 1, rand_misses: 2, ..Default::default() };
+        let s = LevelStats {
+            accesses: 10,
+            hits: 7,
+            seq_misses: 1,
+            rand_misses: 2,
+            ..Default::default()
+        };
         assert_eq!(s.misses(), 3);
         assert!((s.miss_rate() - 0.3).abs() < 1e-12);
         assert!((s.hit_rate() - 0.7).abs() < 1e-12);
@@ -130,8 +136,22 @@ mod tests {
 
     #[test]
     fn interval_subtraction() {
-        let before = LevelStats { accesses: 5, hits: 3, seq_misses: 1, rand_misses: 1, charged_ns: 10.0, ..Default::default() };
-        let after = LevelStats { accesses: 15, hits: 9, seq_misses: 4, rand_misses: 2, charged_ns: 50.0, ..Default::default() };
+        let before = LevelStats {
+            accesses: 5,
+            hits: 3,
+            seq_misses: 1,
+            rand_misses: 1,
+            charged_ns: 10.0,
+            ..Default::default()
+        };
+        let after = LevelStats {
+            accesses: 15,
+            hits: 9,
+            seq_misses: 4,
+            rand_misses: 2,
+            charged_ns: 50.0,
+            ..Default::default()
+        };
         let d = after - before;
         assert_eq!(d.accesses, 10);
         assert_eq!(d.hits, 6);

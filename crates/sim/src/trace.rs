@@ -31,7 +31,11 @@ impl MissTrace {
     /// A trace keeping the most recent `capacity` events.
     pub fn new(capacity: usize) -> MissTrace {
         assert!(capacity > 0);
-        MissTrace { events: VecDeque::with_capacity(capacity), capacity, dropped: 0 }
+        MissTrace {
+            events: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
     }
 
     /// Record one miss (oldest events fall off when full).
@@ -95,7 +99,11 @@ mod tests {
     use super::*;
 
     fn ev(level: usize, line: u64) -> MissEvent {
-        MissEvent { level, line, sequential: false }
+        MissEvent {
+            level,
+            line,
+            sequential: false,
+        }
     }
 
     #[test]

@@ -19,7 +19,9 @@ pub struct Workload {
 impl Workload {
     /// A workload source with the given seed.
     pub fn new(seed: u64) -> Workload {
-        Workload { rng: SplitMix64::new(seed) }
+        Workload {
+            rng: SplitMix64::new(seed),
+        }
     }
 
     /// `n` uniformly random `u64` keys (duplicates possible).
@@ -101,7 +103,9 @@ impl Workload {
     /// `n` independent random indices into `[0, bound)` (with
     /// replacement) — the access sequence of `r_acc`.
     pub fn random_indices(&mut self, n: usize, bound: u64) -> Vec<usize> {
-        (0..n).map(|_| self.rng.next_below(bound) as usize).collect()
+        (0..n)
+            .map(|_| self.rng.next_below(bound) as usize)
+            .collect()
     }
 }
 

@@ -44,7 +44,11 @@ fn main() {
             "partition(64)" => library::partition(u, w, 64),
             _ => unreachable!(),
         };
-        (name.to_string(), truth.mem_ns(&p) / 1e6, measured.mem_ns(&p) / 1e6)
+        (
+            name.to_string(),
+            truth.mem_ns(&p) / 1e6,
+            measured.mem_ns(&p) / 1e6,
+        )
     };
     println!("operator           T_mem true-spec    T_mem calibrated   deviation");
     for name in ["quick_sort", "merge_join", "hash_join", "partition(64)"] {

@@ -34,9 +34,18 @@ fn main() {
 
     // ...and cost algorithms straight from their textual descriptions.
     let candidates = [
-        ("textbook hash join", "s_trav(V) ⊙ r_trav(H) ⊕ s_trav(U) ⊙ r_acc(H, 10000000) ⊙ s_trav(W)"),
-        ("merge join (pre-sorted)", "s_trav(U) ⊙ s_trav(V) ⊙ s_trav(W)"),
-        ("64-way partition of U", "s_trav(U) ⊙ nest(W, 64, s_trav, rnd)"),
+        (
+            "textbook hash join",
+            "s_trav(V) ⊙ r_trav(H) ⊕ s_trav(U) ⊙ r_acc(H, 10000000) ⊙ s_trav(W)",
+        ),
+        (
+            "merge join (pre-sorted)",
+            "s_trav(U) ⊙ s_trav(V) ⊙ s_trav(W)",
+        ),
+        (
+            "64-way partition of U",
+            "s_trav(U) ⊙ nest(W, 64, s_trav, rnd)",
+        ),
         ("key-only aggregation scan", "s_trav(U, u=8)"),
     ];
     println!("pattern-text costing (10M-tuple workloads):");

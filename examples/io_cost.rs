@@ -16,7 +16,10 @@ use gcm::hardware::{mib, presets};
 fn main() {
     let pool = mib(64);
     let hw = presets::with_buffer_pool(presets::origin2000(), pool, 8192);
-    println!("machine with the buffer pool as cache level N+1:\n{}", hw.characteristics_table());
+    println!(
+        "machine with the buffer pool as cache level N+1:\n{}",
+        hw.characteristics_table()
+    );
     let model = CostModel::new(hw.clone());
 
     // A 512 MB table: 8× the buffer pool.
@@ -58,11 +61,16 @@ fn main() {
     let w = Region::new("W", n, 16);
     let plain = model.mem_ns(&library::hash_join(u.clone(), v.clone(), h, w.clone()));
     // 64 partitions: per-partition hash table = 32 MB < the 64 MB pool.
-    let parted =
-        model.mem_ns(&library::partitioned_hash_join_uniform(u, v, w, 64, 16));
+    let parted = model.mem_ns(&library::partitioned_hash_join_uniform(u, v, w, 64, 16));
     println!("hash join of two 512 MB tables (hash table 8x the buffer pool):");
-    println!("  plain hash join:        {:>10.1} s   (random page faults per probe)", plain / 1e9);
-    println!("  partitioned hash join:  {:>10.1} s   (partitions memory-resident)", parted / 1e9);
+    println!(
+        "  plain hash join:        {:>10.1} s   (random page faults per probe)",
+        plain / 1e9
+    );
+    println!(
+        "  partitioned hash join:  {:>10.1} s   (partitions memory-resident)",
+        parted / 1e9
+    );
     println!(
         "  => the optimizer picks partitioning, exactly as it did for L2 —\n  \
          one model, every level of the hierarchy."

@@ -43,7 +43,11 @@ fn main() {
     let single = model.mem_ns(&radix_partition_pattern(&input, &w, 12, 1));
     let multi = model.mem_ns(&radix_partition_pattern(&input, &w, 12, 2));
     println!("reaching 4096 clusters (12 radix bits):");
-    println!("  predicted: 1 pass x 4096-way = {:.1} ms, 2 passes x 64-way = {:.1} ms", single / 1e6, multi / 1e6);
+    println!(
+        "  predicted: 1 pass x 4096-way = {:.1} ms, 2 passes x 64-way = {:.1} ms",
+        single / 1e6,
+        multi / 1e6
+    );
 
     let n_run = 524_288u64; // 4 MB table keeps this example fast
     let keys = Workload::new(3).shuffled_keys(n_run as usize);
@@ -62,6 +66,10 @@ fn main() {
     );
     println!(
         "  multi-pass radix clustering wins: {}",
-        if measured[1] < measured[0] && multi < single { "confirmed" } else { "NO" }
+        if measured[1] < measured[0] && multi < single {
+            "confirmed"
+        } else {
+            "NO"
+        }
     );
 }

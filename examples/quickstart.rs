@@ -40,7 +40,10 @@ fn main() {
     let u_rel = ctx.relation_from_keys("U", &uk, 8);
     let v_rel = ctx.relation_from_keys("V", &vk, 8);
     let (out, stats) = ctx.measure(|c| ops::hash::hash_join(c, &u_rel, &v_rel, "W", 16));
-    println!("executed for real over the simulator ({n_run} tuples, {} matches):", out.n());
+    println!(
+        "executed for real over the simulator ({n_run} tuples, {} matches):",
+        out.n()
+    );
 
     let h_run = Region::new("H", (2 * n_run).next_power_of_two(), 16);
     let run_pattern =

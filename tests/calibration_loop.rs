@@ -11,7 +11,9 @@ fn calibrated_model_tracks_true_model() {
     let secret = presets::tiny();
     let mut cal = Calibrator::new(secret.clone(), 128 * 1024);
     let report = cal.run();
-    let calibrated = report.to_spec("calibrated", secret.cpu_mhz).expect("valid spec");
+    let calibrated = report
+        .to_spec("calibrated", secret.cpu_mhz)
+        .expect("valid spec");
 
     // Structure recovered.
     assert_eq!(calibrated.data_caches().count(), 2);
@@ -39,7 +41,11 @@ fn calibrated_model_tracks_true_model() {
         let t = truth.mem_ns(&p);
         let g = guess.mem_ns(&p);
         let dev = (g / t - 1.0).abs();
-        assert!(dev < 0.15, "calibrated model deviates {:.1}% on {p}", dev * 100.0);
+        assert!(
+            dev < 0.15,
+            "calibrated model deviates {:.1}% on {p}",
+            dev * 100.0
+        );
     }
 }
 
@@ -57,7 +63,10 @@ fn to_spec_preserves_ordering_and_kinds() {
     let report = cal.run();
     let spec = report.to_spec("x", 100.0).unwrap();
     let caps: Vec<u64> = spec.data_caches().map(|l| l.capacity).collect();
-    assert!(caps.windows(2).all(|w| w[0] < w[1]), "capacities inside-out: {caps:?}");
+    assert!(
+        caps.windows(2).all(|w| w[0] < w[1]),
+        "capacities inside-out: {caps:?}"
+    );
     let tlb = spec.tlbs().next().expect("tlb present");
     assert_eq!(tlb.seq_miss_ns, tlb.rand_miss_ns);
 }

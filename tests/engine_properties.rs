@@ -12,7 +12,9 @@ fn ctx() -> ExecContext {
 }
 
 fn keys_of(c: &ExecContext, rel: &gcm_engine::Relation) -> Vec<u64> {
-    (0..rel.n()).map(|i| c.mem.host().read_u64(rel.tuple(i))).collect()
+    (0..rel.n())
+        .map(|i| c.mem.host().read_u64(rel.tuple(i)))
+        .collect()
 }
 
 proptest! {

@@ -40,8 +40,14 @@ fn quicksort_misses_and_step() {
     assert!(m_small <= 2.0 * compulsory_small, "measured {m_small}");
     assert!(p_small <= 2.0 * compulsory_small, "predicted {p_small}");
     // Large table (128 KB): both sides see ~log n × compulsory.
-    assert!(m_big > 8.0 * m_small, "step must appear: {m_small} -> {m_big}");
-    assert!(p_big > 8.0 * p_small, "predicted step: {p_small} -> {p_big}");
+    assert!(
+        m_big > 8.0 * m_small,
+        "step must appear: {m_small} -> {m_big}"
+    );
+    assert!(
+        p_big > 8.0 * p_small,
+        "predicted step: {p_small} -> {p_big}"
+    );
     // Magnitudes within 2× (quick-sort's skewed segment tree vs. the
     // model's uniform halving).
     let ratio = p_big / m_big;
@@ -94,12 +100,18 @@ fn hash_join_cliff_position_agrees() {
             &h,
             out.region(),
         ));
-        (total_measured(&stats.mem, l2) / n as f64, predicted[l2].total() / n as f64)
+        (
+            total_measured(&stats.mem, l2) / n as f64,
+            predicted[l2].total() / n as f64,
+        )
     };
     let (m_small, p_small) = per_tuple(256); // H = 8 KB < L2
     let (m_big, p_big) = per_tuple(16_384); // H = 512 KB ≫ L2
     assert!(m_big > 3.0 * m_small, "measured cliff {m_small} -> {m_big}");
-    assert!(p_big > 3.0 * p_small, "predicted cliff {p_small} -> {p_big}");
+    assert!(
+        p_big > 3.0 * p_small,
+        "predicted cliff {p_small} -> {p_big}"
+    );
     // Post-cliff magnitude within 2× (open-addressing probe chains vs.
     // the model's single-slot abstraction).
     let ratio = p_big / m_big;
@@ -133,6 +145,7 @@ fn partition_cliffs_in_both_worlds() {
     let low = run(4);
     let mid = run(32); // above TLB entries (8), below L1 lines (64)
     let high = run(512); // above L1 lines
+
     // TLB cliff between low and mid, both worlds.
     assert!(mid.2 > 2.0 * low.2, "measured TLB cliff {low:?} {mid:?}");
     assert!(mid.3 > 2.0 * low.3, "predicted TLB cliff {low:?} {mid:?}");
@@ -210,8 +223,7 @@ fn eq61_time_prediction_tracks_measurement() {
 
     let pattern = ops::sort::quick_sort_pattern(rel.region());
     let cpu = CpuCost::per_op(per_op_ns);
-    let predicted_total =
-        model.total_ns(&pattern, cpu, ops::sort::quick_sort_expected_ops(n));
+    let predicted_total = model.total_ns(&pattern, cpu, ops::sort::quick_sort_expected_ops(n));
 
     let ratio = predicted_total / measured_total;
     assert!((0.5..2.0).contains(&ratio), "time ratio {ratio}");

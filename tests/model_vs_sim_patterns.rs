@@ -48,7 +48,14 @@ fn s_trav_dense_matches_exactly() {
         });
         let r = Region::new("R", n, w);
         let predicted = model(&spec).misses(&Pattern::s_trav(r));
-        assert_levels_close(&spec, &measured, &predicted, 0.05, 4.0, &format!("s_trav n={n} w={w}"));
+        assert_levels_close(
+            &spec,
+            &measured,
+            &predicted,
+            0.05,
+            4.0,
+            &format!("s_trav n={n} w={w}"),
+        );
     }
 }
 
@@ -173,8 +180,9 @@ fn rs_trav_bi_oversized_saves_cache_lines() {
 fn rr_trav_fitting_pays_once() {
     let spec = presets::tiny_full_assoc();
     let (n, w, k) = (128u64, 8u64, 4u64);
-    let perms: Vec<Vec<usize>> =
-        (0..k).map(|s| Workload::new(40 + s).permutation(n as usize)).collect();
+    let perms: Vec<Vec<usize>> = (0..k)
+        .map(|s| Workload::new(40 + s).permutation(n as usize))
+        .collect();
     let measured = measure(&spec, n * w, |mem, base| {
         exec::rr_trav(mem, base, w, w, &perms);
     });
@@ -187,13 +195,21 @@ fn rr_trav_oversized_partial_reuse() {
     // The #²/M1 reuse estimate of Eq 4.7: validated to 30%.
     let spec = presets::tiny_full_assoc();
     let (n, w, k) = (2048u64, 8u64, 3u64); // 16 KB = L2, 8× L1
-    let perms: Vec<Vec<usize>> =
-        (0..k).map(|s| Workload::new(50 + s).permutation(n as usize)).collect();
+    let perms: Vec<Vec<usize>> = (0..k)
+        .map(|s| Workload::new(50 + s).permutation(n as usize))
+        .collect();
     let measured = measure(&spec, n * w, |mem, base| {
         exec::rr_trav(mem, base, w, w, &perms);
     });
     let predicted = model(&spec).misses(&Pattern::rr_trav(Region::new("R", n, w), w, k));
-    assert_levels_close(&spec, &measured, &predicted, 0.30, 16.0, "rr_trav oversized");
+    assert_levels_close(
+        &spec,
+        &measured,
+        &predicted,
+        0.30,
+        16.0,
+        "rr_trav oversized",
+    );
 }
 
 // ----------------------------------------------------------------- r_acc
@@ -247,7 +263,10 @@ fn nest_below_cliff_matches_sequential_cost() {
     let predicted = model(&spec).misses(&Pattern::nest(
         Region::new("R", n, w),
         m,
-        LocalPattern::SeqTraversal { u: w, latency: LatencyClass::Sequential },
+        LocalPattern::SeqTraversal {
+            u: w,
+            latency: LatencyClass::Sequential,
+        },
         GlobalOrder::Random,
     ));
     assert_levels_close(&spec, &measured, &predicted, 0.10, 8.0, "nest below cliff");
@@ -264,7 +283,10 @@ fn nest_above_cliff_matches_per_item_cost() {
     let predicted = model(&spec).misses(&Pattern::nest(
         Region::new("R", n, w),
         m,
-        LocalPattern::SeqTraversal { u: w, latency: LatencyClass::Sequential },
+        LocalPattern::SeqTraversal {
+            u: w,
+            latency: LatencyClass::Sequential,
+        },
         GlobalOrder::Random,
     ));
     assert_levels_close(&spec, &measured, &predicted, 0.25, 16.0, "nest above cliff");
@@ -287,7 +309,10 @@ fn nest_cliff_position_tracks_level_line_counts() {
         let predicted = model(&spec).misses(&Pattern::nest(
             Region::new("R", n, w),
             m,
-            LocalPattern::SeqTraversal { u: w, latency: LatencyClass::Sequential },
+            LocalPattern::SeqTraversal {
+                u: w,
+                latency: LatencyClass::Sequential,
+            },
             GlobalOrder::Random,
         ));
         rows.push((
@@ -365,8 +390,8 @@ fn conc_composition_interference_direction() {
     let a = Region::new("A", n, w);
     let b = Region::new("B", n, w);
     let p_solo = model(&spec).misses(&Pattern::r_trav(a.clone()))[l1].total();
-    let p_both =
-        model(&spec).misses(&Pattern::conc(vec![Pattern::r_trav(a), Pattern::r_trav(b)]))[l1]
-            .total();
+    let p_both = model(&spec).misses(&Pattern::conc(vec![Pattern::r_trav(a), Pattern::r_trav(b)]))
+        [l1]
+        .total();
     assert!(p_both >= 2.0 * p_solo);
 }

@@ -93,7 +93,10 @@ fn hash_join_cliffs_move_with_the_machine() {
     };
     let below = per_probe(16_384); // H = 512 KB < 1 MB L2
     let above = per_probe(262_144); // H = 8 MB > L2
-    assert!(above > 3.0 * below, "modern L2 cliff: {below:.3} -> {above:.3}");
+    assert!(
+        above > 3.0 * below,
+        "modern L2 cliff: {below:.3} -> {above:.3}"
+    );
 }
 
 #[test]

@@ -12,7 +12,11 @@ use gcm_sim::MemorySystem;
 use proptest::prelude::*;
 
 fn geo(c: u64, b: u64) -> Geometry {
-    Geometry { c: c as f64, b: b as f64, lines: c as f64 / b as f64 }
+    Geometry {
+        c: c as f64,
+        b: b as f64,
+        lines: c as f64 / b as f64,
+    }
 }
 
 proptest! {

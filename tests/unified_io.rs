@@ -57,7 +57,10 @@ fn random_traversal_thrashes_the_pool() {
     // approaching one per access; model within 35% (probabilistic term).
     assert!(measured > 3.0 * 32.0, "random I/O must thrash: {measured}");
     let ratio = predicted / measured;
-    assert!((0.65..1.5).contains(&ratio), "measured {measured} predicted {predicted}");
+    assert!(
+        (0.65..1.5).contains(&ratio),
+        "measured {measured} predicted {predicted}"
+    );
     // Charged time is seek-dominated. (With only 32 distinct pages, the
     // 8-stream EDO detector occasionally sees accidental page adjacency,
     // so a strict majority is the right assertion at this scale.)
@@ -93,7 +96,11 @@ fn model_ranks_io_algorithms_like_memory_algorithms() {
     let h = Region::new("H", (2 * n).next_power_of_two(), 16);
     let w = Region::new("W", n, 16);
 
-    let merge = model.mem_ns(&gcm_core::library::merge_join(u.clone(), v.clone(), w.clone()));
+    let merge = model.mem_ns(&gcm_core::library::merge_join(
+        u.clone(),
+        v.clone(),
+        w.clone(),
+    ));
     let hash = model.mem_ns(&gcm_core::library::hash_join(u, v, h, w));
     assert!(
         merge < hash / 5.0,

@@ -1,0 +1,240 @@
+//! Offline shim for the `criterion` benchmarking harness.
+//!
+//! The build environment has no network access to crates.io, so this
+//! crate provides the subset of criterion's API that the workspace's
+//! bench targets use: [`Criterion`], [`Bencher`], benchmark groups with
+//! [`Throughput`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. Timing is a plain `std::time::Instant` loop — median of
+//! `sample_size` samples after a short warm-up — printed in criterion's
+//! one-line style. Swap this shim for the real crates.io `criterion`
+//! (keeping the same manifests) when network is available; no bench
+//! source needs to change.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How a benchmark's measured time relates to work done, for deriving
+/// a throughput figure next to the time-per-iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark harness entry point; collects samples and prints them.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_iters: 3,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, None, self.sample_size, self.warm_up_iters, f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used to report rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group only (the parent
+    /// [`Criterion`]'s setting is untouched, as in the real criterion).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(
+            &full,
+            self.throughput,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.warm_up_iters,
+            f,
+        );
+        self
+    }
+
+    /// Finish the group (printing is done per-benchmark; this is a no-op
+    /// kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; times the routine under test.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    timing: bool,
+}
+
+impl Bencher {
+    /// Time one sample of `f`, recording its wall-clock duration.
+    pub fn iter<R, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> R,
+    {
+        let start = Instant::now();
+        black_box(f());
+        if self.timing {
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_bench<F>(id: &str, throughput: Option<Throughput>, samples: usize, warm_up: u64, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher::default();
+    for _ in 0..warm_up {
+        f(&mut b);
+    }
+    b.timing = true;
+    while b.samples.len() < samples {
+        let before = b.samples.len();
+        f(&mut b);
+        assert!(
+            b.samples.len() > before,
+            "benchmark {id} returned without calling Bencher::iter"
+        );
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    let rate = throughput.map(|t| {
+        let per_sec = |n: u64| n as f64 / median.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Elements(n) => format!(" ({:.3} Melem/s)", per_sec(n) / 1e6),
+            Throughput::Bytes(n) => format!(" ({:.3} MiB/s)", per_sec(n) / (1024.0 * 1024.0)),
+        }
+    });
+    println!(
+        "{id:<48} time: [{median:?} median of {n} samples]{rate}",
+        n = b.samples.len(),
+        rate = rate.as_deref().unwrap_or("")
+    );
+}
+
+/// Declare a group of benchmark functions, with or without a custom
+/// [`Criterion`] configuration (both spellings of the real macro).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate a `main` that runs each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` invokes the target with `--bench`; the shim
+            // has no CLI, so arguments are ignored.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default().sample_size(4);
+        let mut runs = 0u32;
+        c.bench_function("shim/self_test", |b| b.iter(|| runs += 1));
+        assert!(runs >= 4);
+    }
+
+    #[test]
+    fn group_runs_and_finishes() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+
+    #[test]
+    fn group_sample_size_does_not_leak() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(50);
+        g.bench_function("inner", |b| b.iter(|| black_box(0)));
+        g.finish();
+        let mut runs = 0u32;
+        c.bench_function("after", |b| b.iter(|| runs += 1));
+        // default sample_size (10) + warm-up (3), not the group's 50
+        assert_eq!(runs, 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "without calling Bencher::iter")]
+    fn closure_skipping_iter_panics_instead_of_hanging() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("bad", |_b| {});
+    }
+}

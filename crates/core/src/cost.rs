@@ -133,7 +133,18 @@ impl CostModel {
 
     /// Full cost report: per-level misses scored with latencies (Eq 3.1).
     pub fn report(&self, p: &Pattern) -> CostReport {
-        let pairs = self.misses(p);
+        self.score(self.misses(p))
+    }
+
+    /// Full cost report starting from a warm [`CacheState`] — the Eq 5.2
+    /// surface for whole-plan composition: pricing a pattern that runs
+    /// *right after* another one (whose residue `state` describes)
+    /// instead of against cold caches.
+    pub fn report_from(&self, p: &Pattern, state: &CacheState) -> CostReport {
+        self.score(self.misses_from(p, state))
+    }
+
+    fn score(&self, pairs: Vec<MissPair>) -> CostReport {
         let levels: Vec<LevelCost> = self
             .spec
             .levels()
@@ -222,6 +233,22 @@ mod tests {
         let warmed: f64 = model.misses_from(&p, &warm).iter().map(|m| m.total()).sum();
         assert!(cold > 0.0);
         assert_eq!(warmed, 0.0);
+    }
+
+    #[test]
+    fn report_from_warm_state_is_cheaper() {
+        let model = CostModel::new(presets::tiny());
+        let a = Region::new("A", 100, 8); // fits every level
+        let p = Pattern::s_trav(a.clone());
+        let cold = model.report(&p);
+        let mut warm = CacheState::cold();
+        warm.set(&a, 1.0);
+        let warmed = model.report_from(&p, &warm);
+        assert!(cold.mem_ns > 0.0);
+        assert_eq!(warmed.mem_ns, 0.0);
+        // A cold starting state reproduces the plain report.
+        let recold = model.report_from(&p, &CacheState::cold());
+        assert_eq!(recold, cold);
     }
 
     #[test]

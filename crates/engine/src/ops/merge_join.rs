@@ -17,6 +17,21 @@ pub fn merge_join(
     out_name: &str,
     out_w: u64,
 ) -> Relation {
+    // Unsorted inputs would silently produce garbage (the cursors only
+    // move forward); fail fast in debug builds. Host-side reads, so the
+    // check never perturbs the release-mode counters.
+    debug_assert!(
+        is_sorted_host(ctx, u),
+        "merge_join: outer input {:?} is not key-sorted (sort it first, \
+         or plan a Merge join with sort_u = true)",
+        u.region().name()
+    );
+    debug_assert!(
+        is_sorted_host(ctx, v),
+        "merge_join: inner input {:?} is not key-sorted (sort it first, \
+         or plan a Merge join with sort_v = true)",
+        v.region().name()
+    );
     // Cardinality oracle (host-side): count matches to size the output.
     let matches = count_matches_host(ctx, u, v);
     let out = ctx.relation(out_name, matches, out_w);
@@ -49,6 +64,13 @@ pub fn merge_join(
     }
     debug_assert_eq!(o, matches);
     out
+}
+
+/// Host-side sortedness check backing the debug assertions above
+/// (branch-eliminated, but still referenced, in release builds).
+fn is_sorted_host(ctx: &ExecContext, rel: &Relation) -> bool {
+    let host = ctx.mem.host();
+    (1..rel.n()).all(|i| host.read_u64(rel.tuple(i - 1)) <= host.read_u64(rel.tuple(i)))
 }
 
 fn count_matches_host(ctx: &ExecContext, u: &Relation, v: &Relation) -> u64 {
@@ -139,6 +161,16 @@ mod tests {
         let v = c.relation_from_keys("V", &[1], 8);
         let w = merge_join(&mut c, &u, &v, "W", 16);
         assert_eq!(w.n(), 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "is not key-sorted")]
+    fn unsorted_input_is_rejected_in_debug() {
+        let mut c = ctx();
+        let u = c.relation_from_keys("U", &[3, 1, 2], 8);
+        let v = c.relation_from_keys("V", &[1, 2, 3], 8);
+        let _ = merge_join(&mut c, &u, &v, "W", 16);
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! Lowering a [`PhysicalPlan`] onto the real operators in
+//! [`crate::ops`].
+//!
+//! Execution produces the actual result relation *and* the whole-plan
+//! compound pattern with the **actual** intermediate cardinalities —
+//! the execution-provided logical-cost oracle that the paper assumes
+//! (§1). Comparing [`PlanRun::pattern`] priced by the model against the
+//! simulator's measured counters closes the loop on a whole query, the
+//! same way the Figure-7 experiments close it per operator.
+
+use super::optimizer::PlanError;
+use super::physical::PhysicalPlan;
+use super::OUT_TUPLE_BYTES;
+use crate::ctx::ExecContext;
+use crate::ops;
+use crate::planner::JoinAlgorithm;
+use crate::relation::Relation;
+use gcm_core::{Pattern, Region};
+
+/// Result of executing a plan: the real output plus the compound
+/// pattern describing everything that was executed.
+#[derive(Debug)]
+pub struct PlanRun {
+    /// The final output relation.
+    pub output: Relation,
+    /// `node₁ ⊕ node₂ ⊕ …` in execution order, with actual intermediate
+    /// cardinalities.
+    pub pattern: Pattern,
+}
+
+/// Execute `plan` over the catalog `tables` (indexed by the plan's scan
+/// nodes). Every operator runs for real over the simulated memory of
+/// `ctx`; sorts (including the sort phases of merge joins) act in place
+/// on their input.
+pub fn execute(
+    ctx: &mut ExecContext,
+    plan: &PhysicalPlan,
+    tables: &[Relation],
+) -> Result<PlanRun, PlanError> {
+    let mut phases = Vec::new();
+    let mut seq = 0u64;
+    let output = exec_node(ctx, plan, tables, &mut phases, &mut seq)?;
+    Ok(PlanRun {
+        output,
+        pattern: Pattern::seq(phases),
+    })
+}
+
+fn next_name(seq: &mut u64) -> String {
+    let name = format!("q{seq}");
+    *seq += 1;
+    name
+}
+
+fn exec_node(
+    ctx: &mut ExecContext,
+    plan: &PhysicalPlan,
+    tables: &[Relation],
+    phases: &mut Vec<Pattern>,
+    seq: &mut u64,
+) -> Result<Relation, PlanError> {
+    match plan {
+        PhysicalPlan::Scan { table } => {
+            // A scan is a binding, not work: the consuming operator
+            // performs the actual traversal.
+            tables.get(*table).cloned().ok_or(PlanError::UnknownTable {
+                table: *table,
+                tables: tables.len(),
+            })
+        }
+        PhysicalPlan::Select { input, threshold } => {
+            let current = exec_node(ctx, input, tables, phases, seq)?;
+            let name = next_name(seq);
+            let out = ops::scan::select_lt(ctx, &current, *threshold, &name);
+            phases.push(ops::scan::select_pattern(current.region(), out.region()));
+            Ok(out)
+        }
+        PhysicalPlan::Join {
+            left,
+            right,
+            algorithm,
+        } => {
+            let u = exec_node(ctx, left, tables, phases, seq)?;
+            let v = exec_node(ctx, right, tables, phases, seq)?;
+            exec_join(ctx, &u, &v, algorithm, phases, seq)
+        }
+        PhysicalPlan::Aggregate { input } => {
+            let current = exec_node(ctx, input, tables, phases, seq)?;
+            let name = next_name(seq);
+            let out = ops::aggregate::hash_group_count(ctx, &current, &name);
+            let h = Region::new(
+                format!("H({name})"),
+                (2 * out.n().max(1)).next_power_of_two(),
+                ops::hash::ENTRY_BYTES,
+            );
+            phases.push(ops::aggregate::hash_group_pattern(
+                current.region(),
+                &h,
+                out.region(),
+            ));
+            Ok(out)
+        }
+        PhysicalPlan::Sort { input } => {
+            let current = exec_node(ctx, input, tables, phases, seq)?;
+            ops::sort::quick_sort(ctx, &current);
+            phases.push(ops::sort::quick_sort_pattern(current.region()));
+            Ok(current)
+        }
+        PhysicalPlan::Dedup { input } => {
+            let current = exec_node(ctx, input, tables, phases, seq)?;
+            let name = next_name(seq);
+            let out = ops::aggregate::sort_dedup(ctx, &current, &name);
+            phases.push(ops::aggregate::sort_dedup_pattern(
+                current.region(),
+                out.region(),
+            ));
+            Ok(out)
+        }
+        PhysicalPlan::Partition { input, m } => {
+            let current = exec_node(ctx, input, tables, phases, seq)?;
+            let name = next_name(seq);
+            let parts = ops::partition::hash_partition(ctx, &current, *m, &name);
+            phases.push(ops::partition::partition_pattern(
+                current.region(),
+                parts.rel.region(),
+                *m,
+            ));
+            Ok(parts.rel)
+        }
+    }
+}
+
+fn exec_join(
+    ctx: &mut ExecContext,
+    u: &Relation,
+    v: &Relation,
+    algorithm: &JoinAlgorithm,
+    phases: &mut Vec<Pattern>,
+    seq: &mut u64,
+) -> Result<Relation, PlanError> {
+    let name = next_name(seq);
+    match algorithm {
+        JoinAlgorithm::NestedLoop => {
+            let out = ops::nl_join::nested_loop_join(ctx, u, v, &name, OUT_TUPLE_BYTES);
+            phases.push(ops::nl_join::nested_loop_join_pattern(
+                u.region(),
+                v.region(),
+                out.region(),
+            ));
+            Ok(out)
+        }
+        JoinAlgorithm::Merge { sort_u, sort_v } => {
+            if *sort_u {
+                ops::sort::quick_sort(ctx, u);
+                phases.push(ops::sort::quick_sort_pattern(u.region()));
+            }
+            if *sort_v {
+                ops::sort::quick_sort(ctx, v);
+                phases.push(ops::sort::quick_sort_pattern(v.region()));
+            }
+            let out = ops::merge_join::merge_join(ctx, u, v, &name, OUT_TUPLE_BYTES);
+            phases.push(ops::merge_join::merge_join_pattern(
+                u.region(),
+                v.region(),
+                out.region(),
+            ));
+            Ok(out)
+        }
+        JoinAlgorithm::Hash => {
+            let out = ops::hash::hash_join(ctx, u, v, &name, OUT_TUPLE_BYTES);
+            let h = Region::new(
+                format!("H({name})"),
+                (2 * v.n().max(1)).next_power_of_two(),
+                ops::hash::ENTRY_BYTES,
+            );
+            phases.push(ops::hash::hash_join_pattern(
+                u.region(),
+                v.region(),
+                &h,
+                out.region(),
+            ));
+            Ok(out)
+        }
+        JoinAlgorithm::PartitionedHash { m } => {
+            let out = ops::part_hash_join::part_hash_join(ctx, u, v, *m, &name, OUT_TUPLE_BYTES);
+            let up = Region::new(format!("Up({name})"), u.n(), u.w());
+            let vp = Region::new(format!("Vp({name})"), v.n(), v.w());
+            phases.push(ops::part_hash_join::part_hash_join_pattern(
+                u.region(),
+                v.region(),
+                out.region(),
+                *m,
+                &up,
+                &vp,
+            ));
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcm_hardware::presets;
+    use gcm_workload::Workload;
+
+    fn setup(seed: u64, fact_n: usize, dim_n: usize) -> (ExecContext, Vec<Relation>) {
+        let mut ctx = ExecContext::new(presets::tiny());
+        let star = Workload::new(seed).star_scenario(fact_n, dim_n, 2);
+        let tables = vec![
+            ctx.relation_from_keys("F", &star.fact, 8),
+            ctx.relation_from_keys("D1", &star.dims[0], 8),
+            ctx.relation_from_keys("D2", &star.dims[1], 8),
+        ];
+        (ctx, tables)
+    }
+
+    #[test]
+    fn all_join_algorithms_agree_on_results() {
+        // The same logical join executed under every algorithm must
+        // produce the same multiset of output keys.
+        let algos = [
+            JoinAlgorithm::NestedLoop,
+            JoinAlgorithm::Hash,
+            JoinAlgorithm::Merge {
+                sort_u: true,
+                sort_v: true,
+            },
+            JoinAlgorithm::PartitionedHash { m: 4 },
+        ];
+        let mut outputs: Vec<Vec<u64>> = Vec::new();
+        for algo in algos {
+            let (mut ctx, tables) = setup(77, 500, 100);
+            let plan = PhysicalPlan::scan(0)
+                .select_lt(50)
+                .join_with(PhysicalPlan::scan(1), algo);
+            let run = execute(&mut ctx, &plan, &tables).unwrap();
+            let mut keys: Vec<u64> = (0..run.output.n())
+                .map(|i| ctx.mem.host().read_u64(run.output.tuple(i)))
+                .collect();
+            keys.sort_unstable();
+            assert!(!keys.is_empty());
+            assert!(keys.iter().all(|&k| k < 50));
+            outputs.push(keys);
+        }
+        for o in &outputs[1..] {
+            assert_eq!(o, &outputs[0]);
+        }
+    }
+
+    #[test]
+    fn two_join_star_query_end_to_end() {
+        let (mut ctx, tables) = setup(78, 2_000, 400);
+        let plan = PhysicalPlan::scan(0)
+            .select_lt(200)
+            .join_with(PhysicalPlan::scan(1), JoinAlgorithm::Hash)
+            .join_with(PhysicalPlan::scan(2), JoinAlgorithm::Hash)
+            .group_count();
+        let run = execute(&mut ctx, &plan, &tables).unwrap();
+        // Each selected fact key matches exactly one PK per dimension,
+        // so the aggregate sees one group per surviving distinct key.
+        let expected: std::collections::HashSet<u64> = (0..tables[0].n())
+            .map(|i| ctx.mem.host().read_u64(tables[0].tuple(i)))
+            .filter(|&k| k < 200)
+            .collect();
+        assert_eq!(run.output.n(), expected.len() as u64);
+        // Pattern covers all four operators (select ⊕ 2×join ⊕ agg).
+        match &run.pattern {
+            Pattern::Seq(phases) => assert_eq!(phases.len(), 7),
+            p => panic!("expected Seq, got {p}"),
+        }
+    }
+
+    #[test]
+    fn merge_join_sort_flags_sort_in_place() {
+        let (mut ctx, tables) = setup(79, 600, 300);
+        let plan = PhysicalPlan::scan(0).join_with(
+            PhysicalPlan::scan(1),
+            JoinAlgorithm::Merge {
+                sort_u: true,
+                sort_v: true,
+            },
+        );
+        let run = execute(&mut ctx, &plan, &tables).unwrap();
+        assert!(run.output.n() > 0);
+        // Merge output is ordered.
+        for i in 1..run.output.n() {
+            let a = ctx.mem.host().read_u64(run.output.tuple(i - 1));
+            let b = ctx.mem.host().read_u64(run.output.tuple(i));
+            assert!(a <= b);
+        }
+        // The pattern includes the two (multi-pass) sort phases before
+        // the three-way merge sweep.
+        let s = run.pattern.to_string();
+        assert!(s.contains("×"), "sort passes missing: {s}");
+        assert!(run.pattern.leaves().len() > 10, "{s}");
+    }
+
+    #[test]
+    fn measured_misses_track_the_plan_pattern() {
+        // The whole-plan pattern, priced by the model, must agree with
+        // the simulator's measured misses within the usual 7e-style
+        // tolerance — on a full-associativity machine so conflict
+        // misses don't muddy the comparison.
+        let spec = presets::tiny_full_assoc();
+        let mut ctx = ExecContext::new(spec.clone());
+        let star = Workload::new(80).star_scenario(4_096, 1_024, 1);
+        let tables = vec![
+            ctx.relation_from_keys("F", &star.fact, 8),
+            ctx.relation_from_keys("D", &star.dims[0], 8),
+        ];
+        let plan = PhysicalPlan::scan(0)
+            .select_lt(512)
+            .join_with(PhysicalPlan::scan(1), JoinAlgorithm::Hash)
+            .group_count();
+        let (run, stats) = {
+            let tables = tables.clone();
+            let mut result = None;
+            let (_, s) = ctx.measure(|c| {
+                result = Some(execute(c, &plan, &tables).unwrap());
+            });
+            (result.unwrap(), s)
+        };
+        let model = gcm_core::CostModel::new(spec.clone());
+        let report = model.report(&run.pattern);
+        let l2 = spec.level_index("L2").unwrap();
+        let measured = stats.misses_at(l2) as f64;
+        let predicted = report.levels[l2].misses();
+        let ratio = predicted / measured.max(1.0);
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "L2 misses: measured {measured}, predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let (mut ctx, tables) = setup(81, 100, 50);
+        let plan = PhysicalPlan::scan(9);
+        let err = execute(&mut ctx, &plan, &tables).unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::UnknownTable {
+                table: 9,
+                tables: 3
+            }
+        );
+    }
+}

@@ -5,9 +5,13 @@
 //!
 //! The planner enumerates join algorithms (and partitioning fan-outs),
 //! prices each via its pattern description and Eq 6.1, and ranks them.
+//! It is also the *per-node costing engine* of the whole-plan optimizer
+//! ([`crate::plan::Optimizer`]): [`join_candidates`] yields each
+//! algorithm's pattern description and logical-op estimate, which the
+//! optimizer composes across a whole plan tree with `⊕` before pricing.
 
 use crate::ops;
-use gcm_core::{CostModel, CpuCost, Region};
+use gcm_core::{CostModel, CpuCost, Pattern, Region};
 use std::fmt;
 
 /// A candidate join algorithm.
@@ -82,29 +86,40 @@ pub struct JoinInputs {
     pub v_sorted: bool,
 }
 
-/// CPU calibration per logical operation (engine-wide constant; the
-/// paper calibrates `T_cpu` per algorithm — per-algorithm op counts
-/// below play that role).
-const PLANNER_PER_OP_NS: f64 = 4.0;
+/// Default CPU calibration per logical operation (the paper calibrates
+/// `T_cpu` per algorithm — the per-algorithm op counts in
+/// [`join_candidates`] play that role). Callers with a calibrated
+/// machine thread their own [`CpuCost`] via [`rank_joins_with`].
+pub const DEFAULT_PLANNER_PER_OP_NS: f64 = 4.0;
 
-/// Price all candidate join algorithms, cheapest first.
-pub fn rank_joins(model: &CostModel, inputs: &JoinInputs) -> Vec<PlanChoice> {
-    let cpu = CpuCost::per_op(PLANNER_PER_OP_NS);
+/// One join algorithm's physical description: its access pattern over
+/// the given input/output regions plus its logical-operation estimate.
+/// This is the per-node currency the whole-plan optimizer composes.
+#[derive(Debug, Clone)]
+pub struct JoinCandidate {
+    /// The algorithm.
+    pub algorithm: JoinAlgorithm,
+    /// The node's compound access pattern (sorts included for merge).
+    pub pattern: Pattern,
+    /// Estimated logical CPU operations (Eq 6.1's `T_cpu` input).
+    pub ops: u64,
+}
+
+/// Enumerate every candidate join algorithm for the inputs, writing the
+/// given output region `w` (pass the region the *consumer* of this join
+/// will read, so whole-plan costing sees the producer/consumer reuse of
+/// Eq 5.2).
+pub fn join_candidates(model: &CostModel, inputs: &JoinInputs, w: &Region) -> Vec<JoinCandidate> {
     let u = &inputs.u;
     let v = &inputs.v;
-    let w = Region::new("W", inputs.out_n, inputs.out_w);
-    let mut choices = Vec::new();
+    let mut out = Vec::new();
 
     // Nested loop.
-    {
-        let p = ops::nl_join::nested_loop_join_pattern(u, v, &w);
-        let ops_count = u.n.saturating_mul(v.n);
-        choices.push(PlanChoice {
-            algorithm: JoinAlgorithm::NestedLoop,
-            mem_ns: model.mem_ns(&p),
-            cpu_ns: cpu.ns(ops_count),
-        });
-    }
+    out.push(JoinCandidate {
+        algorithm: JoinAlgorithm::NestedLoop,
+        pattern: ops::nl_join::nested_loop_join_pattern(u, v, w),
+        ops: u.n.saturating_mul(v.n),
+    });
 
     // Merge (with sorts as needed).
     {
@@ -118,15 +133,14 @@ pub fn rank_joins(model: &CostModel, inputs: &JoinInputs) -> Vec<PlanChoice> {
             phases.push(gcm_core::library::quick_sort(v.clone()));
             ops_count += ops::sort::quick_sort_expected_ops(v.n);
         }
-        phases.push(ops::merge_join::merge_join_pattern(u, v, &w));
-        let p = gcm_core::Pattern::seq(phases);
-        choices.push(PlanChoice {
+        phases.push(ops::merge_join::merge_join_pattern(u, v, w));
+        out.push(JoinCandidate {
             algorithm: JoinAlgorithm::Merge {
                 sort_u: !inputs.u_sorted,
                 sort_v: !inputs.v_sorted,
             },
-            mem_ns: model.mem_ns(&p),
-            cpu_ns: cpu.ns(ops_count),
+            pattern: Pattern::seq(phases),
+            ops: ops_count,
         });
     }
 
@@ -137,11 +151,10 @@ pub fn rank_joins(model: &CostModel, inputs: &JoinInputs) -> Vec<PlanChoice> {
             (2 * v.n.max(1)).next_power_of_two(),
             ops::hash::ENTRY_BYTES,
         );
-        let p = ops::hash::hash_join_pattern(u, v, &h, &w);
-        choices.push(PlanChoice {
+        out.push(JoinCandidate {
             algorithm: JoinAlgorithm::Hash,
-            mem_ns: model.mem_ns(&p),
-            cpu_ns: cpu.ns(4 * v.n + 4 * u.n + inputs.out_n),
+            pattern: ops::hash::hash_join_pattern(u, v, &h, w),
+            ops: 4 * v.n + 4 * u.n + inputs.out_n,
         });
     }
 
@@ -149,44 +162,91 @@ pub fn rank_joins(model: &CostModel, inputs: &JoinInputs) -> Vec<PlanChoice> {
     // smallest m that makes a partition's hash table fit that level).
     for lvl in model.spec().data_caches() {
         let table_bytes = 2 * v.n.max(1) * ops::hash::ENTRY_BYTES;
-        let mut m = (table_bytes / lvl.capacity.max(1))
-            .max(1)
-            .next_power_of_two();
-        // Respect the partitioning cliff: the fan-out must stay below the
-        // smallest level's line count or partitioning itself thrashes
-        // (use multi-pass partitioning beyond; see ops::radix).
-        let min_lines = model
-            .spec()
-            .levels()
+        let Some(m) = fitting_fanout(model, table_bytes, lvl) else {
+            continue;
+        };
+        if out
             .iter()
-            .map(gcm_hardware::CacheLevel::lines)
-            .min()
-            .unwrap_or(64);
-        m = m.min(min_lines.max(2));
-        if m < 2 {
+            .any(|c| c.algorithm == (JoinAlgorithm::PartitionedHash { m }))
+        {
+            // Two levels clamped to the same fan-out: one candidate.
             continue;
         }
         let up = Region::new("Up", u.n, u.w);
         let vp = Region::new("Vp", v.n, v.w);
-        let p = ops::part_hash_join::part_hash_join_pattern(u, v, &w, m, &up, &vp);
-        choices.push(PlanChoice {
+        out.push(JoinCandidate {
             algorithm: JoinAlgorithm::PartitionedHash { m },
-            mem_ns: model.mem_ns(&p),
-            cpu_ns: cpu.ns(2 * (u.n + v.n) + 4 * v.n + 4 * u.n + inputs.out_n),
+            pattern: ops::part_hash_join::part_hash_join_pattern(u, v, w, m, &up, &vp),
+            ops: 2 * (u.n + v.n) + 4 * v.n + 4 * u.n + inputs.out_n,
         });
     }
 
+    out
+}
+
+/// The smallest power-of-two fan-out that makes one `bytes`-sized chunk
+/// of data fit cache level `lvl`, clamped below the smallest level's
+/// line count — past that the partitioning itself thrashes, the
+/// Figure 7d cliff (use multi-pass partitioning beyond; see
+/// [`crate::ops::radix`]). `None` when the data already fits (fan-out
+/// below 2), i.e. partitioning buys nothing at this level.
+pub fn fitting_fanout(
+    model: &CostModel,
+    bytes: u64,
+    lvl: &gcm_hardware::CacheLevel,
+) -> Option<u64> {
+    let min_lines = model
+        .spec()
+        .levels()
+        .iter()
+        .map(gcm_hardware::CacheLevel::lines)
+        .min()
+        .unwrap_or(64)
+        .max(2);
+    let m = bytes
+        .div_ceil(lvl.capacity.max(1))
+        .max(1)
+        .next_power_of_two()
+        .min(min_lines);
+    (m >= 2).then_some(m)
+}
+
+/// Price all candidate join algorithms in isolation (cold caches) under
+/// the given CPU calibration, cheapest first.
+pub fn rank_joins_with(model: &CostModel, inputs: &JoinInputs, cpu: CpuCost) -> Vec<PlanChoice> {
+    let w = Region::new("W", inputs.out_n, inputs.out_w);
+    let mut choices: Vec<PlanChoice> = join_candidates(model, inputs, &w)
+        .into_iter()
+        .map(|c| PlanChoice {
+            algorithm: c.algorithm,
+            mem_ns: model.mem_ns(&c.pattern),
+            cpu_ns: cpu.ns(c.ops),
+        })
+        .collect();
     choices.sort_by(|a, b| a.total_ns().total_cmp(&b.total_ns()));
     choices.dedup_by(|a, b| a.algorithm == b.algorithm);
     choices
 }
 
-/// The cheapest join algorithm for the inputs.
-pub fn choose_join(model: &CostModel, inputs: &JoinInputs) -> PlanChoice {
-    rank_joins(model, inputs)
-        .into_iter()
-        .next()
-        .expect("at least one candidate")
+/// [`rank_joins_with`] under the default per-op CPU calibration.
+pub fn rank_joins(model: &CostModel, inputs: &JoinInputs) -> Vec<PlanChoice> {
+    rank_joins_with(model, inputs, CpuCost::per_op(DEFAULT_PLANNER_PER_OP_NS))
+}
+
+/// The cheapest join algorithm for the inputs under the given CPU
+/// calibration, or `None` if no algorithm is applicable.
+pub fn choose_join_with(
+    model: &CostModel,
+    inputs: &JoinInputs,
+    cpu: CpuCost,
+) -> Option<PlanChoice> {
+    rank_joins_with(model, inputs, cpu).into_iter().next()
+}
+
+/// The cheapest join algorithm for the inputs, or `None` if no
+/// algorithm is applicable.
+pub fn choose_join(model: &CostModel, inputs: &JoinInputs) -> Option<PlanChoice> {
+    choose_join_with(model, inputs, CpuCost::per_op(DEFAULT_PLANNER_PER_OP_NS))
 }
 
 /// Price a partitioning fan-out sweep and return `(m, predicted_ns)`
@@ -231,7 +291,7 @@ mod tests {
 
     #[test]
     fn sorted_inputs_pick_merge() {
-        let choice = choose_join(&model(), &inputs(1_000_000, true));
+        let choice = choose_join(&model(), &inputs(1_000_000, true)).expect("candidates exist");
         assert!(matches!(
             choice.algorithm,
             JoinAlgorithm::Merge {
@@ -248,7 +308,7 @@ mod tests {
         // TLB entry count) recovers part of that, and the sequential-
         // access sort+merge pipeline wins outright — the memory-access
         // economics that motivated the radix-cluster line of work
-        // ([MBK00a]; see ops::radix for the multi-pass answer).
+        // (\[MBK00a\]; see ops::radix for the multi-pass answer).
         let ranked = rank_joins(&model(), &inputs(4_000_000, false));
         assert!(
             matches!(ranked[0].algorithm, JoinAlgorithm::Merge { .. }),
@@ -267,7 +327,7 @@ mod tests {
     fn tlb_fitting_table_picks_plain_hash() {
         // H = 1 MB = the TLB reach: hashing stays cheap and beats paying
         // two sorts.
-        let choice = choose_join(&model(), &inputs(30_000, false));
+        let choice = choose_join(&model(), &inputs(30_000, false)).expect("candidates exist");
         assert!(
             matches!(choice.algorithm, JoinAlgorithm::Hash),
             "picked {}",
@@ -299,6 +359,72 @@ mod tests {
         let (worst_m, worst_ns) = *ranked.last().unwrap();
         assert!(worst_m >= 65_536);
         assert!(worst_ns > 2.0 * ranked[0].1);
+    }
+
+    #[test]
+    fn candidates_carry_patterns_and_ops() {
+        let m = model();
+        let ins = inputs(10_000, false);
+        let w = Region::new("W", ins.out_n, ins.out_w);
+        let cands = join_candidates(&m, &ins, &w);
+        assert!(cands.len() >= 4, "NL, merge, hash, ≥1 partitioned");
+        for c in &cands {
+            assert!(c.ops > 0, "{} has no op estimate", c.algorithm);
+            assert!(m.mem_ns(&c.pattern) > 0.0, "{} has no pattern", c.algorithm);
+        }
+        // The merge candidate's pattern includes the two sorts.
+        let merge = cands
+            .iter()
+            .find(|c| matches!(c.algorithm, JoinAlgorithm::Merge { .. }))
+            .unwrap();
+        assert!(matches!(
+            merge.algorithm,
+            JoinAlgorithm::Merge {
+                sort_u: true,
+                sort_v: true
+            }
+        ));
+    }
+
+    #[test]
+    fn clamped_fanouts_produce_one_candidate() {
+        // On the tiny machine both data caches clamp to the TLB's 8
+        // lines for a big build side: only one PartitionedHash survives.
+        let m = CostModel::new(presets::tiny());
+        let ins = inputs(4096, false);
+        let w = Region::new("W", ins.out_n, ins.out_w);
+        let cands = join_candidates(&m, &ins, &w);
+        let part: Vec<_> = cands
+            .iter()
+            .filter(|c| matches!(c.algorithm, JoinAlgorithm::PartitionedHash { .. }))
+            .collect();
+        assert_eq!(part.len(), 1, "duplicate fan-outs must dedup");
+        assert_eq!(part[0].algorithm, JoinAlgorithm::PartitionedHash { m: 8 });
+    }
+
+    #[test]
+    fn cpu_calibration_is_threaded() {
+        // A 100× per-op cost must flow into the ranking: CPU-heavy
+        // algorithms (sorts) get penalised relative to the default.
+        let m = model();
+        let ins = inputs(100_000, false);
+        let default = rank_joins(&m, &ins);
+        let slow_cpu = rank_joins_with(&m, &ins, CpuCost::per_op(400.0));
+        let merge_cpu = |ranked: &[PlanChoice]| {
+            ranked
+                .iter()
+                .find(|c| matches!(c.algorithm, JoinAlgorithm::Merge { .. }))
+                .unwrap()
+                .cpu_ns
+        };
+        assert!((merge_cpu(&slow_cpu) / merge_cpu(&default) - 100.0).abs() < 1e-6);
+        // The default entry point matches the explicit default calibration.
+        let explicit = rank_joins_with(&m, &ins, CpuCost::per_op(DEFAULT_PLANNER_PER_OP_NS));
+        assert_eq!(default.len(), explicit.len());
+        for (a, b) in default.iter().zip(&explicit) {
+            assert_eq!(a.algorithm, b.algorithm);
+            assert!((a.total_ns() - b.total_ns()).abs() < 1e-9);
+        }
     }
 
     #[test]

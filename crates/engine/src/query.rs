@@ -8,11 +8,18 @@
 //! compound pattern `stage₁ ⊕ stage₂ ⊕ …` with the *actual* intermediate
 //! cardinalities (the paper assumes a perfect logical-cost oracle, §1 —
 //! execution provides one).
+//!
+//! `Pipeline` is a convenience front-end: it is a thin builder over the
+//! plan-tree IR in [`crate::plan`], lowering each stage onto a
+//! [`PhysicalPlan`] node with the algorithm fixed by the stage (use the
+//! [`crate::plan::Optimizer`] when the algorithm choice should be
+//! cost-based).
 
 use crate::ctx::ExecContext;
-use crate::ops;
+use crate::plan::{self, PhysicalPlan};
+use crate::planner::JoinAlgorithm;
 use crate::relation::Relation;
-use gcm_core::{Pattern, Region};
+use gcm_core::Pattern;
 
 /// One pipeline stage.
 #[derive(Debug, Clone)]
@@ -61,83 +68,47 @@ impl Pipeline {
         self
     }
 
+    /// Lower the stage chain onto the plan-tree IR: the driving input
+    /// is table 0, each join build side becomes a further catalog
+    /// entry, and every stage fixes its node's algorithm.
+    fn lower(&self, input: &Relation) -> (PhysicalPlan, Vec<Relation>) {
+        let mut tables = vec![input.clone()];
+        let mut node = PhysicalPlan::scan(0);
+        for stage in &self.stages {
+            node = match stage {
+                Stage::SelectLt(threshold) => node.select_lt(*threshold),
+                Stage::Sort => node.sort(),
+                Stage::HashJoin(build_side) => {
+                    tables.push(build_side.clone());
+                    node.join_with(PhysicalPlan::scan(tables.len() - 1), JoinAlgorithm::Hash)
+                }
+                Stage::MergeJoin(other) => {
+                    tables.push(other.clone());
+                    node.join_with(
+                        PhysicalPlan::scan(tables.len() - 1),
+                        JoinAlgorithm::Merge {
+                            sort_u: false,
+                            sort_v: false,
+                        },
+                    )
+                }
+                Stage::Partition(m) => node.partition(*m),
+                Stage::GroupCount => node.group_count(),
+                Stage::Dedup => node.dedup(),
+            };
+        }
+        (node, tables)
+    }
+
     /// Execute over `input`, producing the output relation and the
     /// end-to-end pattern.
     pub fn run(&self, ctx: &mut ExecContext, input: &Relation) -> QueryRun {
-        let mut current = input.clone();
-        let mut phases: Vec<Pattern> = Vec::new();
-        for (i, stage) in self.stages.iter().enumerate() {
-            let name = format!("q{i}");
-            match stage {
-                Stage::SelectLt(threshold) => {
-                    let out = ops::scan::select_lt(ctx, &current, *threshold, &name);
-                    phases.push(ops::scan::select_pattern(current.region(), out.region()));
-                    current = out;
-                }
-                Stage::Sort => {
-                    ops::sort::quick_sort(ctx, &current);
-                    phases.push(ops::sort::quick_sort_pattern(current.region()));
-                }
-                Stage::HashJoin(build_side) => {
-                    let out = ops::hash::hash_join(ctx, &current, build_side, &name, 16);
-                    let h = Region::new(
-                        format!("H{i}"),
-                        (2 * build_side.n().max(1)).next_power_of_two(),
-                        ops::hash::ENTRY_BYTES,
-                    );
-                    phases.push(ops::hash::hash_join_pattern(
-                        current.region(),
-                        build_side.region(),
-                        &h,
-                        out.region(),
-                    ));
-                    current = out;
-                }
-                Stage::MergeJoin(other) => {
-                    let out = ops::merge_join::merge_join(ctx, &current, other, &name, 16);
-                    phases.push(ops::merge_join::merge_join_pattern(
-                        current.region(),
-                        other.region(),
-                        out.region(),
-                    ));
-                    current = out;
-                }
-                Stage::Partition(m) => {
-                    let parts = ops::partition::hash_partition(ctx, &current, *m, &name);
-                    phases.push(ops::partition::partition_pattern(
-                        current.region(),
-                        parts.rel.region(),
-                        *m,
-                    ));
-                    current = parts.rel;
-                }
-                Stage::GroupCount => {
-                    let out = ops::aggregate::hash_group_count(ctx, &current, &name);
-                    let h = Region::new(
-                        format!("H{i}"),
-                        (2 * out.n().max(1)).next_power_of_two(),
-                        ops::hash::ENTRY_BYTES,
-                    );
-                    phases.push(ops::aggregate::hash_group_pattern(
-                        current.region(),
-                        &h,
-                        out.region(),
-                    ));
-                    current = out;
-                }
-                Stage::Dedup => {
-                    let out = ops::aggregate::sort_dedup(ctx, &current, &name);
-                    phases.push(ops::aggregate::sort_dedup_pattern(
-                        current.region(),
-                        out.region(),
-                    ));
-                    current = out;
-                }
-            }
-        }
+        let (node, tables) = self.lower(input);
+        let run = plan::execute(ctx, &node, &tables)
+            .expect("pipeline lowering references only its own tables");
         QueryRun {
-            output: current,
-            pattern: Pattern::seq(phases),
+            output: run.output,
+            pattern: run.pattern,
         }
     }
 }
@@ -219,6 +190,24 @@ mod tests {
         // ≤ 300 distinct keys survive.
         assert!(run.output.n() <= 300);
         assert!(run.output.n() > 200, "most keys should appear");
+    }
+
+    #[test]
+    fn pipeline_lowers_to_a_plan_tree() {
+        let spec = presets::tiny();
+        let mut ctx = ExecContext::new(spec);
+        let u = ctx.relation_from_keys("U", &[1, 2, 3], 8);
+        let v = ctx.relation_from_keys("V", &[1, 2], 8);
+        let pipeline = Pipeline::new()
+            .stage(Stage::SelectLt(5))
+            .stage(Stage::HashJoin(v))
+            .stage(Stage::GroupCount);
+        let (node, tables) = pipeline.lower(&u);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(
+            node.to_string(),
+            "group_count(join[hash join](select_lt<5>(scan(0)), scan(1)))"
+        );
     }
 
     #[test]

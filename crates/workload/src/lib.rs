@@ -85,6 +85,27 @@ impl Workload {
             .collect()
     }
 
+    /// A foreign-key column: `n` uniform draws from `[0, dim_n)`,
+    /// referencing a dimension keyed `0..dim_n` (star-schema fact
+    /// tables; duplicates expected).
+    pub fn foreign_keys(&mut self, n: usize, dim_n: u64) -> Vec<u64> {
+        self.uniform_keys_bounded(n, dim_n)
+    }
+
+    /// A star-style multi-table scenario: one fact table of `fact_n`
+    /// foreign keys plus `dims` dimension tables, each holding the keys
+    /// `0..dim_n` exactly once in its own random order. Every fact
+    /// tuple matches exactly one tuple per dimension, so chained
+    /// fact ⋈ dim joins preserve the fact cardinality — the workload
+    /// shape of the whole-plan optimizer experiments.
+    pub fn star_scenario(&mut self, fact_n: usize, dim_n: usize, dims: usize) -> StarScenario {
+        StarScenario {
+            fact: self.foreign_keys(fact_n, dim_n as u64),
+            dims: (0..dims).map(|_| self.shuffled_keys(dim_n)).collect(),
+            key_bound: dim_n as u64,
+        }
+    }
+
     /// Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
@@ -106,6 +127,28 @@ impl Workload {
         (0..n)
             .map(|_| self.rng.next_below(bound) as usize)
             .collect()
+    }
+}
+
+/// A star-style multi-table scenario (see [`Workload::star_scenario`]):
+/// fact foreign keys plus per-dimension primary-key columns over the
+/// shared key domain `[0, key_bound)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StarScenario {
+    /// Fact-table foreign keys (uniform draws, duplicates expected).
+    pub fact: Vec<u64>,
+    /// One key column per dimension: `0..key_bound`, shuffled.
+    pub dims: Vec<Vec<u64>>,
+    /// Exclusive upper bound of the shared key domain.
+    pub key_bound: u64,
+}
+
+impl StarScenario {
+    /// The `key < threshold` cut-off that keeps the given fraction of
+    /// the key domain — the selectivity-parameterised predicate of the
+    /// optimizer workloads (`selectivity` clamped to `[0, 1]`).
+    pub fn threshold(&self, selectivity: f64) -> u64 {
+        (selectivity.clamp(0.0, 1.0) * self.key_bound as f64).round() as u64
     }
 }
 
@@ -174,6 +217,42 @@ mod tests {
         for i in w.random_indices(1000, 50) {
             assert!(i < 50);
         }
+    }
+
+    #[test]
+    fn star_scenario_shapes() {
+        let mut w = Workload::new(21);
+        let star = w.star_scenario(5_000, 700, 3);
+        assert_eq!(star.fact.len(), 5_000);
+        assert_eq!(star.dims.len(), 3);
+        assert_eq!(star.key_bound, 700);
+        // Every fact key references an existing dimension key.
+        assert!(star.fact.iter().all(|&k| k < 700));
+        // Each dimension is a permutation of 0..700 (a primary-key set).
+        for d in &star.dims {
+            let mut sorted = d.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..700).collect::<Vec<u64>>());
+        }
+        // Dimensions differ in order (independent shuffles).
+        assert_ne!(star.dims[0], star.dims[1]);
+    }
+
+    #[test]
+    fn star_threshold_tracks_selectivity() {
+        let star = Workload::new(22).star_scenario(100, 1000, 1);
+        assert_eq!(star.threshold(0.0), 0);
+        assert_eq!(star.threshold(0.25), 250);
+        assert_eq!(star.threshold(1.0), 1000);
+        // Out-of-range selectivities clamp.
+        assert_eq!(star.threshold(7.0), 1000);
+        assert_eq!(star.threshold(-1.0), 0);
+        // The predicate keeps roughly the requested fraction of facts.
+        let mut w = Workload::new(23);
+        let s = w.star_scenario(10_000, 1_000, 1);
+        let t = s.threshold(0.3);
+        let kept = s.fact.iter().filter(|&&k| k < t).count();
+        assert!((2_500..3_500).contains(&kept), "kept {kept}");
     }
 
     #[test]

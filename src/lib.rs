@@ -18,7 +18,7 @@
 //!   over simulated memory and describe themselves in the pattern language
 //!   (paper Table 2).
 //! * [`calibrate`] — the Calibrator: recovers the hardware parameters by
-//!   micro-benchmarking the memory hierarchy (paper §2.3 / [MBK00b]).
+//!   micro-benchmarking the memory hierarchy (paper §2.3 / \[MBK00b\]).
 //! * [`workload`] — deterministic data generators for the experiments.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the

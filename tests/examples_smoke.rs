@@ -13,6 +13,7 @@ const EXAMPLES: &[&str] = &[
     "cost_from_text",
     "io_cost",
     "join_planner",
+    "optimize_query",
     "partition_tuning",
     "calibrate_then_model",
 ];

@@ -26,7 +26,7 @@ pub mod detect;
 
 pub use detect::{CalibrationReport, Calibrator, DetectedCache, DetectedTlb};
 
-use gcm_hardware::{Associativity, CacheLevel, HardwareSpec, LevelKind};
+use gcm_hardware::{Associativity, CacheLevel, HardwareSpec, LevelKind, Sharing};
 
 impl CalibrationReport {
     /// Build a [`HardwareSpec`] from the calibrated parameters — the
@@ -54,6 +54,7 @@ impl CalibrationReport {
                 assoc: Associativity::Full,
                 seq_miss_ns: c.seq_miss_ns.max(0.01),
                 rand_miss_ns: c.rand_miss_ns.max(0.01),
+                sharing: Sharing::Private,
             })
             .collect();
         if let Some(t) = &self.tlb {
@@ -65,6 +66,7 @@ impl CalibrationReport {
                 assoc: Associativity::Full,
                 seq_miss_ns: t.miss_ns.max(0.01),
                 rand_miss_ns: t.miss_ns.max(0.01),
+                sharing: Sharing::Private,
             });
         }
         HardwareSpec::new(name, cpu_mhz, levels)

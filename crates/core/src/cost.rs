@@ -9,10 +9,10 @@
 //! algorithm in an in-cache setting (paper §6.1); [`CpuCost`] carries that
 //! calibration.
 
-use crate::eval::{self, CacheState};
+use crate::eval::{self, footprint_lines, CacheState};
 use crate::misses::{Geometry, MissPair};
 use crate::pattern::Pattern;
-use gcm_hardware::HardwareSpec;
+use gcm_hardware::{HardwareSpec, Sharing};
 use std::fmt;
 
 /// Cost contribution of one cache level.
@@ -95,6 +95,41 @@ impl CpuCost {
     }
 }
 
+/// Per-level cache states for *staged* pricing: one logical
+/// [`CacheState`] per hierarchy level, threaded across explicit
+/// [`CostModel::advance`] / [`CostModel::advance_parallel`] calls.
+///
+/// Pricing one compound `⊕` pattern in a single [`CostModel::report`]
+/// call threads the state internally; staged pricing exposes the same
+/// threading *between* calls, which is what lets a multi-core stage (a
+/// different combination rule per level) sit in the middle of an
+/// otherwise sequential plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchyState {
+    states: Vec<CacheState>,
+}
+
+impl HierarchyState {
+    /// The state of level `idx` (spec order).
+    pub fn level(&self, idx: usize) -> &CacheState {
+        &self.states[idx]
+    }
+}
+
+/// Cost of one stage executed by `d` concurrent threads
+/// (see [`CostModel::advance_parallel`]).
+#[derive(Debug, Clone)]
+pub struct ParallelCost {
+    /// Aggregate per-level breakdown: miss counts and memory time summed
+    /// over all threads (total machine work, not elapsed time).
+    pub report: CostReport,
+    /// Each thread's own memory time across all levels, ns.
+    pub per_thread_ns: Vec<f64>,
+    /// The stage's elapsed (wall-clock) memory time: the slowest
+    /// thread, since all threads run concurrently.
+    pub wall_ns: f64,
+}
+
 /// The cost model for one machine: estimates misses per level and scores
 /// them with the machine's latencies.
 #[derive(Debug, Clone)]
@@ -170,6 +205,116 @@ impl CostModel {
     /// performs `ops` logical operations under the `cpu` calibration.
     pub fn total_ns(&self, p: &Pattern, cpu: CpuCost, ops: u64) -> f64 {
         self.mem_ns(p) + cpu.ns(ops)
+    }
+
+    /// Begin a staged pricing pass: every level starts from (a copy of)
+    /// the logical `initial` state.
+    pub fn staged(&self, initial: &CacheState) -> HierarchyState {
+        HierarchyState {
+            states: vec![initial.clone(); self.spec.levels().len()],
+        }
+    }
+
+    /// Price one sequential stage from the current staged state,
+    /// advancing it. A fold of `advance` over `⊕`-phases reproduces
+    /// [`CostModel::report_from`] on the composed pattern exactly.
+    pub fn advance(&self, p: &Pattern, st: &mut HierarchyState) -> CostReport {
+        let pairs: Vec<MissPair> = self
+            .spec
+            .levels()
+            .iter()
+            .zip(st.states.iter_mut())
+            .map(|(lvl, state)| eval::eval_level(p, &Geometry::of(lvl), state))
+            .collect();
+        self.score(pairs)
+    }
+
+    /// Price one stage executed by `threads.len()` concurrent threads on
+    /// separate cores — the `⊙` rule of Eq 5.3 applied *across cores*,
+    /// level by level:
+    ///
+    /// * a [`Shared`](Sharing::Shared) level is divided among all
+    ///   threads proportionally to their footprints, exactly like the
+    ///   coexisting patterns of a single-threaded `⊙`;
+    /// * a [`Private`](Sharing::Private) level exists once per core, so
+    ///   each thread sees its full capacity. Thread 0 (the core that ran
+    ///   the preceding serial stages) starts from the incoming state;
+    ///   the other cores' private caches start cold.
+    ///
+    /// The stage's elapsed memory time is the slowest thread
+    /// ([`ParallelCost::wall_ns`]); with skewed per-thread patterns the
+    /// straggler dominates, which is precisely the effect partition skew
+    /// has on a partition-parallel operator. Afterwards the state holds
+    /// thread 0's residue at private levels and the threads' combined
+    /// residue at shared levels.
+    pub fn advance_parallel(&self, threads: &[Pattern], st: &mut HierarchyState) -> ParallelCost {
+        let d = threads.len();
+        if d <= 1 {
+            let report = match threads.first() {
+                Some(p) => self.advance(p, st),
+                None => self.advance(&Pattern::empty(), st),
+            };
+            let wall_ns = report.mem_ns;
+            return ParallelCost {
+                per_thread_ns: vec![wall_ns],
+                wall_ns,
+                report,
+            };
+        }
+        let mut per_thread_ns = vec![0.0; d];
+        let mut levels = Vec::with_capacity(self.spec.levels().len());
+        for (lvl, state) in self.spec.levels().iter().zip(st.states.iter_mut()) {
+            let geo = Geometry::of(lvl);
+            let mut pairs = Vec::with_capacity(d);
+            if lvl.sharing == Sharing::Shared {
+                let feet: Vec<f64> = threads.iter().map(|t| footprint_lines(t, &geo)).collect();
+                let total_foot: f64 = feet.iter().sum();
+                let mut merged = CacheState::cold();
+                for (t, foot) in threads.iter().zip(&feet) {
+                    let share = if total_foot > 0.0 {
+                        foot / total_foot
+                    } else {
+                        1.0
+                    };
+                    let mut sub = state.clone();
+                    pairs.push(eval::eval_level(t, &geo.scaled(share), &mut sub));
+                    merged.merge_add(&sub);
+                }
+                *state = merged;
+            } else {
+                let mut core0 = None;
+                for (i, t) in threads.iter().enumerate() {
+                    let mut sub = if i == 0 {
+                        state.clone()
+                    } else {
+                        CacheState::cold()
+                    };
+                    pairs.push(eval::eval_level(t, &geo, &mut sub));
+                    if i == 0 {
+                        core0 = Some(sub);
+                    }
+                }
+                *state = core0.expect("d >= 2 threads");
+            }
+            let mut sum = MissPair::default();
+            for (t, pair) in pairs.iter().enumerate() {
+                per_thread_ns[t] += pair.seq * lvl.seq_miss_ns + pair.rand * lvl.rand_miss_ns;
+                sum += *pair;
+            }
+            levels.push(LevelCost {
+                name: lvl.name.clone(),
+                seq_misses: sum.seq,
+                rand_misses: sum.rand,
+                ns: sum.seq * lvl.seq_miss_ns + sum.rand * lvl.rand_miss_ns,
+            });
+        }
+        let mem_ns = levels.iter().map(|l| l.ns).sum();
+        let wall_ns = per_thread_ns.iter().copied().fold(0.0, f64::max);
+        ParallelCost {
+            report: CostReport { levels, mem_ns },
+            per_thread_ns,
+            wall_ns,
+        }
     }
 }
 
@@ -257,6 +402,119 @@ mod tests {
         let a = Region::new("A", 100, 8);
         let s = model.report(&Pattern::s_trav(a)).to_string();
         assert!(s.contains("L1") && s.contains("TLB") && s.contains("T_mem"));
+    }
+
+    #[test]
+    fn staged_advance_matches_composed_report() {
+        // Folding advance over the ⊕-phases must reproduce pricing the
+        // composed pattern in one shot — including the Eq 5.2 reuse.
+        let model = CostModel::new(presets::tiny());
+        let a = Region::new("A", 700, 8);
+        let b = Region::new("B", 2_000, 8);
+        let phases = [
+            Pattern::s_trav(a.clone()),
+            Pattern::r_trav(b.clone()),
+            Pattern::r_trav(a.clone()), // partially warm after phase 1? no — b evicted it
+            Pattern::s_trav(b),
+        ];
+        let mut st = model.staged(&CacheState::cold());
+        let staged: f64 = phases
+            .iter()
+            .map(|p| model.advance(p, &mut st).mem_ns)
+            .sum();
+        let composed = model.report(&Pattern::seq(phases.to_vec())).mem_ns;
+        assert!((staged - composed).abs() < 1e-9, "{staged} vs {composed}");
+    }
+
+    #[test]
+    fn parallel_stage_on_private_levels_costs_a_thread_slice_per_thread() {
+        // All-private machine: every thread gets a full cache, so each
+        // thread's time is just its own (1/d-sized) pattern and the wall
+        // time is 1/d of the serial stage.
+        let model = CostModel::new(presets::tiny()); // all levels private
+        let u = Region::new("U", 64_000, 8);
+        let serial = model.report(&Pattern::s_trav(u.clone())).mem_ns;
+        let d = 4;
+        let threads: Vec<Pattern> = (0..d).map(|_| Pattern::s_trav(u.slice(d))).collect();
+        let mut st = model.staged(&CacheState::cold());
+        let par = model.advance_parallel(&threads, &mut st);
+        assert_eq!(par.per_thread_ns.len(), 4);
+        let ratio = par.wall_ns / serial;
+        assert!((ratio - 0.25).abs() < 0.01, "wall/serial = {ratio}");
+        // Aggregate work is unchanged (the data is swept exactly once).
+        assert!((par.report.mem_ns - serial).abs() < 1e-6 * serial);
+    }
+
+    #[test]
+    fn parallel_stage_contends_for_shared_levels() {
+        // tiny_smp shares L2. Four concurrent random traversals over
+        // L2-sized working sets blow past each thread's quarter share, so
+        // the ⊙-composed stage must cost *more* L2 time in aggregate than
+        // the same four traversals run back to back on private caches.
+        let shared = CostModel::new(presets::tiny_smp(4));
+        let private = CostModel::new(presets::tiny());
+        let d = 4usize;
+        let regions: Vec<Region> = (0..d)
+            .map(|i| Region::new(format!("R{i}"), 1_500, 8)) // 12 KB ≈ ¾ L2 each
+            .collect();
+        let threads: Vec<Pattern> = regions
+            .iter()
+            .map(|r| Pattern::rr_trav(r.clone(), 8, 4))
+            .collect();
+        let contended = shared
+            .advance_parallel(&threads, &mut shared.staged(&CacheState::cold()))
+            .report
+            .level("L2")
+            .unwrap()
+            .ns;
+        let isolated = private
+            .advance_parallel(&threads, &mut private.staged(&CacheState::cold()))
+            .report
+            .level("L2")
+            .unwrap()
+            .ns;
+        assert!(
+            contended > 1.5 * isolated,
+            "shared-L2 contention must show: {contended} vs {isolated}"
+        );
+    }
+
+    #[test]
+    fn skewed_threads_make_the_straggler_the_wall() {
+        let model = CostModel::new(presets::tiny_smp(4));
+        let u = Region::new("U", 40_000, 8);
+        // Thread 0 gets 70% of the items, the rest split the remainder.
+        let threads = vec![
+            Pattern::s_trav(u.slice_items(28_000)),
+            Pattern::s_trav(u.slice_items(4_000)),
+            Pattern::s_trav(u.slice_items(4_000)),
+            Pattern::s_trav(u.slice_items(4_000)),
+        ];
+        let par = model.advance_parallel(&threads, &mut model.staged(&CacheState::cold()));
+        assert!((par.wall_ns - par.per_thread_ns[0]).abs() < 1e-9);
+        assert!(par.per_thread_ns[0] > 3.0 * par.per_thread_ns[1]);
+        // Balanced threads would finish in ~¼ the aggregate time; the
+        // skewed schedule's wall is dominated by the straggler.
+        assert!(par.wall_ns > 0.6 * par.report.mem_ns);
+    }
+
+    #[test]
+    fn parallel_stage_with_one_thread_is_the_serial_stage() {
+        let model = CostModel::new(presets::tiny_smp(4));
+        let u = Region::new("U", 10_000, 8);
+        let p = Pattern::s_trav(u);
+        let serial = model
+            .advance(&p, &mut model.staged(&CacheState::cold()))
+            .mem_ns;
+        let par = model.advance_parallel(
+            std::slice::from_ref(&p),
+            &mut model.staged(&CacheState::cold()),
+        );
+        assert_eq!(par.wall_ns, serial);
+        assert_eq!(par.per_thread_ns, vec![serial]);
+        // Zero threads: a no-op stage.
+        let none = model.advance_parallel(&[], &mut model.staged(&CacheState::cold()));
+        assert_eq!(none.wall_ns, 0.0);
     }
 
     #[test]

@@ -68,7 +68,7 @@ impl CacheState {
         }
     }
 
-    fn merge_add(&mut self, other: &CacheState) {
+    pub(crate) fn merge_add(&mut self, other: &CacheState) {
         for (id, f) in &other.frac {
             let e = self.frac.entry(*id).or_insert(0.0);
             *e = (*e + f).clamp(0.0, 1.0);
@@ -110,11 +110,13 @@ pub fn footprint_lines(p: &Pattern, geo: &Geometry) -> f64 {
         | Pattern::Nest { r, .. } => r.lines(geo.b as u64).max(1.0),
         // Sequentially executed patterns never coexist: the combination's
         // footprint is the largest individual one (documented assumption,
-        // DESIGN.md §2).
+        // DESIGN.md §2). The empty composition ε claims no lines at all,
+        // so it never steals a share from ⊙-siblings.
         Pattern::Seq(ps) => ps
             .iter()
             .map(|q| footprint_lines(q, geo))
-            .fold(1.0_f64, f64::max),
+            .fold(0.0_f64, f64::max)
+            .max(if ps.is_empty() { 0.0 } else { 1.0 }),
         // Concurrent patterns coexist: footprints add (paper §5.2).
         Pattern::Conc(ps) => ps.iter().map(|q| footprint_lines(q, geo)).sum(),
         // Repetitions of one pattern occupy what one iteration occupies.
@@ -174,7 +176,13 @@ pub fn eval_level(p: &Pattern, geo: &Geometry, state: &mut CacheState) -> MissPa
         }
         Pattern::Conc(ps) => {
             // Eq 5.3: divide the cache proportionally to footprints; every
-            // child starts from the same incoming state.
+            // child starts from the same incoming state. An empty ⊙ is a
+            // no-op: zero misses, state untouched (the constructors
+            // canonicalise it away, but a hand-built node must not reset
+            // the state to cold via the empty merge below).
+            if ps.is_empty() {
+                return MissPair::default();
+            }
             let feet: Vec<f64> = ps.iter().map(|q| footprint_lines(q, geo)).collect();
             let total_foot: f64 = feet.iter().sum();
             let mut total = MissPair::default();
@@ -420,6 +428,32 @@ mod tests {
         assert_eq!(footprint_lines(&c, &g), 26.0);
         let s = Pattern::seq(vec![Pattern::s_trav(small.clone()), Pattern::r_trav(small)]);
         assert_eq!(footprint_lines(&s, &g), 25.0);
+    }
+
+    #[test]
+    fn empty_composition_costs_nothing_and_preserves_state() {
+        let g = geo(1024, 32);
+        let a = Region::new("A", 100, 8);
+        // ε has zero cost from any starting state...
+        let mut st = CacheState::cold();
+        st.set(&a, 0.7);
+        let before = st.clone();
+        for p in [
+            Pattern::empty(),
+            Pattern::Seq(vec![]),
+            Pattern::Conc(vec![]), // hand-built degenerate node
+        ] {
+            assert_eq!(eval_level(&p, &g, &mut st).total(), 0.0, "{p}");
+            assert_eq!(st, before, "state must survive a no-op: {p}");
+        }
+        // ...zero footprint, so it claims no ⊙ share...
+        assert_eq!(footprint_lines(&Pattern::empty(), &g), 0.0);
+        // ...and composing it with a real pattern changes nothing.
+        let real = Pattern::r_trav(a.clone());
+        let solo = eval_level(&real, &g, &mut CacheState::cold()).total();
+        let padded = Pattern::conc(vec![Pattern::empty(), real.clone()]);
+        let with_eps = eval_level(&padded, &g, &mut CacheState::cold()).total();
+        assert_eq!(solo, with_eps);
     }
 
     #[test]

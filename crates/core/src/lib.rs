@@ -42,7 +42,7 @@ pub mod parse;
 pub mod pattern;
 pub mod region;
 
-pub use cost::{CostModel, CostReport, CpuCost, LevelCost};
+pub use cost::{CostModel, CostReport, CpuCost, HierarchyState, LevelCost, ParallelCost};
 pub use eval::{footprint_lines, CacheState};
 pub use misses::{Geometry, MissPair};
 pub use pattern::{Direction, GlobalOrder, LatencyClass, LocalPattern, Pattern};

@@ -196,7 +196,22 @@ impl Pattern {
         Pattern::Nest { r, m, local, order }
     }
 
-    /// Sequential execution `⊕` of `parts` (flattens nested `Seq`s).
+    /// The empty pattern `ε`: the identity of both `⊕` and `⊙`. It
+    /// touches no memory, costs nothing, and leaves the cache state
+    /// untouched — the well-defined meaning of an empty composition.
+    pub fn empty() -> Pattern {
+        Pattern::Seq(Vec::new())
+    }
+
+    /// True if this is the no-op pattern (an empty composition).
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Pattern::Seq(ps) if ps.is_empty())
+    }
+
+    /// Sequential execution `⊕` of `parts` (flattens nested `Seq`s and
+    /// drops no-op parts). An empty `parts` yields [`Pattern::empty`],
+    /// the zero-cost identity — not a degenerate `Seq([])`-with-
+    /// unspecified-semantics node.
     pub fn seq(parts: Vec<Pattern>) -> Pattern {
         let mut flat = Vec::with_capacity(parts.len());
         for p in parts {
@@ -212,17 +227,22 @@ impl Pattern {
         }
     }
 
-    /// Concurrent execution `⊙` of `parts` (flattens nested `Conc`s).
+    /// Concurrent execution `⊙` of `parts` (flattens nested `Conc`s and
+    /// drops no-op parts). An empty `parts` yields [`Pattern::empty`]:
+    /// zero footprint, zero cost, cache state untouched.
     pub fn conc(parts: Vec<Pattern>) -> Pattern {
         let mut flat = Vec::with_capacity(parts.len());
         for p in parts {
             match p {
                 Pattern::Conc(inner) => flat.extend(inner),
+                other if other.is_empty() => {}
                 other => flat.push(other),
             }
         }
         if flat.len() == 1 {
             flat.pop().unwrap()
+        } else if flat.is_empty() {
+            Pattern::empty()
         } else {
             Pattern::Conc(flat)
         }
@@ -356,6 +376,9 @@ impl fmt::Display for Pattern {
                 }
             }
             Pattern::Seq(ps) => {
+                if ps.is_empty() {
+                    return write!(f, "ε");
+                }
                 let mut first = true;
                 for p in ps {
                     if !first {
@@ -473,6 +496,38 @@ mod tests {
         assert!(p.is_basic());
         let c = Pattern::conc(vec![Pattern::r_trav(reg("A"))]);
         assert!(c.is_basic());
+    }
+
+    #[test]
+    fn empty_compositions_are_the_noop_pattern() {
+        // ⊕ and ⊙ of nothing are both the identity ε, not degenerate
+        // Seq([]) / Conc([]) nodes with unspecified semantics.
+        assert_eq!(Pattern::seq(vec![]), Pattern::empty());
+        assert_eq!(Pattern::conc(vec![]), Pattern::empty());
+        assert!(Pattern::empty().is_empty());
+        assert!(!Pattern::empty().is_basic());
+        assert_eq!(Pattern::empty().to_string(), "ε");
+        assert!(Pattern::empty().leaves().is_empty());
+        assert_eq!(Pattern::empty().region(), None);
+    }
+
+    #[test]
+    fn noop_parts_are_dropped_from_compositions() {
+        let a = Pattern::s_trav(reg("A"));
+        // ε is the identity of both combinators.
+        assert_eq!(
+            Pattern::seq(vec![Pattern::empty(), a.clone(), Pattern::empty()]),
+            a
+        );
+        assert_eq!(
+            Pattern::conc(vec![Pattern::empty(), a.clone(), Pattern::empty()]),
+            a
+        );
+        // A composition of nothing but ε collapses back to ε.
+        assert_eq!(
+            Pattern::conc(vec![Pattern::empty(), Pattern::empty()]),
+            Pattern::empty()
+        );
     }
 
     #[test]

@@ -37,6 +37,7 @@
 
 pub mod ctx;
 pub mod ops;
+pub mod parallel;
 pub mod plan;
 pub mod planner;
 pub mod query;

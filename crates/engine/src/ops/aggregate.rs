@@ -53,6 +53,14 @@ fn table_slot_addr(table: &HashTable, slot: u64) -> gcm_sim::Addr {
 }
 
 fn upsert_count(ctx: &mut ExecContext, table: &HashTable, key: u64) {
+    upsert_add(ctx, table, key, 1);
+}
+
+/// Add `delta` to `key`'s count in a counting hash table, inserting the
+/// key if absent (simulated accesses; linear probing). Also the merge
+/// primitive of the parallel aggregation's per-thread partials
+/// ([`crate::parallel`]).
+pub(crate) fn upsert_add(ctx: &mut ExecContext, table: &HashTable, key: u64, delta: u64) {
     let mask = table.capacity() - 1;
     let mut slot = crate::ops::mix(key) & mask;
     loop {
@@ -61,13 +69,13 @@ fn upsert_count(ctx: &mut ExecContext, table: &HashTable, key: u64) {
         ctx.count_ops(1);
         if resident == key {
             let c = ctx.mem.read_u64(addr + 8);
-            ctx.mem.write_u64(addr + 8, c + 1);
+            ctx.mem.write_u64(addr + 8, c + delta);
             return;
         }
         if resident == EMPTY {
             ctx.mem.touch(addr, 16);
             ctx.mem.host_mut().write_u64(addr, key);
-            ctx.mem.host_mut().write_u64(addr + 8, 1);
+            ctx.mem.host_mut().write_u64(addr + 8, delta);
             return;
         }
         slot = (slot + 1) & mask;

@@ -22,6 +22,14 @@ pub const EMPTY: u64 = u64::MAX;
 /// Entry width: `[key: u64, value: u64]`.
 pub const ENTRY_BYTES: u64 = 16;
 
+/// Table capacity in slots for `items` entries at load factor ≤ ½: the
+/// next power of two ≥ 2·items. The one sizing rule shared by the real
+/// tables ([`HashTable::alloc`]) and every model-side table region, so
+/// predictions can never drift from the executed table size.
+pub fn table_slots(items: u64) -> u64 {
+    (2 * items.max(1)).next_power_of_two()
+}
+
 /// An open-addressing hash table in simulated memory.
 #[derive(Debug)]
 pub struct HashTable {
@@ -34,7 +42,7 @@ impl HashTable {
     /// ≤ ½ (capacity = next power of two ≥ 2·items). The empty-slot
     /// sentinel fill is host-side setup.
     pub fn alloc(ctx: &mut ExecContext, name: &str, items: u64) -> HashTable {
-        let capacity = (2 * items.max(1)).next_power_of_two();
+        let capacity = table_slots(items);
         let slots = ctx.relation(name, capacity, ENTRY_BYTES);
         for i in 0..capacity {
             ctx.mem.host_mut().write_u64(slots.tuple(i), EMPTY);

@@ -90,7 +90,7 @@ fn exec_node(
             let out = ops::aggregate::hash_group_count(ctx, &current, &name);
             let h = Region::new(
                 format!("H({name})"),
-                (2 * out.n().max(1)).next_power_of_two(),
+                ops::hash::table_slots(out.n()),
                 ops::hash::ENTRY_BYTES,
             );
             phases.push(ops::aggregate::hash_group_pattern(
@@ -127,6 +127,11 @@ fn exec_node(
             ));
             Ok(parts.rel)
         }
+        // The cache simulator is single-core: a DOP annotation changes
+        // scheduling and pricing, never results, so this executor runs
+        // the wrapped operator serially. The multi-threaded realisation
+        // lives in [`crate::parallel`].
+        PhysicalPlan::Parallel { input, .. } => exec_node(ctx, input, tables, phases, seq),
     }
 }
 
@@ -170,7 +175,7 @@ fn exec_join(
             let out = ops::hash::hash_join(ctx, u, v, &name, OUT_TUPLE_BYTES);
             let h = Region::new(
                 format!("H({name})"),
-                (2 * v.n().max(1)).next_power_of_two(),
+                ops::hash::table_slots(v.n()),
                 ops::hash::ENTRY_BYTES,
             );
             phases.push(ops::hash::hash_join_pattern(
@@ -331,6 +336,31 @@ mod tests {
             (0.3..3.0).contains(&ratio),
             "L2 misses: measured {measured}, predicted {predicted}"
         );
+    }
+
+    #[test]
+    fn parallel_wrapper_preserves_results() {
+        let (mut ctx, tables) = setup(82, 800, 200);
+        let serial = PhysicalPlan::scan(0)
+            .select_lt(100)
+            .join_with(
+                PhysicalPlan::scan(1),
+                JoinAlgorithm::PartitionedHash { m: 4 },
+            )
+            .group_count();
+        let wrapped = PhysicalPlan::scan(0)
+            .select_lt(100)
+            .parallel(4)
+            .join_with(
+                PhysicalPlan::scan(1),
+                JoinAlgorithm::PartitionedHash { m: 4 },
+            )
+            .parallel(2)
+            .group_count();
+        let a = execute(&mut ctx, &serial, &tables).unwrap();
+        let b = execute(&mut ctx, &wrapped, &tables).unwrap();
+        assert_eq!(a.output.n(), b.output.n());
+        assert_eq!(a.pattern.to_string(), b.pattern.to_string());
     }
 
     #[test]

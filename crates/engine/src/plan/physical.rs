@@ -54,6 +54,20 @@ pub enum PhysicalPlan {
         /// The chosen fan-out.
         m: u64,
     },
+    /// The wrapped operator's degree of parallelism — the plan's DOP
+    /// dimension. The optimizer prices it via the ⊙-across-cores rule
+    /// ([`gcm_core::CostModel::advance_parallel`]); the plan executor
+    /// ([`super::execute`]) runs the wrapped operator serially on its
+    /// single-core simulator (results never depend on DOP). The
+    /// multi-threaded realisations of the annotated operators are the
+    /// standalone [`crate::parallel`] functions, which report the
+    /// per-worker measured times the annotation promises.
+    Parallel {
+        /// The operator to run partition-parallel.
+        input: Box<PhysicalPlan>,
+        /// Number of worker threads (> 1; DOP-1 plans omit the wrapper).
+        dop: u64,
+    },
 }
 
 impl PhysicalPlan {
@@ -109,6 +123,23 @@ impl PhysicalPlan {
         }
     }
 
+    /// Run `self` partition-parallel with `dop` worker threads
+    /// (`dop <= 1` is the serial plan: no wrapper). Re-wrapping an
+    /// already-parallel node replaces its DOP instead of nesting, so a
+    /// plan's structure always matches what [`PhysicalPlan::dops`]
+    /// reports.
+    pub fn parallel(self, dop: u64) -> PhysicalPlan {
+        let input = match self {
+            PhysicalPlan::Parallel { input, .. } => input,
+            other => Box::new(other),
+        };
+        if dop <= 1 {
+            *input
+        } else {
+            PhysicalPlan::Parallel { input, dop }
+        }
+    }
+
     /// The join algorithms chosen along the tree, in execution order
     /// (left subtree, right subtree, node).
     pub fn join_algorithms(&self) -> Vec<&JoinAlgorithm> {
@@ -124,7 +155,8 @@ impl PhysicalPlan {
             | PhysicalPlan::Aggregate { input }
             | PhysicalPlan::Sort { input }
             | PhysicalPlan::Dedup { input }
-            | PhysicalPlan::Partition { input, .. } => input.collect_joins(out),
+            | PhysicalPlan::Partition { input, .. }
+            | PhysicalPlan::Parallel { input, .. } => input.collect_joins(out),
             PhysicalPlan::Join {
                 left,
                 right,
@@ -135,6 +167,51 @@ impl PhysicalPlan {
                 out.push(algorithm);
             }
         }
+    }
+
+    /// The degrees of parallelism chosen along the tree, in execution
+    /// order (1 for every unwrapped operator).
+    pub fn dops(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.collect_dops(&mut out);
+        out
+    }
+
+    fn collect_dops(&self, out: &mut Vec<u64>) {
+        match self {
+            PhysicalPlan::Scan { .. } => {}
+            PhysicalPlan::Parallel { input, dop } => {
+                // The wrapped operator's own entry carries the DOP. A
+                // wrapper around a work-free subtree (a bare scan is a
+                // binding, not work) is a no-op annotation — consistent
+                // with the executor, which ignores it.
+                let before = out.len();
+                input.collect_dops(out);
+                if out.len() > before {
+                    if let Some(last) = out.last_mut() {
+                        *last = *dop;
+                    }
+                }
+            }
+            PhysicalPlan::Select { input, .. }
+            | PhysicalPlan::Aggregate { input }
+            | PhysicalPlan::Sort { input }
+            | PhysicalPlan::Dedup { input }
+            | PhysicalPlan::Partition { input, .. } => {
+                input.collect_dops(out);
+                out.push(1);
+            }
+            PhysicalPlan::Join { left, right, .. } => {
+                left.collect_dops(out);
+                right.collect_dops(out);
+                out.push(1);
+            }
+        }
+    }
+
+    /// The largest degree of parallelism anywhere in the tree.
+    pub fn max_dop(&self) -> u64 {
+        self.dops().into_iter().max().unwrap_or(1)
     }
 }
 
@@ -156,6 +233,7 @@ impl fmt::Display for PhysicalPlan {
             PhysicalPlan::Sort { input } => write!(f, "sort({input})"),
             PhysicalPlan::Dedup { input } => write!(f, "dedup({input})"),
             PhysicalPlan::Partition { input, m } => write!(f, "partition<{m}>({input})"),
+            PhysicalPlan::Parallel { input, dop } => write!(f, "par<{dop}>({input})"),
         }
     }
 }
@@ -196,5 +274,55 @@ mod tests {
         assert_eq!(algos.len(), 2);
         assert!(matches!(algos[0], JoinAlgorithm::Hash));
         assert!(matches!(algos[1], JoinAlgorithm::PartitionedHash { m: 8 }));
+    }
+
+    #[test]
+    fn parallel_wrapper_renders_and_reports_dop() {
+        let p = PhysicalPlan::scan(0)
+            .select_lt(10)
+            .parallel(4)
+            .join_with(
+                PhysicalPlan::scan(1),
+                JoinAlgorithm::PartitionedHash { m: 8 },
+            )
+            .parallel(2)
+            .group_count();
+        assert_eq!(
+            p.to_string(),
+            "group_count(par<2>(join[partitioned hash join (m = 8)](\
+             par<4>(select_lt<10>(scan(0))), scan(1))))"
+        );
+        // dops in execution order: select (4), join (2), aggregate (1).
+        assert_eq!(p.dops(), vec![4, 2, 1]);
+        assert_eq!(p.max_dop(), 4);
+        // Joins are still found through the wrapper.
+        assert_eq!(p.join_algorithms().len(), 1);
+        // dop <= 1 adds no wrapper.
+        let serial = PhysicalPlan::scan(0).select_lt(10).parallel(1);
+        assert_eq!(serial.to_string(), "select_lt<10>(scan(0))");
+        assert_eq!(serial.max_dop(), 1);
+    }
+
+    #[test]
+    fn parallel_around_a_bare_scan_is_a_noop_annotation() {
+        // A scan is a binding, not work (the executor ignores the
+        // wrapper too): it contributes no dops entry, and it must not
+        // steal the DOP slot of an unrelated preceding operator.
+        let p = PhysicalPlan::scan(0)
+            .select_lt(10)
+            .join_with(PhysicalPlan::scan(1).parallel(2), JoinAlgorithm::Hash);
+        assert_eq!(p.dops(), vec![1, 1]); // select, join — both serial
+        assert_eq!(p.max_dop(), 1);
+        assert_eq!(PhysicalPlan::scan(0).parallel(4).dops(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn rewrapping_replaces_the_dop_instead_of_nesting() {
+        let p = PhysicalPlan::scan(0).select_lt(10).parallel(2).parallel(4);
+        assert_eq!(p.to_string(), "par<4>(select_lt<10>(scan(0)))");
+        assert_eq!(p.dops(), vec![4]);
+        // Re-wrapping down to 1 unwraps entirely.
+        let serial = PhysicalPlan::scan(0).select_lt(10).parallel(4).parallel(1);
+        assert_eq!(serial.to_string(), "select_lt<10>(scan(0))");
     }
 }

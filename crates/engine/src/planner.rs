@@ -146,11 +146,7 @@ pub fn join_candidates(model: &CostModel, inputs: &JoinInputs, w: &Region) -> Ve
 
     // Plain hash.
     {
-        let h = Region::new(
-            "H",
-            (2 * v.n.max(1)).next_power_of_two(),
-            ops::hash::ENTRY_BYTES,
-        );
+        let h = Region::new("H", ops::hash::table_slots(v.n), ops::hash::ENTRY_BYTES);
         out.push(JoinCandidate {
             algorithm: JoinAlgorithm::Hash,
             pattern: ops::hash::hash_join_pattern(u, v, &h, w),
@@ -161,7 +157,7 @@ pub fn join_candidates(model: &CostModel, inputs: &JoinInputs, w: &Region) -> Ve
     // Partitioned hash at candidate fan-outs: one per cache level (the
     // smallest m that makes a partition's hash table fit that level).
     for lvl in model.spec().data_caches() {
-        let table_bytes = 2 * v.n.max(1) * ops::hash::ENTRY_BYTES;
+        let table_bytes = ops::hash::table_slots(v.n) * ops::hash::ENTRY_BYTES;
         let Some(m) = fitting_fanout(model, table_bytes, lvl) else {
             continue;
         };

@@ -1,7 +1,7 @@
 //! Fluent construction of custom [`HardwareSpec`]s.
 
 use crate::error::HardwareError;
-use crate::level::{Associativity, CacheLevel, LevelKind};
+use crate::level::{Associativity, CacheLevel, LevelKind, Sharing};
 use crate::spec::HardwareSpec;
 
 /// Fluent builder for a [`HardwareSpec`].
@@ -22,6 +22,7 @@ pub struct HardwareBuilder {
     name: String,
     cpu_mhz: f64,
     levels: Vec<CacheLevel>,
+    cores: u32,
 }
 
 impl HardwareBuilder {
@@ -31,7 +32,23 @@ impl HardwareBuilder {
             name: name.into(),
             cpu_mhz,
             levels: Vec::new(),
+            cores: 1,
         }
+    }
+
+    /// Declare the machine to have `cores` identical cores.
+    pub fn cores(mut self, cores: u32) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Mark the most recently appended level as shared across cores
+    /// (levels default to private-per-core).
+    pub fn shared(mut self) -> Self {
+        if let Some(last) = self.levels.last_mut() {
+            last.sharing = Sharing::Shared;
+        }
+        self
     }
 
     /// Append a data-cache level (inside-out order).
@@ -52,6 +69,7 @@ impl HardwareBuilder {
             assoc,
             seq_miss_ns,
             rand_miss_ns,
+            sharing: Sharing::Private,
         });
         self
     }
@@ -68,6 +86,7 @@ impl HardwareBuilder {
             assoc: Associativity::Full,
             seq_miss_ns: miss_ns,
             rand_miss_ns: miss_ns,
+            sharing: Sharing::Private,
         });
         self
     }
@@ -90,13 +109,15 @@ impl HardwareBuilder {
             assoc: Associativity::Full,
             seq_miss_ns,
             rand_miss_ns,
+            // The buffer pool is main memory: one instance for all cores.
+            sharing: Sharing::Shared,
         });
         self
     }
 
     /// Validate and produce the spec.
     pub fn build(self) -> Result<HardwareSpec, HardwareError> {
-        HardwareSpec::new(self.name, self.cpu_mhz, self.levels)
+        HardwareSpec::new(self.name, self.cpu_mhz, self.levels)?.with_cores(self.cores)
     }
 }
 
@@ -115,6 +136,22 @@ mod tests {
         assert_eq!(hw.levels().len(), 3);
         assert_eq!(hw.level("TLB").unwrap().capacity, 16 * 4096);
         assert_eq!(hw.level("BP").unwrap().kind, LevelKind::BufferPool);
+    }
+
+    #[test]
+    fn cores_and_shared_levels() {
+        let hw = HardwareBuilder::new("smp", 3000.0)
+            .cores(8)
+            .cache("L1", 32 * 1024, 64, Associativity::Ways(8), 2.0, 4.0)
+            .cache("L3", 32 << 20, 64, Associativity::Ways(16), 25.0, 90.0)
+            .shared()
+            .build()
+            .unwrap();
+        assert_eq!(hw.cores(), 8);
+        assert_eq!(hw.level("L1").unwrap().sharing, Sharing::Private);
+        assert_eq!(hw.level("L3").unwrap().sharing, Sharing::Shared);
+        // shared() on an empty builder is a no-op, not a panic.
+        assert!(HardwareBuilder::new("e", 100.0).shared().build().is_err());
     }
 
     #[test]

@@ -28,6 +28,8 @@ pub enum HardwareError {
     LineShrinks { outer: String, inner: String },
     /// CPU speed must be positive.
     BadCpuSpeed { mhz: f64 },
+    /// A machine needs at least one core.
+    BadCoreCount { cores: u32 },
 }
 
 impl fmt::Display for HardwareError {
@@ -66,6 +68,9 @@ impl fmt::Display for HardwareError {
             ),
             HardwareError::BadCpuSpeed { mhz } => {
                 write!(f, "CPU speed {mhz} MHz must be positive and finite")
+            }
+            HardwareError::BadCoreCount { cores } => {
+                write!(f, "a machine needs at least one core, got {cores}")
             }
         }
     }

@@ -68,6 +68,33 @@ impl fmt::Display for LevelKind {
     }
 }
 
+/// Is a hierarchy level private to one core or shared by all of them?
+///
+/// The paper's machines are single-CPU, so every level is effectively
+/// private. On a multi-core machine the distinction drives the
+/// concurrent-execution rule (§5.2) *across threads*: patterns running on
+/// different cores compete for a [`Shared`](Sharing::Shared) level exactly
+/// like the paper's `⊙`-composed patterns compete for one cache, while a
+/// [`Private`](Sharing::Private) level sees only its own core's pattern.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Sharing {
+    /// One instance per core (typical for L1/L2 and TLBs).
+    #[default]
+    Private,
+    /// A single instance serving all cores (typical for the LLC, and for
+    /// main memory viewed as a buffer pool).
+    Shared,
+}
+
+impl fmt::Display for Sharing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sharing::Private => write!(f, "private"),
+            Sharing::Shared => write!(f, "shared"),
+        }
+    }
+}
+
 /// One level of the memory hierarchy, characterised by the parameters of the
 /// paper's Table 1.
 ///
@@ -93,6 +120,9 @@ pub struct CacheLevel {
     /// Random miss latency `l_r,i` in nanoseconds: cost of a miss at an
     /// unpredictable address.
     pub rand_miss_ns: f64,
+    /// Private-per-core or shared-across-cores. Irrelevant (and
+    /// conventionally [`Sharing::Private`]) on single-core machines.
+    pub sharing: Sharing,
 }
 
 impl CacheLevel {
@@ -170,6 +200,7 @@ mod tests {
             assoc: Associativity::Ways(2),
             seq_miss_ns: 8.0,
             rand_miss_ns: 24.0,
+            sharing: Sharing::Private,
         }
     }
 
@@ -215,5 +246,12 @@ mod tests {
         let s = sample().to_string();
         assert!(s.contains("L1"));
         assert!(s.contains("2-way"));
+    }
+
+    #[test]
+    fn sharing_defaults_to_private() {
+        assert_eq!(Sharing::default(), Sharing::Private);
+        assert_eq!(Sharing::Private.to_string(), "private");
+        assert_eq!(Sharing::Shared.to_string(), "shared");
     }
 }

@@ -50,7 +50,7 @@ pub mod text;
 
 pub use builder::HardwareBuilder;
 pub use error::HardwareError;
-pub use level::{Associativity, CacheLevel, LevelKind};
+pub use level::{Associativity, CacheLevel, LevelKind, Sharing};
 pub use spec::HardwareSpec;
 pub use text::{spec_from_text, spec_to_text, TextError};
 

@@ -7,7 +7,7 @@
 //! level machine, and [`with_buffer_pool`] demonstrates the unified-model
 //! claim that disk I/O is just one more level (paper §7).
 
-use crate::level::{Associativity, CacheLevel, LevelKind};
+use crate::level::{Associativity, CacheLevel, LevelKind, Sharing};
 use crate::spec::HardwareSpec;
 use crate::{kib, mib};
 
@@ -32,6 +32,7 @@ pub fn origin2000() -> HardwareSpec {
                 assoc: Associativity::Ways(2),
                 seq_miss_ns: 8.0,
                 rand_miss_ns: 24.0,
+                sharing: Sharing::Private,
             },
             CacheLevel {
                 name: "L2".into(),
@@ -41,6 +42,7 @@ pub fn origin2000() -> HardwareSpec {
                 assoc: Associativity::Ways(2),
                 seq_miss_ns: 188.0,
                 rand_miss_ns: 400.0,
+                sharing: Sharing::Private,
             },
             CacheLevel {
                 name: "TLB".into(),
@@ -50,6 +52,7 @@ pub fn origin2000() -> HardwareSpec {
                 assoc: Associativity::Full,
                 seq_miss_ns: 228.0,
                 rand_miss_ns: 228.0,
+                sharing: Sharing::Private,
             },
         ],
     )
@@ -101,6 +104,7 @@ pub fn tiny() -> HardwareSpec {
                 assoc: Associativity::Ways(2),
                 seq_miss_ns: 5.0,
                 rand_miss_ns: 15.0,
+                sharing: Sharing::Private,
             },
             CacheLevel {
                 name: "L2".into(),
@@ -110,6 +114,7 @@ pub fn tiny() -> HardwareSpec {
                 assoc: Associativity::Ways(4),
                 seq_miss_ns: 50.0,
                 rand_miss_ns: 150.0,
+                sharing: Sharing::Private,
             },
             CacheLevel {
                 name: "TLB".into(),
@@ -119,6 +124,7 @@ pub fn tiny() -> HardwareSpec {
                 assoc: Associativity::Full,
                 seq_miss_ns: 100.0,
                 rand_miss_ns: 100.0,
+                sharing: Sharing::Private,
             },
         ],
     )
@@ -162,6 +168,7 @@ pub fn modern_commodity() -> HardwareSpec {
                 assoc: Associativity::Ways(8),
                 seq_miss_ns: 2.0,
                 rand_miss_ns: 4.0,
+                sharing: Sharing::Private,
             },
             CacheLevel {
                 name: "L2".into(),
@@ -171,6 +178,7 @@ pub fn modern_commodity() -> HardwareSpec {
                 assoc: Associativity::Ways(16),
                 seq_miss_ns: 8.0,
                 rand_miss_ns: 14.0,
+                sharing: Sharing::Private,
             },
             CacheLevel {
                 name: "L3".into(),
@@ -180,6 +188,9 @@ pub fn modern_commodity() -> HardwareSpec {
                 assoc: Associativity::Ways(16),
                 seq_miss_ns: 25.0,
                 rand_miss_ns: 90.0,
+                // The LLC of a commodity part serves all cores; with the
+                // default single core this is purely descriptive.
+                sharing: Sharing::Shared,
             },
             CacheLevel {
                 name: "TLB".into(),
@@ -189,6 +200,7 @@ pub fn modern_commodity() -> HardwareSpec {
                 assoc: Associativity::Full,
                 seq_miss_ns: 30.0,
                 rand_miss_ns: 30.0,
+                sharing: Sharing::Private,
             },
         ],
     )
@@ -215,8 +227,57 @@ pub fn with_buffer_pool(base: HardwareSpec, pool_bytes: u64, page: u64) -> Hardw
         // ~6 ms seek+rotate.
         seq_miss_ns: page as f64 / 100e6 * 1e9,
         rand_miss_ns: 6.0e6 + page as f64 / 100e6 * 1e9,
+        // Main memory is one instance regardless of core count.
+        sharing: Sharing::Shared,
     });
-    HardwareSpec::new(format!("{} + disk", base.name), base.cpu_mhz, levels).expect("valid")
+    let cores = base.cores();
+    HardwareSpec::new(format!("{} + disk", base.name), base.cpu_mhz, levels)
+        .expect("valid")
+        .with_cores(cores)
+        .expect("valid core count")
+}
+
+/// The tiny test machine as a `cores`-way SMP: per-core (private) L1 and
+/// TLB, one shared L2. The multi-core analogue of [`tiny`] — cache
+/// cliffs *and* sharing effects are reachable with kilobytes of data, so
+/// parallel-executor tests stay fast.
+pub fn tiny_smp(cores: u32) -> HardwareSpec {
+    let base = tiny();
+    let levels = base
+        .levels()
+        .iter()
+        .cloned()
+        .map(|mut l| {
+            if l.name == "L2" {
+                l.sharing = Sharing::Shared;
+            }
+            l
+        })
+        .collect();
+    HardwareSpec::new(
+        format!("tiny test machine ({cores}-core SMP)"),
+        base.cpu_mhz,
+        levels,
+    )
+    .expect("tiny_smp preset is valid")
+    .with_cores(cores)
+    .expect("valid core count")
+}
+
+/// The modern commodity machine as a `cores`-way SMP: private L1/L2/TLB
+/// per core, the 32 MB L3 shared by all cores — the shape of a current
+/// desktop/server part. The ≥4-core preset of the parallel-speedup
+/// experiments.
+pub fn modern_smp(cores: u32) -> HardwareSpec {
+    let base = modern_commodity();
+    HardwareSpec::new(
+        format!("modern commodity ({cores}-core SMP)"),
+        base.cpu_mhz,
+        base.levels().to_vec(),
+    )
+    .expect("modern_smp preset is valid")
+    .with_cores(cores)
+    .expect("valid core count")
 }
 
 #[cfg(test)]
@@ -270,6 +331,30 @@ mod tests {
     #[test]
     fn modern_has_three_cache_levels() {
         assert_eq!(modern_commodity().data_caches().count(), 3);
+    }
+
+    #[test]
+    fn smp_presets_mark_sharing() {
+        let t = tiny_smp(4);
+        assert_eq!(t.cores(), 4);
+        assert_eq!(t.level("L1").unwrap().sharing, Sharing::Private);
+        assert_eq!(t.level("L2").unwrap().sharing, Sharing::Shared);
+        assert_eq!(t.level("TLB").unwrap().sharing, Sharing::Private);
+        let m = modern_smp(8);
+        assert_eq!(m.cores(), 8);
+        assert_eq!(m.level("L3").unwrap().sharing, Sharing::Shared);
+        assert_eq!(m.level("L2").unwrap().sharing, Sharing::Private);
+        // Single-core presets stay single-core.
+        assert_eq!(tiny().cores(), 1);
+        assert_eq!(origin2000().cores(), 1);
+    }
+
+    #[test]
+    fn thread_view_of_tiny_smp_splits_l2() {
+        let t = tiny_smp(4);
+        let view = t.thread_view(4);
+        assert_eq!(view.level("L1").unwrap().capacity, kib(2));
+        assert_eq!(view.level("L2").unwrap().capacity, kib(4));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! levels (paper §2.3, "Unified Hardware Model").
 
 use crate::error::HardwareError;
-use crate::level::{CacheLevel, LevelKind};
+use crate::level::{CacheLevel, LevelKind, Sharing};
 use std::fmt;
 
 /// A complete hardware description.
@@ -20,10 +20,12 @@ pub struct HardwareSpec {
     /// nanoseconds (paper Eq 6.1).
     pub cpu_mhz: f64,
     levels: Vec<CacheLevel>,
+    cores: u32,
 }
 
 impl HardwareSpec {
-    /// Build and validate a hardware description.
+    /// Build and validate a hardware description (single-core; use
+    /// [`with_cores`](HardwareSpec::with_cores) for SMP machines).
     pub fn new(
         name: impl Into<String>,
         cpu_mhz: f64,
@@ -33,9 +35,59 @@ impl HardwareSpec {
             name: name.into(),
             cpu_mhz,
             levels,
+            cores: 1,
         };
         spec.validate()?;
         Ok(spec)
+    }
+
+    /// The same machine with `cores` identical cores. Levels marked
+    /// [`Sharing::Private`] exist once per core; [`Sharing::Shared`]
+    /// levels are contended by all cores.
+    pub fn with_cores(mut self, cores: u32) -> Result<Self, HardwareError> {
+        if cores == 0 {
+            return Err(HardwareError::BadCoreCount { cores });
+        }
+        self.cores = cores;
+        Ok(self)
+    }
+
+    /// Number of cores (1 unless set via
+    /// [`with_cores`](HardwareSpec::with_cores)).
+    pub fn cores(&self) -> u32 {
+        self.cores
+    }
+
+    /// The machine as seen by **one of `dop` concurrently running
+    /// threads**: private levels keep their full capacity (every core has
+    /// its own), while each shared level is cut to a `1/dop` share
+    /// (rounded down to whole lines, at least one line) — the §5.2
+    /// concurrent-execution rule applied across cores with equal shares.
+    ///
+    /// The view is a single-core machine; it is the substrate the
+    /// partition-parallel executor runs each worker thread on.
+    pub fn thread_view(&self, dop: u32) -> HardwareSpec {
+        let dop = dop.max(1);
+        let levels = self
+            .levels
+            .iter()
+            .map(|l| {
+                if l.sharing == Sharing::Shared && dop > 1 {
+                    let mut v = l.clone();
+                    let lines = (l.lines() / u64::from(dop)).max(1);
+                    v.capacity = lines * l.line;
+                    v
+                } else {
+                    l.clone()
+                }
+            })
+            .collect();
+        HardwareSpec {
+            name: format!("{} [1/{dop} thread view]", self.name),
+            cpu_mhz: self.cpu_mhz,
+            levels,
+            cores: 1,
+        }
     }
 
     fn validate(&self) -> Result<(), HardwareError> {
@@ -139,6 +191,7 @@ impl HardwareSpec {
             name: self.name.clone(),
             cpu_mhz: self.cpu_mhz,
             levels: self.levels.iter().map(|l| l.scaled(num, denom)).collect(),
+            cores: self.cores,
         }
     }
 
@@ -149,6 +202,9 @@ impl HardwareSpec {
             "machine: {}\nCPU speed: {} MHz\n",
             self.name, self.cpu_mhz
         ));
+        if self.cores > 1 {
+            out.push_str(&format!("cores: {}\n", self.cores));
+        }
         out.push_str(
             "level      kind         C [bytes]      B [bytes]  #lines     assoc            l_s [ns]  l_r [ns]\n",
         );
@@ -189,6 +245,7 @@ mod tests {
             assoc: Associativity::Ways(2),
             seq_miss_ns: 10.0,
             rand_miss_ns: 20.0,
+            sharing: Sharing::Private,
         }
     }
 
@@ -292,5 +349,49 @@ mod tests {
             HardwareSpec::new("x", 100.0, vec![lvl("L1", 1024, 32, LevelKind::Cache)]).unwrap();
         let half = hw.scaled(1.0, 2.0);
         assert_eq!(half.levels()[0].capacity, 512);
+    }
+
+    #[test]
+    fn cores_default_and_builder() {
+        let hw =
+            HardwareSpec::new("x", 100.0, vec![lvl("L1", 1024, 32, LevelKind::Cache)]).unwrap();
+        assert_eq!(hw.cores(), 1);
+        let smp = hw.clone().with_cores(8).unwrap();
+        assert_eq!(smp.cores(), 8);
+        assert_eq!(
+            hw.with_cores(0),
+            Err(HardwareError::BadCoreCount { cores: 0 })
+        );
+    }
+
+    #[test]
+    fn thread_view_scales_only_shared_levels() {
+        let mut l2 = lvl("L2", 8192, 64, LevelKind::Cache);
+        l2.sharing = Sharing::Shared;
+        let hw = HardwareSpec::new("x", 100.0, vec![lvl("L1", 1024, 32, LevelKind::Cache), l2])
+            .unwrap()
+            .with_cores(4)
+            .unwrap();
+        let view = hw.thread_view(4);
+        assert_eq!(view.cores(), 1);
+        // Private L1 keeps its full capacity; shared L2 is quartered.
+        assert_eq!(view.level("L1").unwrap().capacity, 1024);
+        assert_eq!(view.level("L2").unwrap().capacity, 2048);
+        // dop = 1 leaves everything intact.
+        assert_eq!(hw.thread_view(1).level("L2").unwrap().capacity, 8192);
+        // Extreme dop floors at one line.
+        assert_eq!(hw.thread_view(1_000_000).level("L2").unwrap().capacity, 64);
+    }
+
+    #[test]
+    fn characteristics_table_reports_cores() {
+        let hw = HardwareSpec::new("x", 100.0, vec![lvl("L1", 1024, 32, LevelKind::Cache)])
+            .unwrap()
+            .with_cores(4)
+            .unwrap();
+        assert!(hw.characteristics_table().contains("cores: 4"));
+        // Single-core specs keep the original table shape.
+        let single = HardwareSpec::new("x", 100.0, vec![lvl("L1", 1024, 32, LevelKind::Cache)]);
+        assert!(!single.unwrap().characteristics_table().contains("cores:"));
     }
 }

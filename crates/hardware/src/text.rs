@@ -15,9 +15,19 @@
 //!
 //! Sizes accept `B`/`KB`/`MB`/`GB` suffixes (binary units); latencies
 //! are nanoseconds; `assoc` accepts a number, `direct`, or `full`.
+//!
+//! Multi-core machines add `cores <n>` to the `machine` line and a
+//! trailing `shared` token on every level that is shared across cores
+//! (levels default to private-per-core):
+//!
+//! ```text
+//! machine SMP Box @ 3000 MHz cores 8
+//! cache L1   32KB line 64  assoc 8   seq 2  rand 4
+//! cache L3   32MB line 64  assoc 16  seq 25 rand 90  shared
+//! ```
 
 use crate::error::HardwareError;
-use crate::level::{Associativity, CacheLevel, LevelKind};
+use crate::level::{Associativity, CacheLevel, LevelKind, Sharing};
 use crate::spec::HardwareSpec;
 use std::fmt;
 
@@ -88,11 +98,26 @@ fn after<'a>(tokens: &[&'a str], key: &str, line: usize) -> Result<&'a str, Text
         })
 }
 
+/// A trailing `shared` token marks a level as shared across cores.
+/// Only the *last* token counts, so a level named "shared" (token 1)
+/// is not misread as the keyword.
+fn parse_sharing(tokens: &[&str]) -> Sharing {
+    if tokens
+        .last()
+        .is_some_and(|t| t.eq_ignore_ascii_case("shared"))
+    {
+        Sharing::Shared
+    } else {
+        Sharing::Private
+    }
+}
+
 /// Parse a hardware description from text (see the module docs for the
 /// format).
 pub fn spec_from_text(src: &str) -> Result<HardwareSpec, TextError> {
     let mut name = String::from("unnamed machine");
     let mut cpu_mhz = 1000.0;
+    let mut cores = 1u32;
     let mut levels: Vec<CacheLevel> = Vec::new();
     let mut saw_machine = false;
 
@@ -106,16 +131,46 @@ pub fn spec_from_text(src: &str) -> Result<HardwareSpec, TextError> {
         match tokens[0].to_ascii_lowercase().as_str() {
             "machine" => {
                 saw_machine = true;
-                // machine <name words...> [@ <mhz> MHz]
+                // machine <name words...> [@ <mhz> MHz] [cores <n>]
                 if let Some(at) = tokens.iter().position(|&t| t == "@") {
+                    // The name is everything before '@' — it may contain
+                    // the word "cores"; only a `cores` token *after* the
+                    // clock clause is the keyword.
                     name = tokens[1..at].join(" ");
                     let mhz_tok = tokens.get(at + 1).copied().ok_or(TextError {
                         line: line_no,
                         message: "expected '@ <MHz>'".into(),
                     })?;
                     cpu_mhz = parse_f64(mhz_tok, line_no)?;
+                    let tail_from = at + 2;
+                    if let Some(c) = tokens
+                        .get(tail_from..)
+                        .unwrap_or(&[])
+                        .iter()
+                        .position(|t| t.eq_ignore_ascii_case("cores"))
+                        .map(|i| i + tail_from)
+                    {
+                        let n_tok = tokens.get(c + 1).copied().ok_or(TextError {
+                            line: line_no,
+                            message: "expected 'cores <n>'".into(),
+                        })?;
+                        cores = n_tok.parse().map_err(|_| TextError {
+                            line: line_no,
+                            message: format!("bad core count '{n_tok}'"),
+                        })?;
+                    }
                 } else {
-                    name = tokens[1..].join(" ");
+                    // No clock clause: recognise only a *trailing*
+                    // `cores <number>`, so names containing the word
+                    // "cores" still parse (and round-trip) as names.
+                    let mut name_end = tokens.len();
+                    if tokens.len() >= 4 && tokens[tokens.len() - 2].eq_ignore_ascii_case("cores") {
+                        if let Ok(n) = tokens[tokens.len() - 1].parse::<u32>() {
+                            cores = n;
+                            name_end = tokens.len() - 2;
+                        }
+                    }
+                    name = tokens[1..name_end].join(" ");
                 }
             }
             "cache" => {
@@ -148,6 +203,7 @@ pub fn spec_from_text(src: &str) -> Result<HardwareSpec, TextError> {
                     assoc,
                     seq_miss_ns: parse_f64(after(&tokens, "seq", line_no)?, line_no)?,
                     rand_miss_ns: parse_f64(after(&tokens, "rand", line_no)?, line_no)?,
+                    sharing: parse_sharing(&tokens),
                 });
             }
             "tlb" => {
@@ -166,6 +222,7 @@ pub fn spec_from_text(src: &str) -> Result<HardwareSpec, TextError> {
                     assoc: Associativity::Full,
                     seq_miss_ns: miss,
                     rand_miss_ns: miss,
+                    sharing: parse_sharing(&tokens),
                 });
             }
             "pool" => {
@@ -189,6 +246,7 @@ pub fn spec_from_text(src: &str) -> Result<HardwareSpec, TextError> {
                     assoc: Associativity::Full,
                     seq_miss_ns: parse_f64(after(&tokens, "seq", line_no)?, line_no)?,
                     rand_miss_ns: parse_f64(after(&tokens, "rand", line_no)?, line_no)?,
+                    sharing: parse_sharing(&tokens),
                 });
             }
             other => {
@@ -205,14 +263,24 @@ pub fn spec_from_text(src: &str) -> Result<HardwareSpec, TextError> {
             message: "missing 'machine' line".into(),
         });
     }
-    HardwareSpec::new(name, cpu_mhz, levels).map_err(|e| (0usize, e).into())
+    HardwareSpec::new(name, cpu_mhz, levels)
+        .and_then(|s| s.with_cores(cores))
+        .map_err(|e| (0usize, e).into())
 }
 
 /// Render a spec back to the text format (round-trip companion of
 /// [`spec_from_text`]).
 pub fn spec_to_text(spec: &HardwareSpec) -> String {
-    let mut out = format!("machine {} @ {} MHz\n", spec.name, spec.cpu_mhz);
+    let mut out = format!("machine {} @ {} MHz", spec.name, spec.cpu_mhz);
+    if spec.cores() > 1 {
+        out.push_str(&format!(" cores {}", spec.cores()));
+    }
+    out.push('\n');
     for l in spec.levels() {
+        let shared = match l.sharing {
+            Sharing::Shared => " shared",
+            Sharing::Private => "",
+        };
         match l.kind {
             LevelKind::Cache => {
                 let assoc = match l.assoc {
@@ -221,13 +289,13 @@ pub fn spec_to_text(spec: &HardwareSpec) -> String {
                     Associativity::Ways(n) => n.to_string(),
                 };
                 out.push_str(&format!(
-                    "cache {} {}B line {} assoc {} seq {} rand {}\n",
+                    "cache {} {}B line {} assoc {} seq {} rand {}{shared}\n",
                     l.name, l.capacity, l.line, assoc, l.seq_miss_ns, l.rand_miss_ns
                 ));
             }
             LevelKind::Tlb => {
                 out.push_str(&format!(
-                    "tlb {} entries {} page {} miss {}\n",
+                    "tlb {} entries {} page {} miss {}{shared}\n",
                     l.name,
                     l.lines(),
                     l.line,
@@ -236,7 +304,7 @@ pub fn spec_to_text(spec: &HardwareSpec) -> String {
             }
             LevelKind::BufferPool => {
                 out.push_str(&format!(
-                    "pool {} {}B page {} seq {} rand {}\n",
+                    "pool {} {}B page {} seq {} rand {}{shared}\n",
                     l.name, l.capacity, l.line, l.seq_miss_ns, l.rand_miss_ns
                 ));
             }
@@ -282,12 +350,84 @@ pool  BP   64MB  page 8KB  seq 80000 rand 6000000
             presets::origin2000(),
             presets::tiny(),
             presets::modern_commodity(),
+            presets::tiny_smp(4),
+            presets::modern_smp(8),
+            presets::with_buffer_pool(presets::tiny_smp(2), 64 << 20, 8192),
         ] {
             let text = spec_to_text(&spec);
             let back = spec_from_text(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
             assert_eq!(back.levels(), spec.levels(), "{text}");
             assert_eq!(back.cpu_mhz, spec.cpu_mhz);
+            assert_eq!(back.cores(), spec.cores(), "{text}");
         }
+    }
+
+    #[test]
+    fn cores_and_shared_tokens_parse() {
+        let spec = spec_from_text(
+            "machine SMP Box @ 3000 MHz cores 8\n\
+             cache L1 32KB line 64 assoc 8 seq 2 rand 4\n\
+             cache L3 32MB line 64 assoc 16 seq 25 rand 90 shared",
+        )
+        .unwrap();
+        assert_eq!(spec.name, "SMP Box");
+        assert_eq!(spec.cores(), 8);
+        assert_eq!(spec.level("L1").unwrap().sharing, Sharing::Private);
+        assert_eq!(spec.level("L3").unwrap().sharing, Sharing::Shared);
+        // A bad core count after the clock clause is a parse error.
+        let e = spec_from_text(
+            "machine m @ 100 MHz cores zero\ncache L1 1KB line 32 assoc 2 seq 1 rand 2",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("bad core count"), "{e}");
+        // Without a clock clause a trailing `cores <n>` still works.
+        let spec =
+            spec_from_text("machine m cores 4\ncache L1 1KB line 32 assoc 2 seq 1 rand 2").unwrap();
+        assert_eq!(spec.cores(), 4);
+        assert_eq!(spec.name, "m");
+    }
+
+    #[test]
+    fn level_named_shared_stays_private() {
+        // Only a *trailing* `shared` token is the keyword; a level that
+        // happens to be named "shared" must not be marked Shared.
+        let spec = spec_from_text(
+            "machine m @ 100 MHz\n\
+             cache shared 1KB line 32 assoc 2 seq 1 rand 2\n\
+             cache L2 4KB line 32 assoc 2 seq 5 rand 9 shared",
+        )
+        .unwrap();
+        assert_eq!(spec.level("shared").unwrap().sharing, Sharing::Private);
+        assert_eq!(spec.level("L2").unwrap().sharing, Sharing::Shared);
+        let back = spec_from_text(&spec_to_text(&spec)).unwrap();
+        assert_eq!(back.levels(), spec.levels());
+    }
+
+    #[test]
+    fn names_containing_the_word_cores_survive() {
+        // "cores" inside the machine name must not be taken for the
+        // keyword — including on a full round-trip.
+        let line1 = "cache L1 1KB line 32 assoc 2 seq 1 rand 2";
+        let spec = spec_from_text(&format!("machine quad cores box @ 3000 MHz\n{line1}")).unwrap();
+        assert_eq!(spec.name, "quad cores box");
+        assert_eq!(spec.cores(), 1);
+        let back = spec_from_text(&spec_to_text(&spec)).unwrap();
+        assert_eq!(back.name, "quad cores box");
+        assert_eq!(back.cores(), 1);
+        // With no clock clause, a non-numeric tail stays part of the name.
+        let spec = spec_from_text(&format!("machine my cores rig\n{line1}")).unwrap();
+        assert_eq!(spec.name, "my cores rig");
+        assert_eq!(spec.cores(), 1);
+        // ...and the SMP round-trip still carries both clauses.
+        let smp = spec_from_text(&format!(
+            "machine quad cores box @ 3000 MHz cores 8\n{line1}"
+        ))
+        .unwrap();
+        assert_eq!(smp.name, "quad cores box");
+        assert_eq!(smp.cores(), 8);
+        let back = spec_from_text(&spec_to_text(&smp)).unwrap();
+        assert_eq!(back.cores(), 8);
+        assert_eq!(back.name, "quad cores box");
     }
 
     #[test]

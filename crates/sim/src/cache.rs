@@ -237,7 +237,7 @@ impl SimCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gcm_hardware::{Associativity, LevelKind};
+    use gcm_hardware::{Associativity, LevelKind, Sharing};
 
     fn level(cap: u64, line: u64, assoc: Associativity) -> CacheLevel {
         CacheLevel {
@@ -248,6 +248,7 @@ mod tests {
             assoc,
             seq_miss_ns: 1.0,
             rand_miss_ns: 2.0,
+            sharing: Sharing::Private,
         }
     }
 

@@ -92,6 +92,35 @@ impl Workload {
         self.uniform_keys_bounded(n, dim_n)
     }
 
+    /// A Zipf-skewed foreign-key column: `n` draws from `[0, dim_n)`
+    /// with exponent `theta`. A handful of hot dimension keys carry
+    /// most references — exactly the shape that imbalances hash
+    /// partitions, since every duplicate of a hot key lands in the same
+    /// partition no matter how good the hash is.
+    pub fn zipf_foreign_keys(&mut self, n: usize, dim_n: u64, theta: f64) -> Vec<u64> {
+        self.zipf_keys(n, dim_n, theta)
+    }
+
+    /// A star scenario whose fact table references its dimensions with
+    /// Zipf-skewed foreign keys (exponent `theta`; `theta = 0` recovers
+    /// [`Workload::star_scenario`]'s uniform shape). The partition-skew
+    /// workload of the parallel-join experiments: chained fact ⋈ dim
+    /// joins still preserve the fact cardinality, but partition-
+    /// parallel workers inherit very unequal probe loads.
+    pub fn skewed_star_scenario(
+        &mut self,
+        fact_n: usize,
+        dim_n: usize,
+        dims: usize,
+        theta: f64,
+    ) -> StarScenario {
+        StarScenario {
+            fact: self.zipf_foreign_keys(fact_n, dim_n as u64, theta),
+            dims: (0..dims).map(|_| self.shuffled_keys(dim_n)).collect(),
+            key_bound: dim_n as u64,
+        }
+    }
+
     /// A star-style multi-table scenario: one fact table of `fact_n`
     /// foreign keys plus `dims` dimension tables, each holding the keys
     /// `0..dim_n` exactly once in its own random order. Every fact
@@ -275,6 +304,28 @@ mod tests {
         let zeros = keys.iter().filter(|&&k| k == 0).count();
         // Uniform expectation: 500 hits; allow generous slack.
         assert!(zeros > 300 && zeros < 800, "zeros={zeros}");
+    }
+
+    #[test]
+    fn skewed_star_scenario_shapes() {
+        let mut w = Workload::new(24);
+        let star = w.skewed_star_scenario(20_000, 1_000, 2, 1.2);
+        assert_eq!(star.fact.len(), 20_000);
+        assert_eq!(star.key_bound, 1_000);
+        assert!(star.fact.iter().all(|&k| k < 1_000));
+        for d in &star.dims {
+            let mut sorted = d.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..1_000).collect::<Vec<u64>>());
+        }
+        // The head of the key domain dominates the tail.
+        let head = star.fact.iter().filter(|&&k| k < 100).count();
+        let tail = star.fact.iter().filter(|&&k| k >= 500).count();
+        assert!(head > 2 * tail, "head={head} tail={tail}");
+        // theta = 0 falls back to (roughly) uniform references.
+        let flat = Workload::new(25).skewed_star_scenario(20_000, 1_000, 1, 0.0);
+        let head = flat.fact.iter().filter(|&&k| k < 100).count();
+        assert!((1_200..2_800).contains(&head), "head={head}");
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! The multi-core model end to end: DOP as a plan dimension.
+//!
+//! On an 8-core commodity machine (private L1/L2, shared 32 MB L3) the
+//! optimizer enumerates a degree of parallelism per stage, pricing a
+//! DOP-`d` stage as the `⊙`-composition of `d` per-thread patterns on
+//! the shared level (Eq 5.3 across cores) while private levels see only
+//! their own thread. Three things must fall out:
+//!
+//! 1. a large partition-parallel hash join earns DOP > 1;
+//! 2. a cache-resident join stays at DOP 1 (the thread-spawn charge
+//!    cannot be amortised);
+//! 3. with the fan-out pinned low, scaling DOP stops paying once the
+//!    ⊙-composed footprint (d concurrent partition-sized hash tables)
+//!    blows past the shared L3 — the optimizer backs off to the
+//!    configuration that keeps the composed footprint inside the level.
+//!
+//! ```bash
+//! cargo run --release --example parallel_query
+//! ```
+
+use gcm::core::{CacheState, CostModel, Region};
+use gcm::engine::parallel::par_hash_join_patterns;
+use gcm::engine::plan::{LogicalPlan, Optimizer, TableStats};
+use gcm::engine::planner::JoinAlgorithm;
+use gcm::hardware::presets;
+
+const BIG_N: u64 = 4_000_000;
+const SMALL_N: u64 = 512;
+
+fn join_stats(n: u64) -> Vec<TableStats> {
+    vec![
+        TableStats::key_column(n, 8, false),
+        TableStats::key_column(n, 8, false),
+    ]
+}
+
+fn main() {
+    let spec = presets::modern_smp(8);
+    let model = CostModel::new(spec.clone());
+    println!("{}", spec.characteristics_table());
+
+    let q = LogicalPlan::scan(0).join(LogicalPlan::scan(1));
+
+    // 1. The big join: the optimizer should parallelise it.
+    let plans = Optimizer::new(&model)
+        .with_beam(12)
+        .enumerate(&q, &join_stats(BIG_N))
+        .expect("plans enumerate");
+    println!("big join ({BIG_N} ⋈ {BIG_N} rows) — top plans (predicted elapsed):");
+    for p in plans.iter().take(5) {
+        println!(
+            "  {:>10.2} ms  DOP {}  {}",
+            p.total_ns() / 1e6,
+            p.plan.max_dop(),
+            p.plan
+        );
+    }
+    let best = &plans[0];
+    assert!(
+        best.plan.max_dop() > 1,
+        "the big join must earn DOP > 1, got {}",
+        best.plan
+    );
+    assert!(
+        matches!(
+            best.plan.join_algorithms()[0],
+            JoinAlgorithm::PartitionedHash { .. }
+        ),
+        "expected a partition-parallel hash join, got {}",
+        best.plan
+    );
+    let serial = plans
+        .iter()
+        .find(|p| p.plan.max_dop() == 1)
+        .expect("a serial alternative survives the beam");
+    println!(
+        "  chosen DOP {} is predicted {:.1}x faster than the best serial plan\n",
+        best.plan.max_dop(),
+        serial.total_ns() / best.total_ns()
+    );
+
+    // 2. The cache-resident join: parallelism cannot be amortised.
+    let small = Optimizer::new(&model)
+        .optimize(&q, &join_stats(SMALL_N))
+        .expect("small join plans");
+    println!(
+        "cache-resident join ({SMALL_N} ⋈ {SMALL_N} rows): chosen {:>8.1} µs  DOP {}  {}",
+        small.total_ns() / 1e3,
+        small.plan.max_dop(),
+        small.plan
+    );
+    assert_eq!(
+        small.plan.max_dop(),
+        1,
+        "a cache-resident join must stay serial"
+    );
+
+    // 3. Backoff: pin the fan-out to m = 8 for *every* DOP, so each
+    // partition's hash table is ~2·N/8 16-byte entries (~16 MB at
+    // N = 4M) — half the shared L3 on its own. The ⊙-composed footprint
+    // of d concurrent threads overruns the level d-fold, so the DOP
+    // sweep flattens: past the blow-out, extra threads buy much less
+    // than their linear share.
+    println!(
+        "\nDOP sweep with fan-out pinned at m = 8 (per-partition table ≈ half the shared L3):"
+    );
+    let u = Region::new("U", BIG_N, 8);
+    let v = Region::new("V", BIG_N, 8);
+    let w = Region::new("W", BIG_N, 16);
+    let mut walls = Vec::new();
+    for dop in [1u64, 2, 4, 8] {
+        let up = Region::new("Up", BIG_N, 8);
+        let vp = Region::new("Vp", BIG_N, 8);
+        let threads = par_hash_join_patterns(&u, &v, &w, &up, &vp, 8, dop);
+        let par = model.advance_parallel(&threads, &mut model.staged(&CacheState::cold()));
+        println!(
+            "  DOP {dop}: predicted wall {:>8.2} ms  (speedup {:.2}x)",
+            par.wall_ns / 1e6,
+            walls.first().copied().unwrap_or(par.wall_ns) / par.wall_ns
+        );
+        walls.push(par.wall_ns);
+    }
+    let speedup8 = walls[0] / walls[3];
+    println!(
+        "  8 threads on a blown shared level reach only {speedup8:.2}x — \
+         far from the 8x that private levels alone would promise."
+    );
+    assert!(
+        speedup8 < 5.0,
+        "shared-L3 contention must cap the pinned-fanout speedup, got {speedup8:.2}x"
+    );
+
+    // The optimizer's answer to the blow-out: a fan-out that keeps every
+    // thread's table cache-sized — its chosen plan at full DOP must beat
+    // the pinned-fanout DOP-8 stage outright.
+    assert!(
+        best.mem_ns < walls[3],
+        "the chosen plan ({:.2} ms) must beat the blown m=8 DOP-8 stage ({:.2} ms)",
+        best.mem_ns / 1e6,
+        walls[3] / 1e6
+    );
+    println!(
+        "\nthe optimizer instead picks {} — composed footprint kept inside the \
+         shared level, predicted {:.2} ms ✓",
+        best.plan,
+        best.total_ns() / 1e6
+    );
+}

@@ -1,0 +1,136 @@
+//! Properties of the `⊕`/`⊙` pattern algebra (paper §3.3, §5):
+//!
+//! * the constructors' flattening is cost-neutral — a hand-nested
+//!   `Seq(Seq(..))` / `Conc(Conc(..))` prices exactly like its
+//!   flattened form, at every level and from any cache state;
+//! * compound footprints follow §5.2: `⊕` takes the max of its parts
+//!   (they never coexist), `⊙` the sum (they do);
+//! * `⊙` cost is monotone: adding a concurrent part can only add
+//!   misses — the newcomer pays its own and shrinks everyone's share.
+
+use gcm::core::eval::{eval_level, CacheState};
+use gcm::core::{footprint_lines, CostModel, Geometry, Pattern, Region};
+use gcm::hardware::presets;
+use proptest::prelude::*;
+
+/// A deterministic basic pattern from a small parameter tuple.
+fn basic(kind: u64, name: &str, n: u64, w: u64, k: u64) -> Pattern {
+    let r = Region::new(name, n.max(1), w.max(1));
+    match kind % 5 {
+        0 => Pattern::s_trav(r),
+        1 => Pattern::r_trav(r),
+        2 => Pattern::rr_trav(r, w.max(1), k.max(1)),
+        3 => Pattern::r_acc(r, (n * 2).max(1)),
+        _ => Pattern::rs_trav(r, k.max(1), gcm::core::Direction::Bi),
+    }
+}
+
+fn geo() -> Geometry {
+    Geometry {
+        c: 2048.0,
+        b: 32.0,
+        lines: 64.0,
+    }
+}
+
+fn cost_at(p: &Pattern, g: &Geometry) -> f64 {
+    eval_level(p, g, &mut CacheState::cold()).total()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn flattening_seq_preserves_cost(
+        ka in 0u64..5, kb in 0u64..5, kc in 0u64..5,
+        na in 1u64..2000, nb in 1u64..2000, nc in 1u64..2000,
+        w in 1u64..3, k in 1u64..4,
+    ) {
+        let w = 8 * w;
+        let (a, b, c) = (
+            basic(ka, "A", na, w, k),
+            basic(kb, "B", nb, w, k),
+            basic(kc, "C", nc, w, k),
+        );
+        // Hand-nested right-association vs the flattening constructor.
+        let nested = Pattern::Seq(vec![
+            a.clone(),
+            Pattern::Seq(vec![b.clone(), c.clone()]),
+        ]);
+        let flat = Pattern::seq(vec![a, b, c]);
+        prop_assert!(matches!(&flat, Pattern::Seq(ps) if ps.len() == 3));
+        let g = geo();
+        let model = CostModel::new(presets::tiny());
+        prop_assert!((cost_at(&nested, &g) - cost_at(&flat, &g)).abs() < 1e-9);
+        prop_assert!((model.mem_ns(&nested) - model.mem_ns(&flat)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flattening_conc_preserves_cost(
+        ka in 0u64..5, kb in 0u64..5, kc in 0u64..5,
+        na in 1u64..2000, nb in 1u64..2000, nc in 1u64..2000,
+        w in 1u64..3, k in 1u64..4,
+    ) {
+        let w = 8 * w;
+        let (a, b, c) = (
+            basic(ka, "A", na, w, k),
+            basic(kb, "B", nb, w, k),
+            basic(kc, "C", nc, w, k),
+        );
+        let nested = Pattern::Conc(vec![
+            a.clone(),
+            Pattern::Conc(vec![b.clone(), c.clone()]),
+        ]);
+        let flat = Pattern::conc(vec![a, b, c]);
+        prop_assert!(matches!(&flat, Pattern::Conc(ps) if ps.len() == 3));
+        let g = geo();
+        // Footprints distribute over nesting, so shares — and with them
+        // the misses — are identical.
+        prop_assert!(
+            (footprint_lines(&nested, &g) - footprint_lines(&flat, &g)).abs() < 1e-9
+        );
+        let model = CostModel::new(presets::tiny());
+        prop_assert!((cost_at(&nested, &g) - cost_at(&flat, &g)).abs() < 1e-6);
+        prop_assert!(
+            (model.mem_ns(&nested) - model.mem_ns(&flat)).abs()
+                < 1e-9 * model.mem_ns(&flat).max(1.0)
+        );
+    }
+
+    #[test]
+    fn seq_footprint_is_max_and_conc_footprint_is_sum(
+        ka in 0u64..5, kb in 0u64..5,
+        na in 1u64..2000, nb in 1u64..2000,
+        w in 1u64..3, k in 1u64..4,
+    ) {
+        let w = 8 * w;
+        let (a, b) = (basic(ka, "A", na, w, k), basic(kb, "B", nb, w, k));
+        let g = geo();
+        let (fa, fb) = (footprint_lines(&a, &g), footprint_lines(&b, &g));
+        let seq = Pattern::Seq(vec![a.clone(), b.clone()]);
+        let conc = Pattern::Conc(vec![a, b]);
+        prop_assert!((footprint_lines(&seq, &g) - fa.max(fb)).abs() < 1e-9);
+        prop_assert!((footprint_lines(&conc, &g) - (fa + fb)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conc_cost_is_monotone_in_added_parts(
+        ka in 0u64..5, kb in 0u64..5, kq in 0u64..5,
+        na in 1u64..2000, nb in 1u64..2000, nq in 1u64..2000,
+        w in 1u64..3, k in 1u64..4,
+    ) {
+        let w = 8 * w;
+        let (a, b, q) = (
+            basic(ka, "A", na, w, k),
+            basic(kb, "B", nb, w, k),
+            basic(kq, "Q", nq, w, k),
+        );
+        let g = geo();
+        let without = cost_at(&Pattern::conc(vec![a.clone(), b.clone()]), &g);
+        let with = cost_at(&Pattern::conc(vec![a, b, q]), &g);
+        prop_assert!(
+            with >= without - 1e-9,
+            "adding a concurrent part must not reduce cost: {with} < {without}"
+        );
+    }
+}

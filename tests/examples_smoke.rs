@@ -14,6 +14,7 @@ const EXAMPLES: &[&str] = &[
     "io_cost",
     "join_planner",
     "optimize_query",
+    "parallel_query",
     "partition_tuning",
     "calibrate_then_model",
 ];

@@ -2,7 +2,7 @@
 //! simulated memory.
 //!
 //! These are the micro-benchmarks of the paper's Calibrator tool
-//! (\[MBK00b\], §2.3): they know nothing about the machine they probe —
+//! (`[MBK00b]`, §2.3): they know nothing about the machine they probe —
 //! they only time accesses (here: charged simulator latency) and leave
 //! interpretation to the detection layer.
 

@@ -1,5 +1,5 @@
 //! Detection algorithms: turning raw chase/sweep timings into hardware
-//! parameters (the analysis half of the Calibrator, \[MBK00b\]).
+//! parameters (the analysis half of the Calibrator, `[MBK00b]`).
 //!
 //! All scans are *blind*: they see only measured per-access costs, never
 //! the simulated machine's configuration. The pipeline:

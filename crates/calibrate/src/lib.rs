@@ -1,6 +1,6 @@
 //! # gcm-calibrate — the Calibrator
 //!
-//! Re-implementation of the paper's calibration tool (§2.3, \[MBK00b\]):
+//! Re-implementation of the paper's calibration tool (§2.3, `[MBK00b]`):
 //! a set of blind micro-benchmarks — pointer chases and strided sweeps —
 //! that recover a machine's memory-hierarchy parameters (capacities,
 //! line/page sizes, TLB entries, sequential and random miss latencies)

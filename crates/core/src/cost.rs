@@ -81,11 +81,28 @@ pub struct CpuCost {
 }
 
 impl CpuCost {
+    /// The default per-logical-operation charge of the planner stack
+    /// (see [`CpuCost::default_planner`]), in nanoseconds.
+    pub const DEFAULT_PLANNER_PER_OP_NS: f64 = 4.0;
+
     /// A calibration with zero fixed cost.
     pub fn per_op(per_op_ns: f64) -> CpuCost {
         CpuCost {
             fixed_ns: 0.0,
             per_op_ns,
+        }
+    }
+
+    /// The default planner calibration: zero fixed cost,
+    /// [`DEFAULT_PLANNER_PER_OP_NS`](CpuCost::DEFAULT_PLANNER_PER_OP_NS)
+    /// per logical operation. The paper calibrates `T_cpu` per algorithm
+    /// (§6.1); every costing layer that has not been handed a machine
+    /// calibration uses this single shared default, so the planner, the
+    /// whole-plan optimizer, and the service price CPU identically.
+    pub const fn default_planner() -> CpuCost {
+        CpuCost {
+            fixed_ns: 0.0,
+            per_op_ns: CpuCost::DEFAULT_PLANNER_PER_OP_NS,
         }
     }
 
@@ -113,6 +130,47 @@ impl HierarchyState {
     /// The state of level `idx` (spec order).
     pub fn level(&self, idx: usize) -> &CacheState {
         &self.states[idx]
+    }
+}
+
+/// Cost of a *batch* of coexisting queries (see
+/// [`CostModel::batch_cost`]): each query's whole compound pattern is
+/// one member of the `⊙`-composition, priced both composed (sharing the
+/// shared levels) and solo (running alone), so an admission controller
+/// can compare batched against serial execution.
+#[derive(Debug, Clone)]
+pub struct BatchCost {
+    /// Each query's memory time inside the batch, ns: shared levels are
+    /// divided among the queries proportionally to their footprints
+    /// (Eq 5.3 across cores), private levels see one query each.
+    pub per_query_ns: Vec<f64>,
+    /// Each query's memory time running alone from the same initial
+    /// state, ns.
+    pub solo_ns: Vec<f64>,
+}
+
+impl BatchCost {
+    /// The batch's elapsed memory time: the slowest member, since all
+    /// queries run concurrently.
+    pub fn wall_ns(&self) -> f64 {
+        self.per_query_ns.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Elapsed memory time of running the members one after the other
+    /// instead (each from the same initial state).
+    pub fn serial_ns(&self) -> f64 {
+        self.solo_ns.iter().sum()
+    }
+
+    /// Predicted speedup of batching over serial execution (> 1 means
+    /// the batch wins; heavy shared-level contention pushes it < 1).
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall_ns();
+        if wall > 0.0 {
+            self.serial_ns() / wall
+        } else {
+            1.0
+        }
     }
 }
 
@@ -314,6 +372,34 @@ impl CostModel {
             report: CostReport { levels, mem_ns },
             per_thread_ns,
             wall_ns,
+        }
+    }
+
+    /// Price a batch of heterogeneous coexisting queries — the `⊙` rule
+    /// of Eq 5.3 applied *across queries*: each member pattern is one
+    /// query's whole compound plan, all of them running concurrently on
+    /// separate cores of this machine. Shared levels are divided among
+    /// the queries by footprint; private levels see one query each
+    /// (every core beyond the first starts cold, exactly as in
+    /// [`CostModel::advance_parallel`]). Each query is additionally
+    /// priced *solo* from the same `initial` state, so the caller can
+    /// compare the batched wall time against serial execution — the
+    /// admission predicate of a batch scheduler.
+    pub fn batch_cost(&self, queries: &[Pattern], initial: &CacheState) -> BatchCost {
+        if queries.is_empty() {
+            return BatchCost {
+                per_query_ns: Vec::new(),
+                solo_ns: Vec::new(),
+            };
+        }
+        let par = self.advance_parallel(queries, &mut self.staged(initial));
+        let solo_ns = queries
+            .iter()
+            .map(|q| self.report_from(q, initial).mem_ns)
+            .collect();
+        BatchCost {
+            per_query_ns: par.per_thread_ns,
+            solo_ns,
         }
     }
 }
@@ -518,6 +604,78 @@ mod tests {
     }
 
     #[test]
+    fn batch_of_streaming_queries_beats_serial() {
+        // Sequential sweeps have footprint 1: coexisting scans barely
+        // contend, so the batch wall is far below the serial sum.
+        let model = CostModel::new(presets::tiny_smp(4));
+        let queries: Vec<Pattern> = (0..4)
+            .map(|i| Pattern::s_trav(Region::new(format!("Q{i}"), 20_000, 8)))
+            .collect();
+        let batch = model.batch_cost(&queries, &CacheState::cold());
+        assert_eq!(batch.per_query_ns.len(), 4);
+        assert_eq!(batch.solo_ns.len(), 4);
+        assert!(
+            batch.speedup() > 2.5,
+            "streaming batch speedup {:.2} should be near-linear",
+            batch.speedup()
+        );
+        assert!((batch.serial_ns() - batch.solo_ns.iter().sum::<f64>()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contending_batch_backs_off_below_serial() {
+        // Repeated random traversals over working sets that fit the
+        // shared L2 alone but not together: composed, every revisit
+        // misses, so batching must price *worse* than serial.
+        let model = CostModel::new(presets::tiny_smp(4));
+        let queries: Vec<Pattern> = (0..2)
+            .map(|i| Pattern::rr_trav(Region::new(format!("Q{i}"), 1_500, 8), 8, 64))
+            .collect();
+        let batch = model.batch_cost(&queries, &CacheState::cold());
+        assert!(
+            batch.speedup() < 1.0,
+            "contended batch speedup {:.2} must fall below serial",
+            batch.speedup()
+        );
+        assert!(batch.wall_ns() > batch.serial_ns());
+    }
+
+    #[test]
+    fn heterogeneous_batch_reports_per_query_times() {
+        let model = CostModel::new(presets::tiny_smp(2));
+        let big = Pattern::s_trav(Region::new("B", 50_000, 8));
+        let small = Pattern::s_trav(Region::new("S", 500, 8));
+        let batch = model.batch_cost(&[big, small], &CacheState::cold());
+        assert!(batch.per_query_ns[0] > 10.0 * batch.per_query_ns[1]);
+        assert!((batch.wall_ns() - batch.per_query_ns[0]).abs() < 1e-9);
+        // A singleton batch is just the solo price.
+        let solo = model.batch_cost(
+            &[Pattern::s_trav(Region::new("A", 1_000, 8))],
+            &CacheState::cold(),
+        );
+        assert!((solo.wall_ns() - solo.serial_ns()).abs() < 1e-9);
+        assert!((solo.speedup() - 1.0).abs() < 1e-9);
+        // An empty batch is a no-op.
+        let none = model.batch_cost(&[], &CacheState::cold());
+        assert_eq!(none.wall_ns(), 0.0);
+        assert_eq!(none.serial_ns(), 0.0);
+        assert!((none.speedup() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_initial_state_discounts_the_whole_batch() {
+        let model = CostModel::new(presets::tiny_smp(2));
+        let r = Region::new("R", 100, 8); // fits every level
+        let queries = vec![Pattern::s_trav(r.clone()), Pattern::r_trav(r.clone())];
+        let cold = model.batch_cost(&queries, &CacheState::cold());
+        let mut warm = CacheState::cold();
+        warm.set(&r, 1.0);
+        let warmed = model.batch_cost(&queries, &warm);
+        assert!(warmed.wall_ns() < cold.wall_ns());
+        assert_eq!(warmed.serial_ns(), 0.0);
+    }
+
+    #[test]
     fn cpu_cost_helpers() {
         let c = CpuCost::per_op(3.0);
         assert_eq!(c.ns(10), 30.0);
@@ -526,5 +684,9 @@ mod tests {
             per_op_ns: 1.0,
         };
         assert_eq!(c2.ns(0), 100.0);
+        // The shared planner default: 4 ns/op, no fixed cost.
+        let d = CpuCost::default_planner();
+        assert_eq!(d, CpuCost::per_op(CpuCost::DEFAULT_PLANNER_PER_OP_NS));
+        assert_eq!(d.ns(10), 40.0);
     }
 }

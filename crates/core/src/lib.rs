@@ -42,7 +42,9 @@ pub mod parse;
 pub mod pattern;
 pub mod region;
 
-pub use cost::{CostModel, CostReport, CpuCost, HierarchyState, LevelCost, ParallelCost};
+pub use cost::{
+    BatchCost, CostModel, CostReport, CpuCost, HierarchyState, LevelCost, ParallelCost,
+};
 pub use eval::{footprint_lines, CacheState};
 pub use misses::{Geometry, MissPair};
 pub use pattern::{Direction, GlobalOrder, LatencyClass, LocalPattern, Pattern};

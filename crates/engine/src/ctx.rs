@@ -50,7 +50,7 @@ impl ExecContext {
         }
     }
 
-    /// A context with \[HS89\] miss classification enabled.
+    /// A context with `[HS89]` miss classification enabled.
     pub fn with_classification(spec: HardwareSpec) -> ExecContext {
         ExecContext {
             mem: MemorySystem::with_classification(spec),

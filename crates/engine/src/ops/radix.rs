@@ -1,4 +1,4 @@
-//! Multi-pass radix partitioning — the \[MBK00a\] answer to the
+//! Multi-pass radix partitioning — the `[MBK00a]` answer to the
 //! Figure-7d cliff.
 //!
 //! Single-pass partitioning thrashes once the fan-out `m` exceeds a

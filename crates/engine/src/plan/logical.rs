@@ -11,7 +11,7 @@ use std::fmt;
 /// [`LogicalPlan::select_lt`], [`LogicalPlan::join`], …); the left input
 /// of a join is the probe/outer side, the right input the build/inner
 /// side, matching the engine's operator conventions.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum LogicalPlan {
     /// A base relation (index into the catalog).
     Scan {
@@ -135,6 +135,21 @@ impl LogicalPlan {
         }
     }
 
+    /// A structural fingerprint of the plan: identical trees (same
+    /// operators, same literals, same table references) always
+    /// fingerprint equal; distinct trees collide only with 64-bit-hash
+    /// probability, so a cache keying on the fingerprint must still
+    /// verify tree equality on a hit. This is the plan-cache key
+    /// component a service pairs with a statistics epoch — stable
+    /// within one process, not across processes (it hashes with the
+    /// std `DefaultHasher`).
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+
     /// Highest catalog index referenced, if any table is referenced.
     pub fn max_table(&self) -> Option<usize> {
         match self {
@@ -210,5 +225,29 @@ mod tests {
     fn open_fanout_renders_as_question_mark() {
         let q = LogicalPlan::scan(0).partition(None);
         assert_eq!(q.to_string(), "partition<?>(scan(0))");
+    }
+
+    #[test]
+    fn fingerprints_follow_structure() {
+        // Equal trees agree; any structural or literal difference
+        // separates them.
+        assert_eq!(star_query().fingerprint(), star_query().fingerprint());
+        let base = LogicalPlan::scan(0).select_lt(100);
+        assert_ne!(
+            base.fingerprint(),
+            LogicalPlan::scan(0).select_lt(101).fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            LogicalPlan::scan(1).select_lt(100).fingerprint()
+        );
+        assert_ne!(
+            LogicalPlan::scan(0).sort().fingerprint(),
+            LogicalPlan::scan(0).dedup().fingerprint()
+        );
+        // Join order matters (left = probe, right = build).
+        let ab = LogicalPlan::scan(0).join(LogicalPlan::scan(1));
+        let ba = LogicalPlan::scan(1).join(LogicalPlan::scan(0));
+        assert_ne!(ab.fingerprint(), ba.fingerprint());
     }
 }

@@ -66,6 +66,7 @@
 //! assert!(run.output.n() > 0);
 //! ```
 
+pub mod catalog;
 pub mod exec;
 pub mod logical;
 pub mod optimizer;
@@ -75,7 +76,24 @@ pub mod physical;
 /// 8-byte payload/count (the engine's `(key, value)` convention).
 pub const OUT_TUPLE_BYTES: u64 = 16;
 
+pub use catalog::StatsCatalog;
 pub use exec::{execute, PlanRun};
 pub use logical::LogicalPlan;
 pub use optimizer::{Optimizer, PlanError, PlannedQuery, TableStats};
 pub use physical::PhysicalPlan;
+
+/// The reusable optimize-to-executable entry point: enumerate physical
+/// plans for `plan` under `tables` with the default optimizer
+/// configuration (default CPU calibration, beam 8, cold caches) and
+/// return the cheapest one, ready for [`execute`]. This is the single
+/// path a caching layer memoizes — one deterministic function from
+/// (logical plan, statistics) to ([`PhysicalPlan`], predicted cost) —
+/// so a cache hit is guaranteed to return exactly what a fresh
+/// optimization would have produced.
+pub fn optimize_and_lower(
+    model: &gcm_core::CostModel,
+    plan: &LogicalPlan,
+    tables: &[TableStats],
+) -> Result<PlannedQuery, PlanError> {
+    Optimizer::new(model).optimize(plan, tables)
+}

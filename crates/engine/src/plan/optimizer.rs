@@ -22,7 +22,7 @@ use super::physical::PhysicalPlan;
 use super::OUT_TUPLE_BYTES;
 use crate::ops;
 use crate::parallel;
-use crate::planner::{self, JoinInputs, DEFAULT_PLANNER_PER_OP_NS};
+use crate::planner::{self, JoinInputs};
 use gcm_core::distinct::expected_distinct;
 use gcm_core::{CacheState, CostModel, CpuCost, Pattern, Region};
 use std::fmt;
@@ -235,7 +235,7 @@ impl<'a> Optimizer<'a> {
     pub fn new(model: &'a CostModel) -> Optimizer<'a> {
         Optimizer {
             model,
-            cpu: CpuCost::per_op(DEFAULT_PLANNER_PER_OP_NS),
+            cpu: CpuCost::default_planner(),
             beam: 8,
             initial_state: CacheState::cold(),
             spawn_ns: DEFAULT_THREAD_SPAWN_NS,

@@ -140,6 +140,32 @@ impl PhysicalPlan {
         }
     }
 
+    /// Catalog indices of every base relation the tree scans, sorted
+    /// and deduplicated (a self-join references its table once here).
+    pub fn tables(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_tables(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_tables(&self, out: &mut Vec<usize>) {
+        match self {
+            PhysicalPlan::Scan { table } => out.push(*table),
+            PhysicalPlan::Select { input, .. }
+            | PhysicalPlan::Aggregate { input }
+            | PhysicalPlan::Sort { input }
+            | PhysicalPlan::Dedup { input }
+            | PhysicalPlan::Partition { input, .. }
+            | PhysicalPlan::Parallel { input, .. } => input.collect_tables(out),
+            PhysicalPlan::Join { left, right, .. } => {
+                left.collect_tables(out);
+                right.collect_tables(out);
+            }
+        }
+    }
+
     /// The join algorithms chosen along the tree, in execution order
     /// (left subtree, right subtree, node).
     pub fn join_algorithms(&self) -> Vec<&JoinAlgorithm> {
@@ -324,5 +350,18 @@ mod tests {
         // Re-wrapping down to 1 unwraps entirely.
         let serial = PhysicalPlan::scan(0).select_lt(10).parallel(4).parallel(1);
         assert_eq!(serial.to_string(), "select_lt<10>(scan(0))");
+    }
+
+    #[test]
+    fn tables_lists_referenced_scans() {
+        let p = PhysicalPlan::scan(3)
+            .select_lt(64)
+            .join_with(PhysicalPlan::scan(1), JoinAlgorithm::Hash)
+            .parallel(2)
+            .group_count();
+        assert_eq!(p.tables(), vec![1, 3]);
+        // A self-join references its table once.
+        let s = PhysicalPlan::scan(0).join_with(PhysicalPlan::scan(0), JoinAlgorithm::Hash);
+        assert_eq!(s.tables(), vec![0]);
     }
 }

@@ -89,8 +89,12 @@ pub struct JoinInputs {
 /// Default CPU calibration per logical operation (the paper calibrates
 /// `T_cpu` per algorithm — the per-algorithm op counts in
 /// [`join_candidates`] play that role). Callers with a calibrated
-/// machine thread their own [`CpuCost`] via [`rank_joins_with`].
-pub const DEFAULT_PLANNER_PER_OP_NS: f64 = 4.0;
+/// machine thread their own [`CpuCost`] via [`rank_joins_with`]. The
+/// value lives in [`CpuCost::DEFAULT_PLANNER_PER_OP_NS`] so every layer
+/// of the planner stack shares one calibration
+/// ([`CpuCost::default_planner`]); this alias keeps the planner-local
+/// name the experiments use.
+pub const DEFAULT_PLANNER_PER_OP_NS: f64 = CpuCost::DEFAULT_PLANNER_PER_OP_NS;
 
 /// One join algorithm's physical description: its access pattern over
 /// the given input/output regions plus its logical-operation estimate.
@@ -226,7 +230,7 @@ pub fn rank_joins_with(model: &CostModel, inputs: &JoinInputs, cpu: CpuCost) -> 
 
 /// [`rank_joins_with`] under the default per-op CPU calibration.
 pub fn rank_joins(model: &CostModel, inputs: &JoinInputs) -> Vec<PlanChoice> {
-    rank_joins_with(model, inputs, CpuCost::per_op(DEFAULT_PLANNER_PER_OP_NS))
+    rank_joins_with(model, inputs, CpuCost::default_planner())
 }
 
 /// The cheapest join algorithm for the inputs under the given CPU
@@ -242,7 +246,7 @@ pub fn choose_join_with(
 /// The cheapest join algorithm for the inputs, or `None` if no
 /// algorithm is applicable.
 pub fn choose_join(model: &CostModel, inputs: &JoinInputs) -> Option<PlanChoice> {
-    choose_join_with(model, inputs, CpuCost::per_op(DEFAULT_PLANNER_PER_OP_NS))
+    choose_join_with(model, inputs, CpuCost::default_planner())
 }
 
 /// Price a partitioning fan-out sweep and return `(m, predicted_ns)`
@@ -304,7 +308,7 @@ mod tests {
         // TLB entry count) recovers part of that, and the sequential-
         // access sort+merge pipeline wins outright — the memory-access
         // economics that motivated the radix-cluster line of work
-        // (\[MBK00a\]; see ops::radix for the multi-pass answer).
+        // ([MBK00a]; see ops::radix for the multi-pass answer).
         let ranked = rank_joins(&model(), &inputs(4_000_000, false));
         assert!(
             matches!(ranked[0].algorithm, JoinAlgorithm::Merge { .. }),
@@ -415,7 +419,7 @@ mod tests {
         };
         assert!((merge_cpu(&slow_cpu) / merge_cpu(&default) - 100.0).abs() < 1e-6);
         // The default entry point matches the explicit default calibration.
-        let explicit = rank_joins_with(&m, &ins, CpuCost::per_op(DEFAULT_PLANNER_PER_OP_NS));
+        let explicit = rank_joins_with(&m, &ins, CpuCost::default_planner());
         assert_eq!(default.len(), explicit.len());
         for (a, b) in default.iter().zip(&explicit) {
             assert_eq!(a.algorithm, b.algorithm);

@@ -215,6 +215,24 @@ pub fn modern_commodity() -> HardwareSpec {
 /// same formulas. Default latencies model a ~2002 disk: sequential
 /// transfer-bound pages vs seek-bound random pages.
 pub fn with_buffer_pool(base: HardwareSpec, pool_bytes: u64, page: u64) -> HardwareSpec {
+    // 8 KB page: sequential ≈ 80 µs (100 MB/s stream), random adds a
+    // ~6 ms seek+rotate.
+    let transfer_ns = page as f64 / 100e6 * 1e9;
+    pooled(base, pool_bytes, page, "disk", transfer_ns, 6.0e6)
+}
+
+/// Shared buffer-pool construction of [`with_buffer_pool`] /
+/// [`with_ssd_buffer_pool`]: one more [`BufferPool`](LevelKind) level
+/// below the caches, charged `transfer_ns` per sequential page and an
+/// extra `access_ns` per random one.
+fn pooled(
+    base: HardwareSpec,
+    pool_bytes: u64,
+    page: u64,
+    suffix: &str,
+    transfer_ns: f64,
+    access_ns: f64,
+) -> HardwareSpec {
     let mut levels: Vec<CacheLevel> = base.levels().to_vec();
     levels.push(CacheLevel {
         name: "BP".into(),
@@ -223,18 +241,32 @@ pub fn with_buffer_pool(base: HardwareSpec, pool_bytes: u64, page: u64) -> Hardw
         line: page,
         // The buffer pool replacement policy approximates full associativity.
         assoc: Associativity::Full,
-        // 8 KB page: sequential ≈ 80 µs (100 MB/s stream), random adds a
-        // ~6 ms seek+rotate.
-        seq_miss_ns: page as f64 / 100e6 * 1e9,
-        rand_miss_ns: 6.0e6 + page as f64 / 100e6 * 1e9,
+        seq_miss_ns: transfer_ns,
+        rand_miss_ns: access_ns + transfer_ns,
         // Main memory is one instance regardless of core count.
         sharing: Sharing::Shared,
     });
     let cores = base.cores();
-    HardwareSpec::new(format!("{} + disk", base.name), base.cpu_mhz, levels)
+    HardwareSpec::new(format!("{} + {suffix}", base.name), base.cpu_mhz, levels)
         .expect("valid")
         .with_cores(cores)
         .expect("valid core count")
+}
+
+/// Extend a machine with an SSD-backed buffer-pool level — the same
+/// unified-model construction as [`with_buffer_pool`], with flash-era
+/// latencies: page transfers ≈ 400 MB/s sequential, and a ~100 µs access
+/// overhead instead of a mechanical seek, so random pages cost about 5×
+/// sequential ones rather than the disk's ~75×. The serving-layer
+/// experiments run on this level: its milder random/sequential skew
+/// keeps model-vs-simulator agreement tight at query scale while
+/// capacity contention between coexisting queries still dominates
+/// everything else on the machine.
+pub fn with_ssd_buffer_pool(base: HardwareSpec, pool_bytes: u64, page: u64) -> HardwareSpec {
+    // 8 KB page: sequential ≈ 20 µs (400 MB/s stream), random adds a
+    // ~100 µs flash access.
+    let transfer_ns = page as f64 / 400e6 * 1e9;
+    pooled(base, pool_bytes, page, "ssd", transfer_ns, 100_000.0)
 }
 
 /// The tiny test machine as a `cores`-way SMP: per-core (private) L1 and
@@ -364,6 +396,21 @@ mod tests {
         assert_eq!(bp.kind, LevelKind::BufferPool);
         assert!(bp.rand_miss_ns > bp.seq_miss_ns * 10.0); // seek dominates
         assert_eq!(hw.levels().len(), 4);
+    }
+
+    #[test]
+    fn ssd_pool_is_shared_and_mildly_skewed() {
+        let hw = with_ssd_buffer_pool(modern_smp(4), 112 * 8192, 8192);
+        assert_eq!(hw.cores(), 4);
+        let bp = hw.level("BP").unwrap();
+        assert_eq!(bp.kind, LevelKind::BufferPool);
+        assert_eq!(bp.sharing, Sharing::Shared);
+        assert_eq!(bp.lines(), 112);
+        // Flash skew: random ≈ 5–6× sequential, nothing like a seek.
+        let skew = bp.rand_miss_ns / bp.seq_miss_ns;
+        assert!((3.0..10.0).contains(&skew), "skew {skew}");
+        let disk = with_buffer_pool(modern_smp(4), 112 * 8192, 8192);
+        assert!(disk.level("BP").unwrap().rand_miss_ns > 10.0 * bp.rand_miss_ns);
     }
 
     #[test]

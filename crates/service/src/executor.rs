@@ -1,0 +1,271 @@
+//! The executor pool: running an admitted batch on real worker
+//! threads, each query over its own simulated hierarchy view.
+//!
+//! Mirrors the measured side of the multi-core model
+//! ([`gcm_engine::parallel`]): a batch of `d` queries runs as `d`
+//! [`std::thread::scope`] workers, each executing its physical plan
+//! through the serial plan executor over an [`ExecContext`] on its own
+//! view of the machine — full private levels, plus the slice of every
+//! shared level the scheduler *allocated* to it. Allocations are
+//! footprint-proportional ([`member_views`]), i.e. the service enforces
+//! exactly the Eq 5.3 shares the admission controller priced (the way
+//! a real serving system partitions its buffer pool or LLC ways among
+//! admitted queries) — so a batch the model admitted cannot be wrecked
+//! by a co-runner grabbing more of the shared level than its footprint
+//! warrants. A query's measured latency is its charged memory time
+//! plus the per-op CPU charge (Eq 6.1), and the batch's measured wall
+//! is the slowest member, which is what the `⊙` composition predicted.
+
+use gcm_core::{footprint_lines, Geometry, Pattern};
+use gcm_engine::plan::{self, PhysicalPlan, PlanError};
+use gcm_engine::{ExecContext, Relation};
+use gcm_hardware::{HardwareSpec, Sharing};
+use std::sync::Arc;
+
+/// One registered table's data: the key column the per-worker contexts
+/// materialize into their simulated memories.
+#[derive(Debug, Clone)]
+pub struct TableData {
+    /// Region/relation display name.
+    pub name: String,
+    /// The key column.
+    pub keys: Vec<u64>,
+    /// Tuple width in bytes.
+    pub w: u64,
+}
+
+/// One query's measured execution inside a batch.
+#[derive(Debug, Clone)]
+pub struct ExecutedQuery {
+    /// Output cardinality.
+    pub output_n: u64,
+    /// Measured elapsed time: charged (simulated) memory latency plus
+    /// `per_op_ns ×` logical ops (Eq 6.1), ns.
+    pub measured_ns: f64,
+    /// Logical CPU operations the query performed.
+    pub ops: u64,
+}
+
+/// The per-member machine views of a batch: each member keeps every
+/// [`Private`](Sharing::Private) level whole and receives, at every
+/// [`Shared`](Sharing::Shared) level, a capacity slice proportional to
+/// its pattern's footprint there — the allocation rule of Eq 5.3, which
+/// is also what the admission controller's
+/// [`batch_cost`](gcm_core::CostModel::batch_cost) priced. A singleton
+/// batch sees the whole machine.
+pub fn member_views(spec: &HardwareSpec, patterns: &[&Pattern]) -> Vec<HardwareSpec> {
+    let d = patterns.len();
+    if d <= 1 {
+        return patterns.iter().map(|_| spec.thread_view(1)).collect();
+    }
+    // Footprint of every member at every shared level.
+    let feet: Vec<Vec<f64>> = patterns
+        .iter()
+        .map(|p| {
+            spec.levels()
+                .iter()
+                .map(|lvl| footprint_lines(p, &Geometry::of(lvl)))
+                .collect()
+        })
+        .collect();
+    (0..d)
+        .map(|i| {
+            let levels = spec
+                .levels()
+                .iter()
+                .enumerate()
+                .map(|(l, lvl)| {
+                    if lvl.sharing != Sharing::Shared {
+                        return lvl.clone();
+                    }
+                    let total: f64 = feet.iter().map(|f| f[l]).sum();
+                    let share = if total > 0.0 {
+                        feet[i][l] / total
+                    } else {
+                        1.0 / d as f64
+                    };
+                    let mut v = lvl.clone();
+                    let lines = ((lvl.lines() as f64 * share) as u64).max(1);
+                    v.capacity = lines * lvl.line;
+                    v
+                })
+                .collect();
+            HardwareSpec::new(
+                format!("{} [member {i}/{d} view]", spec.name),
+                spec.cpu_mhz,
+                levels,
+            )
+            .expect("member view of a valid spec is valid")
+        })
+        .collect()
+}
+
+/// Execute `plans` as one batch of `plans.len()` concurrent workers,
+/// each on its own footprint-proportional view ([`member_views`], built
+/// from `patterns` — the members' whole-plan patterns in batch order).
+/// Each worker materializes the tables its plan scans into its own
+/// simulated memory (host-side, uncharged — the service owns the data;
+/// a worker's view simulates its core's caches, not a private copy of
+/// the database; unreferenced catalog slots become empty placeholders
+/// so scan indices stay valid) and runs its plan through
+/// [`gcm_engine::plan::execute`]. Results come back in batch order.
+pub fn execute_batch(
+    spec: &HardwareSpec,
+    tables: &[Arc<TableData>],
+    plans: &[&PhysicalPlan],
+    patterns: &[&Pattern],
+    per_op_ns: f64,
+) -> Result<Vec<ExecutedQuery>, PlanError> {
+    assert_eq!(plans.len(), patterns.len());
+    let views = member_views(spec, patterns);
+    let results: Vec<Result<ExecutedQuery, PlanError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = plans
+            .iter()
+            .zip(views)
+            .map(|(plan, view)| {
+                s.spawn(move || {
+                    let mut ctx = ExecContext::new(view);
+                    let referenced = plan.tables();
+                    let rels: Vec<Relation> = tables
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| {
+                            if referenced.contains(&i) {
+                                ctx.relation_from_keys(&t.name, &t.keys, t.w)
+                            } else {
+                                ctx.relation(&t.name, 0, t.w)
+                            }
+                        })
+                        .collect();
+                    let (run, stats) = ctx.measure(|c| plan::execute(c, plan, &rels));
+                    run.map(|r| ExecutedQuery {
+                        output_n: r.output.n(),
+                        measured_ns: stats.total_ns(per_op_ns),
+                        ops: stats.ops,
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("service worker panicked"))
+            .collect()
+    });
+    results.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcm_engine::planner::JoinAlgorithm;
+    use gcm_hardware::presets;
+    use gcm_workload::Workload;
+
+    fn catalog() -> Vec<Arc<TableData>> {
+        let mut wl = Workload::new(61);
+        let star = wl.star_scenario(2_000, 400, 1);
+        vec![
+            Arc::new(TableData {
+                name: "F".into(),
+                keys: star.fact,
+                w: 8,
+            }),
+            Arc::new(TableData {
+                name: "D".into(),
+                keys: star.dims[0].clone(),
+                w: 8,
+            }),
+        ]
+    }
+
+    #[test]
+    fn batch_members_agree_with_serial_execution() {
+        let spec = presets::tiny_smp(4);
+        let tables = catalog();
+        let select = PhysicalPlan::scan(0).select_lt(100);
+        let join = PhysicalPlan::scan(0)
+            .select_lt(200)
+            .join_with(PhysicalPlan::scan(1), JoinAlgorithm::Hash)
+            .group_count();
+        let eps = Pattern::empty();
+        let batch = execute_batch(&spec, &tables, &[&select, &join], &[&eps, &eps], 4.0).unwrap();
+        assert_eq!(batch.len(), 2);
+        // Each member's result matches its own serial run (results
+        // never depend on co-runners — only timings do).
+        for (plan, got) in [&select, &join].into_iter().zip(&batch) {
+            let solo = execute_batch(&spec, &tables, &[plan], &[&eps], 4.0).unwrap();
+            assert_eq!(solo[0].output_n, got.output_n);
+            assert_eq!(solo[0].ops, got.ops);
+            assert!(got.measured_ns > 0.0);
+        }
+    }
+
+    #[test]
+    fn shared_level_contention_shows_in_measured_time() {
+        // The same query measured alone vs inside a 4-way batch: the
+        // member views shrink the shared L2, so the batched run can
+        // only be slower or equal.
+        let spec = presets::tiny_smp(4);
+        let tables = catalog();
+        let join = PhysicalPlan::scan(0)
+            .join_with(PhysicalPlan::scan(1), JoinAlgorithm::Hash)
+            .group_count();
+        let eps = Pattern::empty();
+        let solo = execute_batch(&spec, &tables, &[&join], &[&eps], 4.0).unwrap()[0].measured_ns;
+        let four = execute_batch(
+            &spec,
+            &tables,
+            &[&join, &join, &join, &join],
+            &[&eps, &eps, &eps, &eps],
+            4.0,
+        )
+        .unwrap();
+        for q in &four {
+            assert!(
+                q.measured_ns >= solo * 0.999,
+                "batched {} vs solo {solo}",
+                q.measured_ns
+            );
+        }
+    }
+
+    #[test]
+    fn member_views_split_shared_levels_by_footprint() {
+        use gcm_core::Region;
+        let spec = presets::tiny_smp(4); // L2 shared (16 KB), L1/TLB private
+        let big = Pattern::r_trav(Region::new("B", 3_000, 8)); // 24 KB
+        let small = Pattern::r_trav(Region::new("S", 1_000, 8)); // 8 KB
+        let views = member_views(&spec, &[&big, &small]);
+        assert_eq!(views.len(), 2);
+        // Private levels stay whole.
+        for v in &views {
+            assert_eq!(
+                v.level("L1").unwrap().capacity,
+                spec.level("L1").unwrap().capacity
+            );
+        }
+        // The shared L2 splits 3:1 (footprints 24 KB : 8 KB).
+        let l2 = |v: &HardwareSpec| v.level("L2").unwrap().capacity;
+        assert!(l2(&views[0]) > 2 * l2(&views[1]));
+        let total = l2(&views[0]) + l2(&views[1]);
+        let full = spec.level("L2").unwrap().capacity;
+        assert!(total <= full && total >= full / 2, "split covers the level");
+        // A singleton sees the whole machine.
+        let solo = member_views(&spec, &[&big]);
+        assert_eq!(l2(&solo[0]), full);
+        // Zero-footprint members fall back to an even split.
+        let eps = Pattern::empty();
+        let even = member_views(&spec, &[&eps, &eps]);
+        assert_eq!(l2(&even[0]), l2(&even[1]));
+    }
+
+    #[test]
+    fn plan_errors_surface() {
+        let spec = presets::tiny_smp(2);
+        let tables = catalog();
+        let bad = PhysicalPlan::scan(7);
+        let eps = Pattern::empty();
+        let err = execute_batch(&spec, &tables, &[&bad], &[&eps], 4.0).unwrap_err();
+        assert!(matches!(err, PlanError::UnknownTable { table: 7, .. }));
+    }
+}

@@ -1,0 +1,532 @@
+//! # gcm-service — a cache-contention-aware query service
+//!
+//! The paper's `⊙` operator (§5.2, Eq 5.3) prices access patterns that
+//! *coexist* in one cache hierarchy. PR 3 applied it to the threads of
+//! a single query; this crate applies it **between queries**: a
+//! concurrent service that accepts logical plans over registered
+//! relations and lets the cost model itself decide how the machine is
+//! shared. Three cooperating components:
+//!
+//! * a **plan cache** ([`cache::PlanCache`]) memoizing
+//!   [`optimize_and_lower`] per (plan fingerprint, statistics epoch) —
+//!   statistics drift past the [`StatsCatalog`] threshold bumps the
+//!   epoch and forces re-optimization;
+//! * a **⊙-priced admission controller** ([`admission`]) that greedily
+//!   forms the next batch from the pending queue, admitting a query
+//!   only while the `⊙`-composed batch wall time
+//!   ([`gcm_core::CostModel::batch_cost`]) beats appending the query
+//!   serially — the model decides the concurrency degree across
+//!   queries exactly the way the optimizer decides DOP within one;
+//! * an **executor pool** ([`executor`]) of [`std::thread::scope`]
+//!   workers, each running one admitted query over its own simulated
+//!   hierarchy view, reporting per-query latency and
+//!   predicted-vs-measured error into [`ServiceMetrics`].
+//!
+//! ```
+//! use gcm_engine::plan::LogicalPlan;
+//! use gcm_hardware::presets;
+//! use gcm_service::QueryService;
+//! use gcm_workload::Workload;
+//!
+//! let mut svc = QueryService::new(presets::modern_smp(4));
+//! let mut wl = Workload::new(7);
+//! let star = wl.star_scenario(4_000, 512, 1);
+//! let fact = svc.register_table("F", star.fact, 8);
+//! let dim = svc.register_table("D", star.dims[0].clone(), 8);
+//!
+//! // Two scans and a join land in the queue...
+//! for cut in [128, 256] {
+//!     svc.submit(LogicalPlan::scan(fact).select_lt(cut).group_count())
+//!         .unwrap();
+//! }
+//! svc.submit(
+//!     LogicalPlan::scan(fact)
+//!         .select_lt(256)
+//!         .join(LogicalPlan::scan(dim))
+//!         .group_count(),
+//! )
+//! .unwrap();
+//!
+//! // ...and the service batches and executes them.
+//! svc.run().unwrap();
+//! let m = svc.metrics();
+//! assert_eq!(m.queries.len(), 3);
+//! assert!(m.total_wall_ns() > 0.0);
+//! ```
+
+pub mod admission;
+pub mod cache;
+pub mod executor;
+pub mod metrics;
+pub mod mix;
+
+pub use admission::{AdmissionConfig, BatchDecision};
+pub use cache::{PlanCache, PlanKey};
+pub use executor::{ExecutedQuery, TableData};
+pub use metrics::{BatchRecord, QueryRecord, ServiceMetrics};
+pub use mix::{plan_for, TenantTables};
+
+use gcm_core::{CostModel, CpuCost};
+use gcm_engine::plan::{
+    catalog::DEFAULT_DRIFT_THRESHOLD, optimize_and_lower, optimizer::DEFAULT_THREAD_SPAWN_NS,
+    LogicalPlan, PhysicalPlan, PlanError, PlannedQuery, StatsCatalog, TableStats,
+};
+use gcm_hardware::HardwareSpec;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Service knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Hard cap on batch size; 0 means "the machine's core count".
+    pub max_batch: usize,
+    /// CPU calibration: nanoseconds per logical operation (used both
+    /// for predictions and for scoring measured runs, Eq 6.1).
+    pub per_op_ns: f64,
+    /// Per-worker dispatch charge, ns (see [`AdmissionConfig`]).
+    pub dispatch_ns: f64,
+    /// Statistics drift fraction beyond which cached plans go stale
+    /// (see [`StatsCatalog`]).
+    pub drift_threshold: f64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            max_batch: 0,
+            per_op_ns: CpuCost::DEFAULT_PLANNER_PER_OP_NS,
+            dispatch_ns: DEFAULT_THREAD_SPAWN_NS,
+            drift_threshold: DEFAULT_DRIFT_THRESHOLD,
+        }
+    }
+}
+
+/// One pending (optimized, not yet executed) query.
+#[derive(Debug, Clone)]
+struct Pending {
+    id: u64,
+    plan: LogicalPlan,
+    planned: Arc<PlannedQuery>,
+}
+
+/// An admitted batch, ready to execute. Produced by
+/// [`QueryService::next_batch`], consumed by
+/// [`QueryService::execute_batch`].
+#[derive(Debug, Clone)]
+pub struct Batch {
+    entries: Vec<Pending>,
+    /// Predicted wall time (⊙-composed slowest member + dispatch), ns.
+    pub predicted_wall_ns: f64,
+    /// Predicted serial fallback for the same members, ns.
+    pub predicted_serial_ns: f64,
+    per_query_ns: Vec<f64>,
+}
+
+impl Batch {
+    /// Number of member queries.
+    pub fn size(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Member query ids, in batch order.
+    pub fn ids(&self) -> Vec<u64> {
+        self.entries.iter().map(|p| p.id).collect()
+    }
+
+    /// Member physical plans, in batch order.
+    pub fn plans(&self) -> Vec<&PhysicalPlan> {
+        self.entries.iter().map(|p| &p.planned.plan).collect()
+    }
+
+    /// Predicted batching speedup over serial execution (1.0 for a
+    /// singleton).
+    pub fn predicted_speedup(&self) -> f64 {
+        if self.predicted_wall_ns > 0.0 {
+            self.predicted_serial_ns / self.predicted_wall_ns
+        } else {
+            1.0
+        }
+    }
+}
+
+/// The query service: registered relations on one shared machine, a
+/// plan cache, the ⊙-priced batch scheduler, and the executor pool.
+/// See the [crate docs](crate) for the architecture.
+#[derive(Debug)]
+pub struct QueryService {
+    spec: HardwareSpec,
+    /// Prices batches: the shared machine with its `Sharing`
+    /// attributes (the `⊙`-across-cores rule needs them).
+    batch_model: CostModel,
+    /// Prices and optimizes single plans: one core's full-capacity
+    /// view. The service spends its concurrency budget *across*
+    /// queries, so plans are optimized serial (one core per query).
+    plan_model: CostModel,
+    catalog: StatsCatalog,
+    tables: Vec<Arc<TableData>>,
+    cache: Arc<PlanCache>,
+    queue: VecDeque<Pending>,
+    cfg: ServiceConfig,
+    next_id: u64,
+    metrics: ServiceMetrics,
+}
+
+impl QueryService {
+    /// A service on the given machine with the default configuration.
+    pub fn new(spec: HardwareSpec) -> QueryService {
+        QueryService::with_config(spec, ServiceConfig::default())
+    }
+
+    /// A service with explicit knobs.
+    pub fn with_config(spec: HardwareSpec, cfg: ServiceConfig) -> QueryService {
+        let plan_model = CostModel::new(spec.thread_view(1));
+        let batch_model = CostModel::new(spec.clone());
+        QueryService {
+            spec,
+            batch_model,
+            plan_model,
+            catalog: StatsCatalog::new(Vec::new()).with_drift_threshold(cfg.drift_threshold),
+            tables: Vec::new(),
+            cache: Arc::new(PlanCache::new()),
+            queue: VecDeque::new(),
+            cfg,
+            next_id: 0,
+            metrics: ServiceMetrics::default(),
+        }
+    }
+
+    /// Register a relation (a key column of `w`-byte tuples), deriving
+    /// its [`TableStats`] from the data. Returns the catalog index
+    /// submitted plans reference.
+    pub fn register_table(&mut self, name: &str, keys: Vec<u64>, w: u64) -> usize {
+        let stats = derive_stats(&keys, w);
+        let idx = self.catalog.push(stats);
+        self.tables.push(Arc::new(TableData {
+            name: name.to_string(),
+            keys,
+            w,
+        }));
+        idx
+    }
+
+    /// Replace a registered relation's data, refreshing its statistics.
+    /// Returns `true` when the stats drifted past the threshold and
+    /// bumped the epoch (stale plan-cache entries are retired).
+    pub fn update_table(&mut self, idx: usize, keys: Vec<u64>) -> bool {
+        let w = self.tables[idx].w;
+        let stats = derive_stats(&keys, w);
+        self.tables[idx] = Arc::new(TableData {
+            name: self.tables[idx].name.clone(),
+            keys,
+            w,
+        });
+        let bumped = self.catalog.update(idx, stats);
+        if bumped {
+            self.cache.retire_epochs_before(self.catalog.epoch());
+        }
+        bumped
+    }
+
+    /// Submit a logical plan: optimize it (through the plan cache) and
+    /// append it to the pending queue. Returns the query id.
+    pub fn submit(&mut self, plan: LogicalPlan) -> Result<u64, PlanError> {
+        let key = (plan.fingerprint(), self.catalog.epoch());
+        let planned = self.cache.get_or_optimize(key, &plan, || {
+            optimize_and_lower(&self.plan_model, &plan, self.catalog.tables())
+        })?;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue.push_back(Pending { id, plan, planned });
+        Ok(id)
+    }
+
+    /// Number of queries waiting for admission.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Ask the admission controller for the next batch, removing the
+    /// admitted queries from the queue. `None` when the queue is empty.
+    /// The decision is pure pricing — callers may inspect the batch
+    /// (sizes, predicted times) without executing it.
+    pub fn next_batch(&mut self) -> Option<Batch> {
+        let candidates: Vec<admission::Candidate<'_>> = self
+            .queue
+            .iter()
+            .map(|p| admission::Candidate {
+                pattern: &p.planned.pattern,
+                cpu_ns: p.planned.cpu_ns,
+            })
+            .collect();
+        let cfg = AdmissionConfig {
+            max_batch: if self.cfg.max_batch == 0 {
+                self.spec.cores() as usize
+            } else {
+                self.cfg.max_batch
+            },
+            dispatch_ns: self.cfg.dispatch_ns,
+        };
+        let decision = admission::next_batch(&self.batch_model, &candidates, &cfg)?;
+        // `admitted` is strictly ascending (queue scan order): remove
+        // back to front so earlier indices stay valid, then restore
+        // admission order.
+        let mut entries: Vec<Pending> = decision
+            .admitted
+            .iter()
+            .rev()
+            .map(|&idx| self.queue.remove(idx).expect("admitted index in queue"))
+            .collect();
+        entries.reverse();
+        Some(Batch {
+            entries,
+            predicted_wall_ns: decision.predicted_wall_ns,
+            predicted_serial_ns: decision.predicted_serial_ns,
+            per_query_ns: decision.per_query_ns,
+        })
+    }
+
+    /// Execute an admitted batch on the worker pool and record its
+    /// metrics. Returns the index of the new
+    /// [`BatchRecord`](ServiceMetrics::batches).
+    pub fn execute_batch(&mut self, batch: Batch) -> Result<usize, PlanError> {
+        let patterns: Vec<&gcm_core::Pattern> =
+            batch.entries.iter().map(|p| &p.planned.pattern).collect();
+        let runs = executor::execute_batch(
+            &self.spec,
+            &self.tables,
+            &batch.plans(),
+            &patterns,
+            self.cfg.per_op_ns,
+        )?;
+        let batch_idx = self.metrics.batches.len();
+        // The simulator cannot measure dispatch (it is host-side thread
+        // bring-up, not simulated memory traffic), so the batch wall
+        // carries the same per-worker constant the admission predicate
+        // charged — both sides account dispatch identically and the
+        // accuracy ratio reflects model quality, not bookkeeping.
+        let measured_wall_ns = runs.iter().map(|r| r.measured_ns).fold(0.0, f64::max)
+            + self.cfg.dispatch_ns * batch.size() as f64;
+        for ((pending, run), predicted_ns) in
+            batch.entries.iter().zip(&runs).zip(&batch.per_query_ns)
+        {
+            self.metrics.queries.push(QueryRecord {
+                id: pending.id,
+                plan: pending.plan.to_string(),
+                batch: batch_idx,
+                predicted_ns: *predicted_ns,
+                measured_ns: run.measured_ns,
+                output_n: run.output_n,
+            });
+        }
+        self.metrics.batches.push(BatchRecord {
+            ids: batch.ids(),
+            predicted_wall_ns: batch.predicted_wall_ns,
+            predicted_serial_ns: batch.predicted_serial_ns,
+            measured_wall_ns,
+        });
+        self.sync_cache_counters();
+        Ok(batch_idx)
+    }
+
+    /// Drain the queue: form and execute batches until nothing is
+    /// pending.
+    pub fn run(&mut self) -> Result<(), PlanError> {
+        while let Some(batch) = self.next_batch() {
+            self.execute_batch(batch)?;
+        }
+        self.sync_cache_counters();
+        Ok(())
+    }
+
+    /// The accumulated report.
+    pub fn metrics(&mut self) -> &ServiceMetrics {
+        self.sync_cache_counters();
+        &self.metrics
+    }
+
+    /// The shared plan cache.
+    pub fn cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    /// The statistics catalog (epoch, per-table stats).
+    pub fn catalog(&self) -> &StatsCatalog {
+        &self.catalog
+    }
+
+    /// The machine the service runs on.
+    pub fn spec(&self) -> &HardwareSpec {
+        &self.spec
+    }
+
+    fn sync_cache_counters(&mut self) {
+        self.metrics.cache_hits = self.cache.hits();
+        self.metrics.cache_misses = self.cache.misses();
+        self.metrics.optimizer_runs = self.cache.optimizer_runs();
+    }
+}
+
+/// Derive a relation's [`TableStats`] from its actual key column — the
+/// service's statistics collector (exact, since the data is at hand).
+pub fn derive_stats(keys: &[u64], w: u64) -> TableStats {
+    let n = keys.len() as u64;
+    let key_bound = keys.iter().copied().max().map_or(1, |m| m + 1);
+    let distinct = {
+        let mut seen = std::collections::HashSet::with_capacity(keys.len());
+        keys.iter().filter(|k| seen.insert(**k)).count() as f64
+    };
+    let sorted = keys.windows(2).all(|p| p[0] <= p[1]);
+    TableStats {
+        n,
+        w,
+        key_bound,
+        distinct,
+        sorted,
+        region: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcm_hardware::presets;
+    use gcm_workload::Workload;
+
+    fn service() -> QueryService {
+        let mut svc = QueryService::new(presets::tiny_smp(4));
+        let mut wl = Workload::new(42);
+        let star = wl.star_scenario(3_000, 500, 1);
+        svc.register_table("F", star.fact, 8);
+        svc.register_table("D", star.dims[0].clone(), 8);
+        svc
+    }
+
+    #[test]
+    fn derive_stats_reads_the_data() {
+        let s = derive_stats(&[3, 1, 4, 1, 5], 8);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.key_bound, 6);
+        assert_eq!(s.distinct, 4.0);
+        assert!(!s.sorted);
+        let sorted = derive_stats(&[1, 2, 3], 16);
+        assert!(sorted.sorted);
+        assert_eq!(sorted.w, 16);
+        let empty = derive_stats(&[], 8);
+        assert_eq!(empty.key_bound, 1);
+    }
+
+    #[test]
+    fn submit_caches_repeated_plans() {
+        let mut svc = service();
+        let plan = LogicalPlan::scan(0).select_lt(100).group_count();
+        for _ in 0..5 {
+            svc.submit(plan.clone()).unwrap();
+        }
+        assert_eq!(svc.queue_len(), 5);
+        assert_eq!(svc.cache().optimizer_runs(), 1);
+        assert_eq!(svc.cache().hits(), 4);
+    }
+
+    #[test]
+    fn run_drains_the_queue_and_records_metrics() {
+        let mut svc = service();
+        for cut in [100, 200, 100, 200] {
+            svc.submit(LogicalPlan::scan(0).select_lt(cut).group_count())
+                .unwrap();
+        }
+        svc.run().unwrap();
+        assert_eq!(svc.queue_len(), 0);
+        let m = svc.metrics();
+        assert_eq!(m.queries.len(), 4);
+        assert!(!m.batches.is_empty());
+        assert!((m.hit_rate() - 0.5).abs() < 1e-9);
+        // Ids cover every submission exactly once.
+        let mut ids: Vec<u64> = m.queries.iter().map(|q| q.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        // Measured latencies are real.
+        assert!(m.queries.iter().all(|q| q.measured_ns > 0.0));
+    }
+
+    #[test]
+    fn scan_mix_batches_above_one() {
+        let mut svc = service();
+        // Four identical broad scans: streaming footprints must batch.
+        for _ in 0..4 {
+            svc.submit(LogicalPlan::scan(0).select_lt(400).group_count())
+                .unwrap();
+        }
+        let batch = svc.next_batch().unwrap();
+        assert!(batch.size() > 1, "scan batch size {}", batch.size());
+        assert!(batch.predicted_speedup() > 1.0);
+        svc.execute_batch(batch).unwrap();
+        assert!(svc.metrics().max_batch_size() > 1);
+    }
+
+    #[test]
+    fn stats_drift_retires_cached_plans() {
+        let mut svc = service();
+        let plan = LogicalPlan::scan(0).select_lt(100).group_count();
+        svc.submit(plan.clone()).unwrap();
+        assert_eq!(svc.cache().optimizer_runs(), 1);
+        // Small drift: same epoch, cache still hot.
+        let mut wl = Workload::new(43);
+        let same = wl.star_scenario(3_100, 500, 1);
+        assert!(!svc.update_table(0, same.fact));
+        svc.submit(plan.clone()).unwrap();
+        assert_eq!(svc.cache().optimizer_runs(), 1);
+        // Past-threshold drift: epoch bumps, next submit re-optimizes.
+        let big = wl.star_scenario(9_000, 500, 1);
+        assert!(svc.update_table(0, big.fact));
+        assert_eq!(svc.catalog().epoch(), 1);
+        svc.submit(plan).unwrap();
+        assert_eq!(svc.cache().optimizer_runs(), 2);
+        svc.run().unwrap();
+    }
+
+    #[test]
+    fn unknown_table_submission_errors() {
+        let mut svc = service();
+        let err = svc.submit(LogicalPlan::scan(5)).unwrap_err();
+        assert!(matches!(err, PlanError::UnknownTable { table: 5, .. }));
+        assert_eq!(svc.queue_len(), 0);
+    }
+
+    #[test]
+    fn results_match_between_batched_and_serial_scheduling() {
+        // The same queue drained with batching and with max_batch 1
+        // must produce identical per-query outputs.
+        let run_with = |max_batch: usize| -> Vec<(u64, u64)> {
+            let mut svc = QueryService::with_config(
+                presets::tiny_smp(4),
+                ServiceConfig {
+                    max_batch,
+                    ..ServiceConfig::default()
+                },
+            );
+            let mut wl = Workload::new(44);
+            let star = wl.star_scenario(2_000, 400, 1);
+            svc.register_table("F", star.fact, 8);
+            svc.register_table("D", star.dims[0].clone(), 8);
+            for cut in [50, 150, 250] {
+                svc.submit(
+                    LogicalPlan::scan(0)
+                        .select_lt(cut)
+                        .join(LogicalPlan::scan(1))
+                        .group_count(),
+                )
+                .unwrap();
+            }
+            svc.run().unwrap();
+            let mut out: Vec<(u64, u64)> = svc
+                .metrics()
+                .queries
+                .iter()
+                .map(|q| (q.id, q.output_n))
+                .collect();
+            out.sort_unstable();
+            out
+        };
+        assert_eq!(run_with(4), run_with(1));
+    }
+}

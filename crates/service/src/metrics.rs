@@ -1,0 +1,193 @@
+//! Service telemetry: per-query latency, per-batch accuracy, and
+//! plan-cache effectiveness.
+
+use std::fmt;
+
+/// One executed query's record.
+#[derive(Debug, Clone)]
+pub struct QueryRecord {
+    /// The id [`crate::QueryService::submit`] returned.
+    pub id: u64,
+    /// The logical plan (display form).
+    pub plan: String,
+    /// Index into [`ServiceMetrics::batches`] of the batch it ran in.
+    pub batch: usize,
+    /// Predicted latency inside its batch (⊙-composed memory + CPU),
+    /// ns.
+    pub predicted_ns: f64,
+    /// Measured latency (charged memory + per-op CPU), ns.
+    pub measured_ns: f64,
+    /// Output cardinality.
+    pub output_n: u64,
+}
+
+impl QueryRecord {
+    /// Relative prediction error `|measured − predicted| / measured`.
+    pub fn error(&self) -> f64 {
+        (self.measured_ns - self.predicted_ns).abs() / self.measured_ns.max(1.0)
+    }
+}
+
+/// One executed batch's record.
+#[derive(Debug, Clone)]
+pub struct BatchRecord {
+    /// Ids of the member queries.
+    pub ids: Vec<u64>,
+    /// Predicted batch wall time, ns.
+    pub predicted_wall_ns: f64,
+    /// Predicted serial fallback for the same members, ns.
+    pub predicted_serial_ns: f64,
+    /// Measured batch wall time: the slowest member plus the same
+    /// per-worker dispatch constant the prediction charges (dispatch is
+    /// host-side thread bring-up the simulator cannot see; charging it
+    /// on both sides keeps [`BatchRecord::accuracy`] about the model),
+    /// ns.
+    pub measured_wall_ns: f64,
+}
+
+impl BatchRecord {
+    /// Number of member queries.
+    pub fn size(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `measured / predicted` wall-time ratio (1.0 is a perfect
+    /// prediction).
+    pub fn accuracy(&self) -> f64 {
+        self.measured_wall_ns / self.predicted_wall_ns.max(1.0)
+    }
+}
+
+/// The service's accumulated report.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceMetrics {
+    /// Every executed query, in execution order.
+    pub queries: Vec<QueryRecord>,
+    /// Every executed batch, in execution order.
+    pub batches: Vec<BatchRecord>,
+    /// Plan-cache hits among all submissions so far.
+    pub cache_hits: u64,
+    /// Plan-cache misses among all submissions so far.
+    pub cache_misses: u64,
+    /// Times the optimizer actually ran.
+    pub optimizer_runs: u64,
+}
+
+impl ServiceMetrics {
+    /// Plan-cache hit fraction (0 when nothing was submitted).
+    pub fn hit_rate(&self) -> f64 {
+        let total = (self.cache_hits + self.cache_misses) as f64;
+        if total > 0.0 {
+            self.cache_hits as f64 / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Largest executed batch (0 when nothing ran).
+    pub fn max_batch_size(&self) -> usize {
+        self.batches
+            .iter()
+            .map(BatchRecord::size)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean relative per-query prediction error.
+    pub fn mean_query_error(&self) -> f64 {
+        if self.queries.is_empty() {
+            return 0.0;
+        }
+        self.queries.iter().map(QueryRecord::error).sum::<f64>() / self.queries.len() as f64
+    }
+
+    /// Total measured wall time across all batches, ns — the queue's
+    /// elapsed service time.
+    pub fn total_wall_ns(&self) -> f64 {
+        self.batches.iter().map(|b| b.measured_wall_ns).sum()
+    }
+
+    /// Sum of the predicted serial fallbacks, ns — what the queue would
+    /// have cost without batching, by the model's account.
+    pub fn predicted_serial_total_ns(&self) -> f64 {
+        self.batches.iter().map(|b| b.predicted_serial_ns).sum()
+    }
+}
+
+impl fmt::Display for ServiceMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "queries {}  batches {}  max batch {}  cache hit rate {:.0}%  optimizer runs {}",
+            self.queries.len(),
+            self.batches.len(),
+            self.max_batch_size(),
+            self.hit_rate() * 100.0,
+            self.optimizer_runs,
+        )?;
+        write!(
+            f,
+            "measured wall {:.2} ms  predicted-serial {:.2} ms  mean query error {:.0}%",
+            self.total_wall_ns() / 1e6,
+            self.predicted_serial_total_ns() / 1e6,
+            self.mean_query_error() * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(predicted: f64, measured: f64) -> QueryRecord {
+        QueryRecord {
+            id: 0,
+            plan: "scan(0)".into(),
+            batch: 0,
+            predicted_ns: predicted,
+            measured_ns: measured,
+            output_n: 1,
+        }
+    }
+
+    #[test]
+    fn rates_and_errors() {
+        let m = ServiceMetrics {
+            queries: vec![record(100.0, 125.0), record(200.0, 160.0)],
+            batches: vec![
+                BatchRecord {
+                    ids: vec![1, 2],
+                    predicted_wall_ns: 200.0,
+                    predicted_serial_ns: 300.0,
+                    measured_wall_ns: 220.0,
+                },
+                BatchRecord {
+                    ids: vec![3],
+                    predicted_wall_ns: 50.0,
+                    predicted_serial_ns: 50.0,
+                    measured_wall_ns: 40.0,
+                },
+            ],
+            cache_hits: 3,
+            cache_misses: 1,
+            optimizer_runs: 1,
+        };
+        assert!((m.hit_rate() - 0.75).abs() < 1e-9);
+        assert_eq!(m.max_batch_size(), 2);
+        // Errors: |125−100|/125 = 0.2 and |160−200|/160 = 0.25.
+        assert!((m.mean_query_error() - 0.225).abs() < 1e-9);
+        assert!((m.total_wall_ns() - 260.0).abs() < 1e-9);
+        assert!((m.predicted_serial_total_ns() - 350.0).abs() < 1e-9);
+        assert!((m.batches[0].accuracy() - 1.1).abs() < 1e-9);
+        let s = m.to_string();
+        assert!(s.contains("hit rate 75%"), "{s}");
+    }
+
+    #[test]
+    fn empty_metrics_are_calm() {
+        let m = ServiceMetrics::default();
+        assert_eq!(m.hit_rate(), 0.0);
+        assert_eq!(m.max_batch_size(), 0);
+        assert_eq!(m.mean_query_error(), 0.0);
+    }
+}

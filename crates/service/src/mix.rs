@@ -1,0 +1,131 @@
+//! Mapping multi-tenant query requests onto logical plans.
+//!
+//! [`gcm_workload::Workload::query_mix`] generates *shapes* — tenant,
+//! class, quantized selectivity — without knowing any catalog. This
+//! module binds a request to one tenant's registered tables, producing
+//! the [`LogicalPlan`] the service optimizes and executes. Because the
+//! selectivities are quantized, a 50-query mix maps onto a handful of
+//! distinct plans, which is exactly the workload a plan cache serves
+//! from warm entries.
+
+use gcm_engine::plan::LogicalPlan;
+use gcm_workload::{QueryRequest, TenantClass};
+
+/// One tenant's slice of the service catalog.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantTables {
+    /// Catalog index of the tenant's fact table.
+    pub fact: usize,
+    /// Catalog index of the tenant's dimension table.
+    pub dim: usize,
+    /// Exclusive upper bound of the tenant's key domain (selectivities
+    /// scale against it).
+    pub key_bound: u64,
+}
+
+/// The `key < threshold` cut-off keeping `selectivity` of the domain
+/// (at least 1, so a point lookup still selects something).
+fn threshold(selectivity: f64, key_bound: u64) -> u64 {
+    ((selectivity.clamp(0.0, 1.0) * key_bound as f64).round() as u64).max(1)
+}
+
+/// Bind one request to its tenant's tables.
+///
+/// * [`PointLookup`](TenantClass::PointLookup): a sliver-selective
+///   probe of the dimension table.
+/// * [`ScanHeavy`](TenantClass::ScanHeavy): a broad fact-table sweep
+///   with a grouped count on top.
+/// * [`JoinHeavy`](TenantClass::JoinHeavy): σ(fact) ⋈ dimension with a
+///   grouped count — the shape whose build/aggregate footprints contend
+///   for the shared cache level.
+pub fn plan_for(req: &QueryRequest, t: &TenantTables) -> LogicalPlan {
+    let cut = threshold(req.selectivity, t.key_bound);
+    match req.class {
+        TenantClass::PointLookup => LogicalPlan::scan(t.dim).select_lt(cut),
+        TenantClass::ScanHeavy => LogicalPlan::scan(t.fact).select_lt(cut).group_count(),
+        TenantClass::JoinHeavy => LogicalPlan::scan(t.fact)
+            .select_lt(cut)
+            .join(LogicalPlan::scan(t.dim))
+            .group_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tables() -> TenantTables {
+        TenantTables {
+            fact: 0,
+            dim: 1,
+            key_bound: 1_000,
+        }
+    }
+
+    #[test]
+    fn classes_map_to_their_shapes() {
+        let t = tables();
+        let point = plan_for(
+            &QueryRequest {
+                tenant: 0,
+                class: TenantClass::PointLookup,
+                selectivity: 0.002,
+            },
+            &t,
+        );
+        assert_eq!(point.to_string(), "select_lt<2>(scan(1))");
+        let scan = plan_for(
+            &QueryRequest {
+                tenant: 1,
+                class: TenantClass::ScanHeavy,
+                selectivity: 0.5,
+            },
+            &t,
+        );
+        assert_eq!(scan.to_string(), "group_count(select_lt<500>(scan(0)))");
+        let join = plan_for(
+            &QueryRequest {
+                tenant: 2,
+                class: TenantClass::JoinHeavy,
+                selectivity: 0.25,
+            },
+            &t,
+        );
+        assert_eq!(join.joins(), 1);
+        assert_eq!(join.max_table(), Some(1));
+    }
+
+    #[test]
+    fn point_lookups_never_select_nothing() {
+        let t = TenantTables {
+            fact: 0,
+            dim: 1,
+            key_bound: 10,
+        };
+        let q = plan_for(
+            &QueryRequest {
+                tenant: 0,
+                class: TenantClass::PointLookup,
+                selectivity: 0.002,
+            },
+            &t,
+        );
+        assert_eq!(q.to_string(), "select_lt<1>(scan(1))");
+    }
+
+    #[test]
+    fn equal_requests_fingerprint_equal() {
+        // The plan-cache precondition: a repeated (tenant, class,
+        // bucket) triple must map to the identical plan.
+        let t = tables();
+        let req = QueryRequest {
+            tenant: 2,
+            class: TenantClass::JoinHeavy,
+            selectivity: 0.25,
+        };
+        assert_eq!(
+            plan_for(&req, &t).fingerprint(),
+            plan_for(&req, &t).fingerprint()
+        );
+    }
+}

@@ -15,7 +15,7 @@ pub enum AccessOutcome {
     /// The line was not resident and has been installed; `sequential` is
     /// true when the missed line is the successor of the previously missed
     /// line (the EDO-friendly stream of §2.2), `class` is the optional
-    /// \[HS89\] classification.
+    /// `[HS89]` classification.
     Miss {
         sequential: bool,
         class: Option<MissClass>,
@@ -57,7 +57,7 @@ pub struct SimCache {
     /// follows one of these heads is classified sequential (§2.2 EDO).
     stream_heads: [u64; STREAMS],
     next_stream: usize,
-    /// Shadow structures for \[HS89\] classification (enabled on demand):
+    /// Shadow structures for `[HS89]` classification (enabled on demand):
     /// every line ever seen (compulsory detection) and a fully-associative
     /// LRU of the same capacity (capacity vs. conflict detection).
     shadow: Option<Shadow>,
@@ -101,7 +101,7 @@ impl SimCache {
         }
     }
 
-    /// Enable \[HS89\] miss classification (costs an extra shadow lookup per
+    /// Enable `[HS89]` miss classification (costs an extra shadow lookup per
     /// access).
     pub fn with_classification(mut self) -> Self {
         let lines = self.level.lines().max(1) as usize;

@@ -19,7 +19,7 @@
 //!   behaviour is measured.
 //! * [`stats::LevelStats`] — the counter set corresponding to the paper's
 //!   "exact number of cache and TLB misses" measurements (§6.1), extended
-//!   with the compulsory/capacity/conflict classification of \[HS89\] (§2.1).
+//!   with the compulsory/capacity/conflict classification of `[HS89]` (§2.1).
 //!
 //! The simulator is intentionally single-threaded: miss counts are exactly
 //! reproducible, which the validation experiments rely on.

@@ -76,7 +76,7 @@ impl MemorySystem {
         Self::build(spec, false)
     }
 
-    /// Build a memory system with \[HS89\] compulsory/capacity/conflict
+    /// Build a memory system with `[HS89]` compulsory/capacity/conflict
     /// classification enabled (slower; used by the miss-taxonomy
     /// experiments).
     pub fn with_classification(spec: HardwareSpec) -> Self {

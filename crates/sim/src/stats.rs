@@ -4,7 +4,7 @@
 use std::fmt;
 use std::ops::Sub;
 
-/// The \[HS89\] miss taxonomy referenced by the paper's §2.1.
+/// The `[HS89]` miss taxonomy referenced by the paper's §2.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MissClass {
     /// First-ever reference to a line.
@@ -38,7 +38,7 @@ pub struct LevelStats {
     pub seq_misses: u64,
     /// All other misses; charged random latency.
     pub rand_misses: u64,
-    /// \[HS89\] classification (only populated when the memory system is
+    /// `[HS89]` classification (only populated when the memory system is
     /// built with classification enabled).
     pub compulsory: u64,
     /// See [`MissClass::Capacity`].

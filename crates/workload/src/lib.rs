@@ -135,6 +135,38 @@ impl Workload {
         }
     }
 
+    /// A multi-tenant query mix: `n` query requests, each owned by one
+    /// of the `tenants` (drawn Zipf-skewed with exponent `theta`, so
+    /// tenant 0 is the hottest — the arrival pattern of a service where
+    /// a few tenants dominate traffic). Each request carries its
+    /// tenant's [`TenantClass`] and a selectivity drawn from the
+    /// class's small *quantized* bucket set — real services see the
+    /// same parameterised query shapes over and over, which is what
+    /// makes a plan cache pay off.
+    pub fn query_mix(
+        &mut self,
+        n: usize,
+        tenants: &[TenantClass],
+        theta: f64,
+    ) -> Vec<QueryRequest> {
+        assert!(!tenants.is_empty(), "need at least one tenant");
+        let owners = self.zipf_keys(n, tenants.len() as u64, theta);
+        owners
+            .into_iter()
+            .map(|t| {
+                let tenant = t as usize;
+                let class = tenants[tenant];
+                let buckets = class.selectivity_buckets();
+                let selectivity = buckets[self.rng.next_below(buckets.len() as u64) as usize];
+                QueryRequest {
+                    tenant,
+                    class,
+                    selectivity,
+                }
+            })
+            .collect()
+    }
+
     /// Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
@@ -157,6 +189,51 @@ impl Workload {
             .map(|_| self.rng.next_below(bound) as usize)
             .collect()
     }
+}
+
+/// A tenant's workload profile in a multi-tenant query mix (see
+/// [`Workload::query_mix`]): what shape of query the tenant sends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TenantClass {
+    /// Highly selective single-table probes (σ keeping a sliver of the
+    /// key domain): tiny footprints, the classic cache-friendly OLTP
+    /// shape.
+    PointLookup,
+    /// Broad single-table sweeps with an aggregate on top: streaming
+    /// footprints that batch almost freely.
+    ScanHeavy,
+    /// Fact ⋈ dimension joins with an aggregate: the build-table
+    /// footprints that contend for the shared cache level.
+    JoinHeavy,
+}
+
+impl TenantClass {
+    /// The class's quantized selectivity buckets. Requests draw from a
+    /// deliberately small set so a service sees repeated plan shapes
+    /// (the plan-cache workload); the values parameterise the
+    /// `key < threshold` predicate via
+    /// [`StarScenario::threshold`]-style scaling.
+    pub fn selectivity_buckets(&self) -> &'static [f64] {
+        match self {
+            TenantClass::PointLookup => &[0.002, 0.01],
+            TenantClass::ScanHeavy => &[0.5, 1.0],
+            TenantClass::JoinHeavy => &[0.25, 0.5],
+        }
+    }
+}
+
+/// One query request of a multi-tenant mix (see
+/// [`Workload::query_mix`]): which tenant sent it, the tenant's query
+/// shape, and the request's (quantized) selectivity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// Index into the tenant list the mix was generated from.
+    pub tenant: usize,
+    /// The owning tenant's query shape.
+    pub class: TenantClass,
+    /// Fraction of the key domain the request's predicate keeps, drawn
+    /// from [`TenantClass::selectivity_buckets`].
+    pub selectivity: f64,
 }
 
 /// A star-style multi-table scenario (see [`Workload::star_scenario`]):
@@ -326,6 +403,45 @@ mod tests {
         let flat = Workload::new(25).skewed_star_scenario(20_000, 1_000, 1, 0.0);
         let head = flat.fact.iter().filter(|&&k| k < 100).count();
         assert!((1_200..2_800).contains(&head), "head={head}");
+    }
+
+    #[test]
+    fn query_mix_shapes_and_skew() {
+        let tenants = [
+            TenantClass::PointLookup,
+            TenantClass::ScanHeavy,
+            TenantClass::JoinHeavy,
+        ];
+        let mut w = Workload::new(31);
+        let mix = w.query_mix(2_000, &tenants, 1.2);
+        assert_eq!(mix.len(), 2_000);
+        for q in &mix {
+            assert!(q.tenant < tenants.len());
+            assert_eq!(q.class, tenants[q.tenant]);
+            assert!(q.class.selectivity_buckets().contains(&q.selectivity));
+        }
+        // Zipf arrival skew: tenant 0 dominates.
+        let count = |t: usize| mix.iter().filter(|q| q.tenant == t).count();
+        assert!(count(0) > count(1) && count(1) > count(2), "skew missing");
+        // Every tenant still appears.
+        assert!(count(2) > 0);
+        // The distinct plan-shape space stays small (the plan-cache
+        // property): ≤ 2 buckets per class.
+        let distinct: std::collections::HashSet<(usize, u64)> = mix
+            .iter()
+            .map(|q| (q.tenant, q.selectivity.to_bits()))
+            .collect();
+        assert!(distinct.len() <= 2 * tenants.len(), "{}", distinct.len());
+    }
+
+    #[test]
+    fn query_mix_is_deterministic() {
+        let tenants = [TenantClass::ScanHeavy, TenantClass::JoinHeavy];
+        let a = Workload::new(5).query_mix(100, &tenants, 0.8);
+        let b = Workload::new(5).query_mix(100, &tenants, 0.8);
+        assert_eq!(a, b);
+        let c = Workload::new(6).query_mix(100, &tenants, 0.8);
+        assert_ne!(a, c);
     }
 
     #[test]

@@ -18,8 +18,13 @@
 //!   over simulated memory and describe themselves in the pattern language
 //!   (paper Table 2).
 //! * [`calibrate`] — the Calibrator: recovers the hardware parameters by
-//!   micro-benchmarking the memory hierarchy (paper §2.3 / \[MBK00b\]).
+//!   micro-benchmarking the memory hierarchy (paper §2.3 / `[MBK00b]`).
 //! * [`workload`] — deterministic data generators for the experiments.
+//! * [`service`] — the cache-contention-aware query service: a plan cache
+//!   keyed by (plan fingerprint, statistics epoch), a `⊙`-priced admission
+//!   controller that batches queries only when the composed patterns beat
+//!   serial execution, and a thread-pool executor over per-query simulated
+//!   hierarchy views.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
@@ -28,5 +33,6 @@ pub use gcm_calibrate as calibrate;
 pub use gcm_core as core;
 pub use gcm_engine as engine;
 pub use gcm_hardware as hardware;
+pub use gcm_service as service;
 pub use gcm_sim as sim;
 pub use gcm_workload as workload;

@@ -16,6 +16,7 @@ const EXAMPLES: &[&str] = &[
     "optimize_query",
     "parallel_query",
     "partition_tuning",
+    "serve_mixed_tenants",
     "calibrate_then_model",
 ];
 

@@ -44,7 +44,7 @@ proptest! {
             TableStats::key_column(dim_n as u64, 8, false),
         ];
         let plans = Optimizer::new(&model)
-            .with_cpu(CpuCost::per_op(DEFAULT_PLANNER_PER_OP_NS))
+            .with_cpu(CpuCost::default_planner())
             .with_beam(6)
             .enumerate(&logical, &stats)
             .expect("plans enumerate");

@@ -1,0 +1,201 @@
+//! The end-to-end service demo, pinned: a 50-query mixed-tenant queue
+//! on the modern 4-core SMP (plus its SSD-backed buffer pool — the §7
+//! unified shared level, where coexisting queries actually contend at
+//! this scale).
+//!
+//! Pinned claims (the acceptance criteria of the serving layer):
+//! * plan-cache hit rate ≥ 80% after warmup (six distinct plan shapes
+//!   serve all 50 requests);
+//! * the admission controller batches the scan/point mix above 1;
+//! * it backs off to serial when two join-heavy queries' composed
+//!   footprints would overrun the shared level;
+//! * measured batch wall-times stay within 40% of the ⊙ predictions.
+
+use gcm::engine::plan::LogicalPlan;
+use gcm::hardware::presets;
+use gcm::service::{mix, QueryService, ServiceMetrics, TenantTables};
+use gcm::workload::{TenantClass, Workload};
+
+const POOL_PAGES: u64 = 96;
+const PAGE: u64 = 8192;
+
+/// The demo machine: 4-core modern SMP, shared L3 and a 96-page SSD
+/// pool (sized so one heavy join's working set fits it, two don't —
+/// the same role the tiny preset's small caches play for operators).
+fn demo_spec() -> gcm::hardware::HardwareSpec {
+    presets::with_ssd_buffer_pool(presets::modern_smp(4), POOL_PAGES * PAGE, PAGE)
+}
+
+struct Demo {
+    svc: QueryService,
+    tenants: [TenantTables; 3],
+    join_fact: usize,
+    join_dim: usize,
+}
+
+fn demo() -> Demo {
+    let mut svc = QueryService::new(demo_spec());
+    let mut wl = Workload::new(2002);
+    let point_dim = svc.register_table("point.D", wl.shuffled_keys(65_536), 8);
+    let scan_star = wl.star_scenario(131_072, 2_048, 0);
+    let scan_fact = svc.register_table("scan.F", scan_star.fact, 8);
+    let join_star = wl.star_scenario(240_000, 16_000, 1);
+    let join_fact = svc.register_table("join.F", join_star.fact, 8);
+    let join_dim = svc.register_table("join.D", join_star.dims[0].clone(), 8);
+    Demo {
+        svc,
+        tenants: [
+            TenantTables {
+                fact: point_dim,
+                dim: point_dim,
+                key_bound: 65_536,
+            },
+            TenantTables {
+                fact: scan_fact,
+                dim: scan_fact,
+                key_bound: 2_048,
+            },
+            TenantTables {
+                fact: join_fact,
+                dim: join_dim,
+                key_bound: 16_000,
+            },
+        ],
+        join_fact,
+        join_dim,
+    }
+}
+
+const CLASSES: [TenantClass; 3] = [
+    TenantClass::PointLookup,
+    TenantClass::ScanHeavy,
+    TenantClass::JoinHeavy,
+];
+
+fn drain(d: &mut Demo) -> ServiceMetrics {
+    d.svc.run().expect("queue drains");
+    d.svc.metrics().clone()
+}
+
+#[test]
+fn fifty_query_mixed_tenant_queue_end_to_end() {
+    let mut d = demo();
+    let requests = Workload::new(2002).query_mix(50, &CLASSES, 1.1);
+    assert_eq!(requests.len(), 50);
+    // The mix genuinely exercises all three tenants.
+    for t in 0..3 {
+        assert!(requests.iter().any(|r| r.tenant == t), "tenant {t} absent");
+    }
+    for req in &requests {
+        let plan = mix::plan_for(req, &d.tenants[req.tenant]);
+        d.svc.submit(plan).expect("registered tables");
+    }
+    let m = drain(&mut d);
+    assert_eq!(m.queries.len(), 50);
+
+    // Plan-cache hit rate ≥ 80% after warmup: ≤ 2 selectivity buckets
+    // per tenant class means at most 6 cold optimizations.
+    assert!(m.optimizer_runs <= 6, "optimizer ran {}", m.optimizer_runs);
+    assert!(
+        m.hit_rate() >= 0.8,
+        "hit rate {:.2} below 80%",
+        m.hit_rate()
+    );
+
+    // The scan/point mix batches above 1 (up to the core budget).
+    assert!(m.max_batch_size() > 1, "no batching happened");
+    assert!(
+        m.max_batch_size() <= 4,
+        "batch exceeded the core budget: {}",
+        m.max_batch_size()
+    );
+
+    // Measured batch wall-times stay within 40% of the ⊙ predictions.
+    for b in &m.batches {
+        let acc = b.accuracy();
+        assert!(
+            (0.6..=1.4).contains(&acc),
+            "batch {:?} (size {}): measured {:.2} ms vs predicted {:.2} ms",
+            b.ids,
+            b.size(),
+            b.measured_wall_ns / 1e6,
+            b.predicted_wall_ns / 1e6
+        );
+    }
+
+    // Batching pays: the queue's measured elapsed time beats the
+    // model's serial account of the same batches.
+    assert!(
+        m.total_wall_ns() < m.predicted_serial_total_ns(),
+        "batched {:.1} ms vs serial {:.1} ms",
+        m.total_wall_ns() / 1e6,
+        m.predicted_serial_total_ns() / 1e6
+    );
+}
+
+#[test]
+fn two_heavy_joins_back_off_to_serial() {
+    // Two join-heavy queries whose grouped joins each fit the shared
+    // pool alone but not together: the ⊙-composed batch would thrash
+    // (every probe past the shrunken share pays the random page
+    // penalty), so the controller schedules them one after the other.
+    let mut d = demo();
+    let heavy = LogicalPlan::scan(d.join_fact)
+        .select_lt(8_000)
+        .join(LogicalPlan::scan(d.join_dim))
+        .group_count();
+    d.svc.submit(heavy.clone()).unwrap();
+    d.svc.submit(heavy).unwrap();
+    let first = d.svc.next_batch().expect("two pending");
+    assert_eq!(first.size(), 1, "heavy pair must not share the machine");
+    // The serial decision is the model's: a singleton prices at
+    // speedup 1, meaning no admissible composition beat it.
+    assert!((first.predicted_speedup() - 1.0).abs() < 1e-9);
+    let second = d.svc.next_batch().expect("one left");
+    assert_eq!(second.size(), 1);
+    assert!(d.svc.next_batch().is_none());
+
+    // The same two queries at a quarter of the selectivity fit the
+    // pool together and do batch — the backoff is capacity-driven,
+    // not shape-driven.
+    let light = LogicalPlan::scan(d.join_fact)
+        .select_lt(4_000)
+        .join(LogicalPlan::scan(d.join_dim))
+        .group_count();
+    d.svc.submit(light.clone()).unwrap();
+    d.svc.submit(light).unwrap();
+    let batch = d.svc.next_batch().expect("two pending");
+    assert_eq!(batch.size(), 2, "light pair should share the machine");
+    assert!(batch.predicted_speedup() > 1.5);
+}
+
+#[test]
+fn mixed_batch_admits_around_a_heavy_join() {
+    // One heavy join plus streaming queries: the streamers' footprints
+    // are a few pages, so they ride along on the other cores while the
+    // join keeps (nearly all of) the pool — batch of 4, no backoff.
+    let mut d = demo();
+    d.svc
+        .submit(mix::plan_for(
+            &gcm::workload::QueryRequest {
+                tenant: 1,
+                class: TenantClass::ScanHeavy,
+                selectivity: 0.5,
+            },
+            &d.tenants[1],
+        ))
+        .unwrap();
+    let heavy = LogicalPlan::scan(d.join_fact)
+        .select_lt(8_000)
+        .join(LogicalPlan::scan(d.join_dim))
+        .group_count();
+    d.svc.submit(heavy).unwrap();
+    for cut in [131, 655] {
+        d.svc
+            .submit(LogicalPlan::scan(d.tenants[0].dim).select_lt(cut))
+            .unwrap();
+    }
+    let batch = d.svc.next_batch().expect("four pending");
+    assert_eq!(batch.size(), 4, "mixed batch should fill the cores");
+    assert!(batch.predicted_speedup() > 1.0);
+}

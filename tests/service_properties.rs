@@ -1,0 +1,185 @@
+//! Plan-cache correctness properties (the gcm-service caching layer):
+//!
+//! * a cache hit returns exactly what a fresh optimization would have
+//!   produced (same physical plan, same predicted cost, same pattern);
+//! * statistics drift past the catalog threshold forces
+//!   re-optimization, small drift does not;
+//! * concurrent lookups of one key from the executor pool neither
+//!   deadlock nor double-optimize (single optimizer invocation per
+//!   key, asserted via the cache's run counter).
+
+use gcm::core::CostModel;
+use gcm::engine::plan::{optimize_and_lower, LogicalPlan, StatsCatalog, TableStats};
+use gcm::hardware::presets;
+use gcm::service::{PlanCache, QueryService};
+use gcm::workload::Workload;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A random star-ish logical plan over two tables plus matching stats.
+fn scenario(seed: u64) -> (LogicalPlan, Vec<TableStats>) {
+    let mut wl = Workload::new(seed);
+    let dim_n = 200 + wl.uniform_keys_bounded(1, 800)[0];
+    let fact_n = dim_n * (2 + wl.uniform_keys_bounded(1, 6)[0]);
+    let threshold = 1 + wl.uniform_keys_bounded(1, dim_n)[0];
+    let sorted = wl.uniform_keys_bounded(1, 2)[0] == 0;
+    let base = LogicalPlan::scan(0)
+        .select_lt(threshold)
+        .join(LogicalPlan::scan(1));
+    let plan = match wl.uniform_keys_bounded(1, 3)[0] {
+        0 => base.group_count(),
+        1 => base.sort(),
+        _ => base.dedup(),
+    };
+    let stats = vec![
+        TableStats::uniform(fact_n, 8, dim_n, false),
+        TableStats::key_column(dim_n, 8, sorted),
+    ];
+    (plan, stats)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// (a) Hits are indistinguishable from a fresh optimization.
+    #[test]
+    fn cache_hits_return_byte_identical_plans(seed in 0u64..1_000) {
+        let model = CostModel::new(presets::tiny_smp(2));
+        let (plan, stats) = scenario(seed);
+        let cache = PlanCache::new();
+        let key = (plan.fingerprint(), 0);
+        let cached = cache
+            .get_or_optimize(key, &plan, || optimize_and_lower(&model, &plan, &stats))
+            .unwrap();
+        let hit = cache
+            .get_or_optimize(key, &plan, || panic!("hit must not optimize"))
+            .unwrap();
+        let fresh = optimize_and_lower(&model, &plan, &stats).unwrap();
+        // The hit is the cached object itself...
+        prop_assert!(Arc::ptr_eq(&cached, &hit));
+        // ...and the cached object equals a fresh optimization bit for
+        // bit: same physical plan, same predicted numbers, same
+        // composed pattern (region identities are fresh per run, so
+        // compare the rendered pattern).
+        prop_assert_eq!(&fresh.plan, &hit.plan);
+        prop_assert_eq!(fresh.mem_ns, hit.mem_ns);
+        prop_assert_eq!(fresh.cpu_ns, hit.cpu_ns);
+        prop_assert_eq!(fresh.ops, hit.ops);
+        prop_assert_eq!(fresh.pattern.to_string(), hit.pattern.to_string());
+        prop_assert_eq!(cache.optimizer_runs(), 1);
+    }
+
+    /// (b) Epoch bumps — and only epoch bumps — force re-optimization.
+    #[test]
+    fn drift_past_threshold_forces_reoptimization(seed in 0u64..1_000) {
+        let model = CostModel::new(presets::tiny_smp(2));
+        let (plan, stats) = scenario(seed);
+        let mut catalog = StatsCatalog::new(stats);
+        let cache = PlanCache::new();
+        let lookup = |cache: &PlanCache, catalog: &StatsCatalog| {
+            cache
+                .get_or_optimize((plan.fingerprint(), catalog.epoch()), &plan, || {
+                    optimize_and_lower(&model, &plan, catalog.tables())
+                })
+                .unwrap()
+        };
+        lookup(&cache, &catalog);
+        prop_assert_eq!(cache.optimizer_runs(), 1);
+        // A +10% refresh stays under the 20% threshold: same epoch,
+        // cached plan reused.
+        let t0 = catalog.tables()[0].clone();
+        let small = TableStats::uniform(t0.n + t0.n / 10, t0.w, t0.key_bound, t0.sorted);
+        prop_assert!(!catalog.update(0, small));
+        lookup(&cache, &catalog);
+        prop_assert_eq!(cache.optimizer_runs(), 1);
+        // A 3× blowup drifts past it: new epoch, fresh optimization.
+        let t0 = catalog.tables()[0].clone();
+        let big = TableStats::uniform(t0.n * 3, t0.w, t0.key_bound, t0.sorted);
+        prop_assert!(catalog.update(0, big));
+        lookup(&cache, &catalog);
+        prop_assert_eq!(cache.optimizer_runs(), 2);
+        // Retiring the stale epoch leaves exactly the live entry.
+        cache.retire_epochs_before(catalog.epoch());
+        prop_assert_eq!(cache.len(), 1);
+    }
+}
+
+/// (c) Concurrent lookups of the same key: one optimizer run, no
+/// deadlock, everyone shares the published plan.
+#[test]
+fn concurrent_lookups_never_double_optimize() {
+    let model = CostModel::new(presets::tiny_smp(4));
+    let (plan, stats) = scenario(7);
+    let cache = Arc::new(PlanCache::new());
+    let key = (plan.fingerprint(), 0);
+    let plans: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let (model, plan, stats) = (&model, &plan, &stats);
+                s.spawn(move || {
+                    cache
+                        .get_or_optimize(key, plan, || {
+                            // Widen the race window: the first thread
+                            // holds the slot while the others arrive.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            optimize_and_lower(model, plan, stats)
+                        })
+                        .unwrap()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no deadlock, no panic"))
+            .collect()
+    });
+    assert_eq!(cache.optimizer_runs(), 1, "exactly one optimization");
+    assert_eq!(cache.hits() + cache.misses(), 8);
+    for p in &plans[1..] {
+        assert!(Arc::ptr_eq(&plans[0], p), "all callers share one plan");
+    }
+    // Distinct keys optimize independently (and still exactly once).
+    let (other, other_stats) = scenario(8);
+    let other_key = (other.fingerprint(), 0);
+    assert_ne!(key, other_key);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let cache = Arc::clone(&cache);
+            let (model, other, other_stats) = (&model, &other, &other_stats);
+            s.spawn(move || {
+                cache
+                    .get_or_optimize(other_key, other, || {
+                        optimize_and_lower(model, other, other_stats)
+                    })
+                    .unwrap();
+            });
+        }
+    });
+    assert_eq!(cache.optimizer_runs(), 2);
+}
+
+/// The service end of the same guarantees: repeated submissions of one
+/// plan shape optimize once, across executor-pool activity.
+#[test]
+fn service_submissions_share_cached_plans() {
+    let mut svc = QueryService::new(presets::tiny_smp(4));
+    let mut wl = Workload::new(91);
+    let star = wl.star_scenario(2_000, 400, 1);
+    svc.register_table("F", star.fact, 8);
+    svc.register_table("D", star.dims[0].clone(), 8);
+    let q = LogicalPlan::scan(0)
+        .select_lt(200)
+        .join(LogicalPlan::scan(1))
+        .group_count();
+    for _ in 0..6 {
+        svc.submit(q.clone()).unwrap();
+    }
+    svc.run().unwrap();
+    let m = svc.metrics().clone();
+    assert_eq!(m.optimizer_runs, 1);
+    assert_eq!(m.queries.len(), 6);
+    // Identical queries produce identical results wherever they ran.
+    let n0 = m.queries[0].output_n;
+    assert!(m.queries.iter().all(|qr| qr.output_n == n0));
+}

@@ -1,0 +1,145 @@
+//! Extension — the calibrate → model → **native-measure** loop as a
+//! bench target: calibrate this machine's hierarchy with real pointer
+//! chases, price plans with the cost model instantiated from the
+//! calibrated parameters, execute the same plans on the native backend
+//! (real buffers, wall clock), and report predicted vs measured.
+//!
+//! Assertions (documented bounds, sized for wall-clock noise on shared
+//! runners):
+//!
+//! * every plan's predicted total lands within 25× of its measured wall
+//!   (the enforced order-of-magnitude check, same bound as
+//!   `tests/native_vs_model.rs`);
+//! * measured walls grow monotonically with the input size for the
+//!   scan curve (structure, immune to constant factors);
+//! * sim- and native-backend outputs of every plan are byte-identical.
+
+use gcm_calibrate::calibrate_host;
+use gcm_core::{CostModel, CpuCost};
+use gcm_engine::native::calibrate_per_op_ns;
+use gcm_engine::plan::{run_on, PhysicalPlan, TableDef};
+use gcm_engine::planner::JoinAlgorithm;
+use gcm_engine::{ExecContext, MemoryBackend, NativeBackend};
+use gcm_hardware::presets;
+use gcm_workload::Workload;
+
+const BOUND: f64 = 25.0;
+
+fn predict_measure(
+    model: &CostModel,
+    per_op: f64,
+    plan: &PhysicalPlan,
+    tables: &[TableDef],
+) -> (f64, f64, u64) {
+    let mut native = ExecContext::native();
+    let (run, stats) = run_on(&mut native, plan, tables).expect("plan executes natively");
+    let predicted = CpuCost::per_op(per_op).eq61_ns(model.mem_ns(&run.pattern), stats.ops);
+    let measured = NativeBackend::elapsed_ns(&stats.mem);
+    // Result equality against the simulated backend.
+    let mut sim = ExecContext::new(presets::tiny());
+    let (sim_run, _) = run_on(&mut sim, plan, tables).expect("plan executes on sim");
+    assert_eq!(
+        native.relation_bytes(&run.output),
+        sim.relation_bytes(&sim_run.output),
+        "backend outputs must be byte-identical"
+    );
+    (predicted, measured, run.output.n())
+}
+
+fn main() {
+    let report = calibrate_host(16 * 1024 * 1024);
+    let spec = report
+        .to_spec("host (calibrated)", 1_000.0)
+        .expect("calibrated spec");
+    let model = CostModel::new(spec);
+    let per_op = calibrate_per_op_ns();
+    println!(
+        "calibrated {} level(s), per-op {per_op:.3} ns",
+        report.caches.len()
+    );
+    println!(
+        "{:<28} {:>14} {:>14} {:>7}",
+        "plan", "predicted[ms]", "measured[ms]", "ratio"
+    );
+
+    // Scan curve: measured wall must grow with n. Each size takes the
+    // minimum of three runs — a scheduler preemption only ever *adds*
+    // time, and a single inflated small-n wall would fake a
+    // monotonicity violation on a busy shared runner.
+    let mut scan_walls = Vec::new();
+    for n in [20_000usize, 80_000, 320_000] {
+        let star = Workload::new(5).star_scenario(n, 1_000, 1);
+        let tables = vec![TableDef::new("F", star.fact, 8)];
+        let plan = PhysicalPlan::scan(0).select_lt(500).group_count();
+        let (p, m, _) = (0..3)
+            .map(|_| predict_measure(&model, per_op, &plan, &tables))
+            .reduce(|best, run| if run.1 < best.1 { run } else { best })
+            .expect("three runs");
+        let ratio = p / m;
+        println!(
+            "{:<28} {:>14.3} {:>14.3} {:>7.2}",
+            format!("scan n={n}"),
+            p / 1e6,
+            m / 1e6,
+            ratio
+        );
+        assert!(
+            (1.0 / BOUND..BOUND).contains(&ratio),
+            "scan n={n}: ratio {ratio:.3} outside {BOUND}x"
+        );
+        scan_walls.push(m);
+    }
+    assert!(
+        scan_walls.windows(2).all(|w| w[0] < w[1]),
+        "scan walls must grow with n: {scan_walls:?}"
+    );
+
+    // Join plans at a fixed size.
+    let star = Workload::new(6).star_scenario(120_000, 12_000, 1);
+    let tables = vec![
+        TableDef::new("F", star.fact, 8),
+        TableDef::new("D", star.dims[0].clone(), 8),
+    ];
+    for (name, plan) in [
+        (
+            "hash join",
+            PhysicalPlan::scan(0)
+                .select_lt(8_000)
+                .join_with(PhysicalPlan::scan(1), JoinAlgorithm::Hash)
+                .group_count(),
+        ),
+        (
+            "part. hash join m=32",
+            PhysicalPlan::scan(0)
+                .join_with(
+                    PhysicalPlan::scan(1),
+                    JoinAlgorithm::PartitionedHash { m: 32 },
+                )
+                .group_count(),
+        ),
+        (
+            "sort-merge join",
+            PhysicalPlan::scan(0).select_lt(6_000).join_with(
+                PhysicalPlan::scan(1),
+                JoinAlgorithm::Merge {
+                    sort_u: true,
+                    sort_v: true,
+                },
+            ),
+        ),
+    ] {
+        let (p, m, rows) = predict_measure(&model, per_op, &plan, &tables);
+        let ratio = p / m;
+        println!(
+            "{name:<28} {:>14.3} {:>14.3} {:>7.2}  ({rows} rows)",
+            p / 1e6,
+            m / 1e6,
+            ratio
+        );
+        assert!(
+            (1.0 / BOUND..BOUND).contains(&ratio),
+            "{name}: ratio {ratio:.3} outside {BOUND}x"
+        );
+    }
+    println!("native_vs_model: all plans within {BOUND}x, outputs byte-identical ✓");
+}

@@ -6,11 +6,16 @@
 //! line/page sizes, TLB entries, sequential and random miss latencies)
 //! purely from measured access costs.
 //!
-//! The original runs on real hardware and reads the wall clock; this one
-//! runs against [`gcm_sim::MemorySystem`] and reads the charged-latency
-//! clock, closing the loop of the reproduction: the parameters the cost
-//! model needs are recoverable from the very substrate the validation
-//! experiments measure (Table 3's methodology).
+//! The original runs on real hardware and reads the wall clock; the
+//! [`detect`] pipeline here runs against [`gcm_sim::MemorySystem`] and
+//! reads the charged-latency clock, closing the loop of the
+//! reproduction: the parameters the cost model needs are recoverable
+//! from the very substrate the validation experiments measure (Table
+//! 3's methodology). The [`native`] module restores the original's
+//! real-machine half — pointer chases and sweeps over host memory,
+//! timed with [`std::time::Instant`] — so the same workflow also
+//! calibrates the machine the tests actually run on
+//! ([`calibrate_host`]).
 //!
 //! ```
 //! use gcm_calibrate::Calibrator;
@@ -23,8 +28,10 @@
 
 pub mod chase;
 pub mod detect;
+pub mod native;
 
 pub use detect::{CalibrationReport, Calibrator, DetectedCache, DetectedTlb};
+pub use native::{calibrate_host, chase_ns_per_step, sweep_ns_per_byte};
 
 use gcm_hardware::{Associativity, CacheLevel, HardwareSpec, LevelKind, Sharing};
 

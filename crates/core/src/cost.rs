@@ -110,6 +110,16 @@ impl CpuCost {
     pub fn ns(&self, ops: u64) -> f64 {
         self.fixed_ns + self.per_op_ns * ops as f64
     }
+
+    /// Eq 6.1, `T = T_mem + T_cpu`, in one place: memory time plus this
+    /// calibration's CPU charge for `ops` logical operations. Both the
+    /// model side ([`CostModel::total_ns`], predicted `T_mem`) and the
+    /// measured side (`gcm-engine`'s `RunStats::total_ns`, charged
+    /// `T_mem`) route through this helper, so the formula can never
+    /// drift between prediction and measurement.
+    pub fn eq61_ns(&self, mem_ns: f64, ops: u64) -> f64 {
+        mem_ns + self.ns(ops)
+    }
 }
 
 /// Per-level cache states for *staged* pricing: one logical
@@ -260,9 +270,10 @@ impl CostModel {
     }
 
     /// `T = T_mem + T_cpu` (Eq 6.1) in nanoseconds, for an algorithm that
-    /// performs `ops` logical operations under the `cpu` calibration.
+    /// performs `ops` logical operations under the `cpu` calibration
+    /// (via the shared [`CpuCost::eq61_ns`] helper).
     pub fn total_ns(&self, p: &Pattern, cpu: CpuCost, ops: u64) -> f64 {
-        self.mem_ns(p) + cpu.ns(ops)
+        cpu.eq61_ns(self.mem_ns(p), ops)
     }
 
     /// Begin a staged pricing pass: every level starts from (a copy of)
@@ -688,5 +699,8 @@ mod tests {
         let d = CpuCost::default_planner();
         assert_eq!(d, CpuCost::per_op(CpuCost::DEFAULT_PLANNER_PER_OP_NS));
         assert_eq!(d.ns(10), 40.0);
+        // The shared Eq 6.1 helper: T = T_mem + T_cpu.
+        assert_eq!(c2.eq61_ns(1000.0, 7), 1000.0 + 107.0);
+        assert_eq!(d.eq61_ns(0.0, 3), 12.0);
     }
 }

@@ -1,136 +1,166 @@
-//! Execution context: the engine's handle on the simulated machine.
+//! Execution context: the engine's handle on a machine's memory.
 //!
-//! Wraps a [`MemorySystem`] and counts *logical CPU operations*
-//! (comparisons, swaps, hash computations, tuple moves). The paper's
-//! Eq 6.1 splits total time into `T_mem + T_cpu` with `T_cpu` calibrated
-//! per algorithm in an in-cache setting; our measured analogue is
-//! `clock_ns (charged memory latency) + per_op_ns × ops`.
+//! [`ExecContext`] wraps any [`MemoryBackend`] — the simulated hierarchy
+//! ([`SimBackend`], the default) or the host's real memory
+//! ([`NativeBackend`](crate::native::NativeBackend)) — and counts
+//! *logical CPU operations* (comparisons, swaps, hash computations,
+//! tuple moves). The paper's Eq 6.1 splits total time into
+//! `T_mem + T_cpu` with `T_cpu` calibrated per algorithm in an in-cache
+//! setting; the measured analogue is the backend's elapsed time plus
+//! `per_op_ns × ops` (on native memory the wall clock already contains
+//! `T_cpu`, see [`MemoryBackend::total_ns`]).
 
+use crate::backend::{MemoryBackend, SimBackend};
 use crate::relation::Relation;
 use gcm_hardware::HardwareSpec;
-use gcm_sim::{MemorySystem, Snapshot};
+use gcm_sim::MemorySystem;
 
-/// Measured counters of one operator run.
-#[derive(Debug, Clone)]
-pub struct RunStats {
-    /// Per-level interval counters and charged memory nanoseconds.
-    pub mem: Snapshot,
+/// Measured counters of one operator run on backend `B`.
+pub struct RunStats<B: MemoryBackend = SimBackend> {
+    /// Backend interval counters: per-level misses and charged memory
+    /// nanoseconds on the simulator, wall-clock time on native memory.
+    pub mem: B::Counters,
     /// Logical CPU operations performed.
     pub ops: u64,
 }
 
-impl RunStats {
-    /// Measured total time under a per-op CPU calibration (the engine-side
-    /// Eq 6.1).
+impl<B: MemoryBackend> Clone for RunStats<B> {
+    fn clone(&self) -> Self {
+        RunStats {
+            mem: self.mem.clone(),
+            ops: self.ops,
+        }
+    }
+}
+
+impl<B: MemoryBackend> std::fmt::Debug for RunStats<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunStats")
+            .field("mem", &self.mem)
+            .field("ops", &self.ops)
+            .finish()
+    }
+}
+
+impl<B: MemoryBackend> RunStats<B> {
+    /// Measured total time under a per-op CPU calibration (the
+    /// engine-side Eq 6.1; wall-clock backends return elapsed time alone
+    /// — see [`MemoryBackend::total_ns`]).
     pub fn total_ns(&self, per_op_ns: f64) -> f64 {
-        self.mem.clock_ns + per_op_ns * self.ops as f64
+        B::total_ns(&self.mem, self.ops, per_op_ns)
     }
 
-    /// Misses at spec level `idx`.
+    /// Elapsed (charged or wall-clock) nanoseconds.
+    pub fn elapsed_ns(&self) -> f64 {
+        B::elapsed_ns(&self.mem)
+    }
+}
+
+impl RunStats<SimBackend> {
+    /// Misses at spec level `idx` (simulated runs only: native memory
+    /// has no per-level counters).
     pub fn misses_at(&self, idx: usize) -> u64 {
         self.mem.levels[idx].seq_misses + self.mem.levels[idx].rand_misses
     }
 }
 
-/// The engine's execution environment.
+/// The engine's execution environment over a pluggable memory backend.
 #[derive(Debug)]
-pub struct ExecContext {
-    /// The simulated memory hierarchy (public: operators drive it
-    /// directly).
-    pub mem: MemorySystem,
+pub struct ExecContext<B: MemoryBackend = SimBackend> {
+    /// The memory substrate (public: operators drive it directly).
+    pub mem: B,
     ops: u64,
 }
 
-impl ExecContext {
-    /// A context on the given machine.
-    pub fn new(spec: HardwareSpec) -> ExecContext {
-        ExecContext {
-            mem: MemorySystem::new(spec),
-            ops: 0,
-        }
+impl ExecContext<SimBackend> {
+    /// A context on the given simulated machine.
+    pub fn new(spec: HardwareSpec) -> ExecContext<SimBackend> {
+        ExecContext::with_backend(MemorySystem::new(spec))
     }
 
-    /// A context with `[HS89]` miss classification enabled.
-    pub fn with_classification(spec: HardwareSpec) -> ExecContext {
-        ExecContext {
-            mem: MemorySystem::with_classification(spec),
-            ops: 0,
-        }
+    /// A simulated context with `[HS89]` miss classification enabled.
+    pub fn with_classification(spec: HardwareSpec) -> ExecContext<SimBackend> {
+        ExecContext::with_backend(MemorySystem::with_classification(spec))
+    }
+}
+
+impl<B: MemoryBackend> ExecContext<B> {
+    /// A context over an explicit backend (the generic constructor; see
+    /// [`ExecContext::new`] for the simulator and
+    /// [`ExecContext::native`](crate::native) for host memory).
+    pub fn with_backend(mem: B) -> ExecContext<B> {
+        ExecContext { mem, ops: 0 }
     }
 
     /// Allocate a zeroed relation of `n` tuples × `w` bytes, aligned to
     /// the largest cache line (so regions start line-aligned unless an
     /// experiment asks otherwise).
     pub fn relation(&mut self, name: &str, n: u64, w: u64) -> Relation {
-        let align = self
-            .mem
-            .spec()
-            .data_caches()
-            .map(|l| l.line)
-            .max()
-            .unwrap_or(64);
+        let align = self.mem.line_align();
         let base = self.mem.alloc((n * w).max(1), align);
         Relation::new(name, base, n, w)
     }
 
     /// Allocate a relation and fill its keys host-side (setup data does
-    /// not perturb the counters; payload bytes stay zero).
+    /// not perturb the simulator's counters; payload bytes stay zero).
     pub fn relation_from_keys(&mut self, name: &str, keys: &[u64], w: u64) -> Relation {
         let rel = self.relation(name, keys.len() as u64, w);
         for (i, &k) in keys.iter().enumerate() {
-            self.mem.host_mut().write_u64(rel.tuple(i as u64), k);
+            self.mem.host_write_u64(rel.tuple(i as u64), k);
         }
         rel
     }
 
-    /// Read tuple `i`'s key (simulated: the access is charged).
+    /// Read a relation's full content host-side, as raw bytes — the
+    /// result-equality surface: two backends executing the same plan must
+    /// produce byte-identical relation contents.
+    pub fn relation_bytes(&self, rel: &Relation) -> Vec<u8> {
+        let mut buf = vec![0u8; rel.bytes() as usize];
+        if !buf.is_empty() {
+            self.mem.host_read_bytes(rel.base(), &mut buf);
+        }
+        buf
+    }
+
+    /// Read tuple `i`'s key (charged access).
     #[inline]
     pub fn read_key(&mut self, rel: &Relation, i: u64) -> u64 {
         self.mem.read_u64(rel.key_addr(i))
     }
 
-    /// Write tuple `i`'s key (simulated).
+    /// Write tuple `i`'s key (charged access).
     #[inline]
     pub fn write_key(&mut self, rel: &Relation, i: u64, key: u64) {
         self.mem.write_u64(rel.key_addr(i), key);
     }
 
-    /// Touch tuple `i` entirely (simulated read of all `w` bytes) and
+    /// Touch tuple `i` entirely (charged read of all `w` bytes) and
     /// return its key.
     #[inline]
     pub fn read_tuple(&mut self, rel: &Relation, i: u64) -> u64 {
         let addr = rel.tuple(i);
         self.mem.touch(addr, rel.w());
-        self.mem.host().read_u64(addr)
+        self.mem.host_read_u64(addr)
     }
 
-    /// Write tuple `i` entirely (simulated write of all `w` bytes), with
+    /// Write tuple `i` entirely (charged write of all `w` bytes), with
     /// the given key and zero payload.
     #[inline]
     pub fn write_tuple(&mut self, rel: &Relation, i: u64, key: u64) {
         let addr = rel.tuple(i);
         self.mem.touch(addr, rel.w());
-        self.mem.host_mut().write_u64(addr, key);
+        self.mem.host_write_u64(addr, key);
     }
 
-    /// Copy tuple `src_i` of `src` to `dst_i` of `dst` (both simulated).
+    /// Copy tuple `src_i` of `src` to `dst_i` of `dst` (charged).
     pub fn copy_tuple(&mut self, src: &Relation, src_i: u64, dst: &Relation, dst_i: u64) {
         let n = src.w().min(dst.w());
         self.mem.copy(src.tuple(src_i), dst.tuple(dst_i), n);
     }
 
-    /// Swap tuples `i` and `j` in place (simulated read+write of both).
+    /// Swap tuples `i` and `j` in place (charged read+write of both).
     pub fn swap_tuples(&mut self, rel: &Relation, i: u64, j: u64) {
-        let (a, b) = (rel.tuple(i), rel.tuple(j));
-        let w = rel.w();
-        self.mem.touch(a, w);
-        self.mem.touch(b, w);
-        let mut ta = vec![0u8; w as usize];
-        let mut tb = vec![0u8; w as usize];
-        self.mem.host().read_bytes(a, &mut ta);
-        self.mem.host().read_bytes(b, &mut tb);
-        self.mem.host_mut().write_bytes(a, &tb);
-        self.mem.host_mut().write_bytes(b, &ta);
+        self.mem.swap(rel.tuple(i), rel.tuple(j), rel.w());
     }
 
     /// Count `k` logical CPU operations.
@@ -144,23 +174,25 @@ impl ExecContext {
         self.ops
     }
 
-    /// Run `f`, returning its result and the interval counters (memory
+    /// Run `f`, returning its result and the interval counters (backend
     /// counters and logical ops) it produced.
-    pub fn measure<T>(&mut self, f: impl FnOnce(&mut ExecContext) -> T) -> (T, RunStats) {
-        let before_mem = self.mem.snapshot();
+    pub fn measure<T>(&mut self, f: impl FnOnce(&mut ExecContext<B>) -> T) -> (T, RunStats<B>) {
+        let before_mem = self.mem.counters();
         let before_ops = self.ops;
         let out = f(self);
         let stats = RunStats {
-            mem: self.mem.delta_since(&before_mem),
+            mem: self.mem.counters_since(&before_mem),
             ops: self.ops - before_ops,
         };
         (out, stats)
     }
 
-    /// Flush all caches (paper §4.5 assumes initially empty caches before
-    /// each experiment).
+    /// Restore cold caches as well as the backend can (paper §4.5
+    /// assumes initially empty caches before each experiment; the
+    /// simulator flushes exactly, native memory sweeps an eviction
+    /// buffer).
     pub fn cold_caches(&mut self) {
-        self.mem.flush_caches();
+        self.mem.cold_caches();
     }
 }
 
@@ -168,6 +200,7 @@ impl ExecContext {
 mod tests {
     use super::*;
     use gcm_hardware::presets;
+    use gcm_sim::Snapshot;
 
     fn ctx() -> ExecContext {
         ExecContext::new(presets::tiny())
@@ -221,6 +254,7 @@ mod tests {
         });
         assert_eq!(rerun.mem.total_misses(), 0);
         assert_eq!(rerun.mem.clock_ns, 0.0);
+        assert_eq!(rerun.elapsed_ns(), 0.0);
     }
 
     #[test]
@@ -237,7 +271,7 @@ mod tests {
 
     #[test]
     fn run_stats_total_time() {
-        let s = RunStats {
+        let s: RunStats = RunStats {
             mem: Snapshot {
                 levels: vec![],
                 clock_ns: 100.0,
@@ -245,6 +279,9 @@ mod tests {
             ops: 50,
         };
         assert!((s.total_ns(2.0) - 200.0).abs() < 1e-12);
+        let s2 = s.clone();
+        assert_eq!(s2.ops, 50);
+        assert!(format!("{s2:?}").contains("RunStats"));
     }
 
     #[test]
@@ -254,5 +291,17 @@ mod tests {
         let b = c.relation("B", 1, 16);
         c.copy_tuple(&a, 0, &b, 0);
         assert_eq!(c.mem.host().read_u64(b.tuple(0)), 42);
+    }
+
+    #[test]
+    fn relation_bytes_reads_whole_content() {
+        let mut c = ctx();
+        let rel = c.relation_from_keys("R", &[1, 2], 16);
+        let bytes = c.relation_bytes(&rel);
+        assert_eq!(bytes.len(), 32);
+        assert_eq!(u64::from_le_bytes(bytes[0..8].try_into().unwrap()), 1);
+        assert_eq!(u64::from_le_bytes(bytes[16..24].try_into().unwrap()), 2);
+        let empty = c.relation("E", 0, 8);
+        assert!(c.relation_bytes(&empty).is_empty());
     }
 }

@@ -1,18 +1,23 @@
-//! # gcm-engine — a column-oriented engine over simulated memory
+//! # gcm-engine — a column-oriented engine over pluggable memory
 //!
 //! The reproduction's substitute for the paper's Monet/MonetDB platform
 //! (§6.1): a small main-memory database engine whose operators
 //!
 //! * compute **real results** (every operator is tested against host-side
 //!   references), while
-//! * executing **every data access through the cache simulator**, so their
-//!   L1/L2/TLB miss counts and charged memory time are measured exactly,
-//!   and
+//! * executing **every data access through a pluggable
+//!   [`MemoryBackend`]** — the cache simulator ([`SimBackend`]: exact
+//!   L1/L2/TLB miss counts and charged memory time) or the host's real
+//!   memory ([`NativeBackend`]: real buffers, wall-clock time) — with
+//!   byte-identical results either way, and
 //! * **describe themselves** in the access-pattern language (the paper's
 //!   Table 2), so the cost model predicts the same quantities.
 //!
 //! The validation experiments (Figure 7) run each operator and compare
-//! simulator-measured counters with model predictions.
+//! simulator-measured counters with model predictions; the native
+//! backend closes the remaining gap to the paper, which validated on an
+//! actual machine (calibrate → model → measure, see
+//! `tests/native_vs_model.rs`).
 //!
 //! ```
 //! use gcm_engine::{ops, ExecContext};
@@ -35,7 +40,9 @@
 //! assert!(predicted.mem_ns > 0.0);
 //! ```
 
+pub mod backend;
 pub mod ctx;
+pub mod native;
 pub mod ops;
 pub mod parallel;
 pub mod plan;
@@ -43,5 +50,7 @@ pub mod planner;
 pub mod query;
 pub mod relation;
 
+pub use backend::{MemoryBackend, SimBackend};
 pub use ctx::{ExecContext, RunStats};
+pub use native::{NativeBackend, NativeCounters};
 pub use relation::Relation;

@@ -2,6 +2,7 @@
 //! implemented using sorting or hashing; thus, they perform the
 //! respective patterns").
 
+use crate::backend::MemoryBackend;
 use crate::ctx::ExecContext;
 use crate::ops::hash::{HashTable, EMPTY};
 use crate::ops::sort::quick_sort;
@@ -10,14 +11,17 @@ use gcm_core::{library, Pattern, Region};
 
 /// Hash-based group-by count: returns a relation of `(group_key, count)`
 /// pairs (width 16), in table order.
-pub fn hash_group_count(ctx: &mut ExecContext, input: &Relation, out_name: &str) -> Relation {
+pub fn hash_group_count<B: MemoryBackend>(
+    ctx: &mut ExecContext<B>,
+    input: &Relation,
+    out_name: &str,
+) -> Relation {
     // Host-side distinct count (cardinality oracle) to size table/output.
     let mut distinct = 0u64;
     {
-        let host = ctx.mem.host();
         let mut seen = std::collections::HashSet::new();
         for i in 0..input.n() {
-            if seen.insert(host.read_u64(input.tuple(i))) {
+            if seen.insert(ctx.mem.host_read_u64(input.tuple(i))) {
                 distinct += 1;
             }
         }
@@ -38,8 +42,8 @@ pub fn hash_group_count(ctx: &mut ExecContext, input: &Relation, out_name: &str)
         if key != EMPTY {
             let count = ctx.mem.read_u64(addr + 8);
             ctx.mem.touch(out.tuple(cursor), 16);
-            ctx.mem.host_mut().write_u64(out.tuple(cursor), key);
-            ctx.mem.host_mut().write_u64(out.tuple(cursor) + 8, count);
+            ctx.mem.host_write_u64(out.tuple(cursor), key);
+            ctx.mem.host_write_u64(out.tuple(cursor) + 8, count);
             ctx.count_ops(1);
             cursor += 1;
         }
@@ -52,7 +56,7 @@ fn table_slot_addr(table: &HashTable, slot: u64) -> gcm_sim::Addr {
     table.slot_addr(slot)
 }
 
-fn upsert_count(ctx: &mut ExecContext, table: &HashTable, key: u64) {
+fn upsert_count<B: MemoryBackend>(ctx: &mut ExecContext<B>, table: &HashTable, key: u64) {
     upsert_add(ctx, table, key, 1);
 }
 
@@ -60,7 +64,12 @@ fn upsert_count(ctx: &mut ExecContext, table: &HashTable, key: u64) {
 /// key if absent (simulated accesses; linear probing). Also the merge
 /// primitive of the parallel aggregation's per-thread partials
 /// ([`crate::parallel`]).
-pub(crate) fn upsert_add(ctx: &mut ExecContext, table: &HashTable, key: u64, delta: u64) {
+pub(crate) fn upsert_add<B: MemoryBackend>(
+    ctx: &mut ExecContext<B>,
+    table: &HashTable,
+    key: u64,
+    delta: u64,
+) {
     let mask = table.capacity() - 1;
     let mut slot = crate::ops::mix(key) & mask;
     loop {
@@ -74,8 +83,8 @@ pub(crate) fn upsert_add(ctx: &mut ExecContext, table: &HashTable, key: u64, del
         }
         if resident == EMPTY {
             ctx.mem.touch(addr, 16);
-            ctx.mem.host_mut().write_u64(addr, key);
-            ctx.mem.host_mut().write_u64(addr + 8, delta);
+            ctx.mem.host_write_u64(addr, key);
+            ctx.mem.host_write_u64(addr + 8, delta);
             return;
         }
         slot = (slot + 1) & mask;
@@ -90,15 +99,18 @@ pub fn hash_group_pattern(input: &Region, h: &Region, output: &Region) -> Patter
 
 /// Sort-based duplicate elimination: sorts the input in place, then
 /// emits each distinct key once.
-pub fn sort_dedup(ctx: &mut ExecContext, input: &Relation, out_name: &str) -> Relation {
+pub fn sort_dedup<B: MemoryBackend>(
+    ctx: &mut ExecContext<B>,
+    input: &Relation,
+    out_name: &str,
+) -> Relation {
     quick_sort(ctx, input);
     // Distinct count, host-side.
     let mut distinct = 0u64;
     {
-        let host = ctx.mem.host();
         let mut prev = None;
         for i in 0..input.n() {
-            let k = host.read_u64(input.tuple(i));
+            let k = ctx.mem.host_read_u64(input.tuple(i));
             if prev != Some(k) {
                 distinct += 1;
                 prev = Some(k);

@@ -15,6 +15,7 @@
 //! (each level of the tree is its own region; lookups hit one node per
 //! level at effectively random positions).
 
+use crate::backend::MemoryBackend;
 use crate::ctx::ExecContext;
 use crate::relation::Relation;
 use gcm_core::{Pattern, Region};
@@ -33,7 +34,12 @@ pub struct BTree {
 impl BTree {
     /// Bulk-load from the (sorted) `keys`; `node_w` must be a multiple
     /// of 8 and at least 16 (≥ 2 keys per node).
-    pub fn build(ctx: &mut ExecContext, keys: &[u64], node_w: u64, name: &str) -> BTree {
+    pub fn build<B: MemoryBackend>(
+        ctx: &mut ExecContext<B>,
+        keys: &[u64],
+        node_w: u64,
+        name: &str,
+    ) -> BTree {
         assert!(
             node_w >= 16 && node_w.is_multiple_of(8),
             "node must hold >= 2 keys"
@@ -51,14 +57,12 @@ impl BTree {
             for (i, &k) in current.iter().enumerate() {
                 let node = i as u64 / fanout;
                 let slot = i as u64 % fanout;
-                ctx.mem.host_mut().write_u64(rel.tuple(node) + slot * 8, k);
+                ctx.mem.host_write_u64(rel.tuple(node) + slot * 8, k);
             }
             // Pad the last node with u64::MAX sentinels.
             let last = rel.n() - 1;
             for slot in (n_keys - last * fanout)..fanout {
-                ctx.mem
-                    .host_mut()
-                    .write_u64(rel.tuple(last) + slot * 8, u64::MAX);
+                ctx.mem.host_write_u64(rel.tuple(last) + slot * 8, u64::MAX);
             }
             let node_count = rel.n();
             levels.push(rel);
@@ -69,7 +73,7 @@ impl BTree {
             current = (0..node_count)
                 .map(|nd| {
                     let level = levels.last().expect("just pushed");
-                    ctx.mem.host().read_u64(level.tuple(nd))
+                    ctx.mem.host_read_u64(level.tuple(nd))
                 })
                 .collect();
             depth += 1;
@@ -99,7 +103,7 @@ impl BTree {
 
     /// Look one key up (simulated accesses): descend from the root,
     /// scanning one node per level. Returns true if the key exists.
-    pub fn lookup(&self, ctx: &mut ExecContext, key: u64) -> bool {
+    pub fn lookup<B: MemoryBackend>(&self, ctx: &mut ExecContext<B>, key: u64) -> bool {
         let mut node = 0u64;
         for (depth, level) in self.levels.iter().enumerate().rev() {
             let addr = level.tuple(node);
@@ -108,7 +112,7 @@ impl BTree {
             let mut child = 0u64;
             let mut found = false;
             for slot in 0..self.fanout {
-                let k = ctx.mem.host().read_u64(addr + slot * 8);
+                let k = ctx.mem.host_read_u64(addr + slot * 8);
                 ctx.count_ops(1);
                 if k == key {
                     found = true;

@@ -11,6 +11,7 @@
 //!                 ⊕ s_trav(U) ⊙ r_acc(H, U.n) ⊙ s_trav(W)   (probe)
 //! ```
 
+use crate::backend::MemoryBackend;
 use crate::ctx::ExecContext;
 use crate::ops::mix;
 use crate::relation::Relation;
@@ -41,11 +42,11 @@ impl HashTable {
     /// Allocate an empty table sized for `items` entries at load factor
     /// ≤ ½ (capacity = next power of two ≥ 2·items). The empty-slot
     /// sentinel fill is host-side setup.
-    pub fn alloc(ctx: &mut ExecContext, name: &str, items: u64) -> HashTable {
+    pub fn alloc<B: MemoryBackend>(ctx: &mut ExecContext<B>, name: &str, items: u64) -> HashTable {
         let capacity = table_slots(items);
         let slots = ctx.relation(name, capacity, ENTRY_BYTES);
         for i in 0..capacity {
-            ctx.mem.host_mut().write_u64(slots.tuple(i), EMPTY);
+            ctx.mem.host_write_u64(slots.tuple(i), EMPTY);
         }
         HashTable {
             slots,
@@ -75,7 +76,12 @@ impl HashTable {
 
     /// Insert `key → value` (simulated accesses; linear probing).
     /// Duplicate keys are stored in separate slots.
-    pub fn insert(ctx: &mut ExecContext, table: &HashTable, key: u64, value: u64) {
+    pub fn insert<B: MemoryBackend>(
+        ctx: &mut ExecContext<B>,
+        table: &HashTable,
+        key: u64,
+        value: u64,
+    ) {
         debug_assert_ne!(key, EMPTY);
         let mut slot = mix(key) & table.mask;
         loop {
@@ -84,8 +90,8 @@ impl HashTable {
             ctx.count_ops(1);
             if resident == EMPTY {
                 ctx.mem.touch(addr, ENTRY_BYTES);
-                ctx.mem.host_mut().write_u64(addr, key);
-                ctx.mem.host_mut().write_u64(addr + 8, value);
+                ctx.mem.host_write_u64(addr, key);
+                ctx.mem.host_write_u64(addr + 8, value);
                 return;
             }
             slot = (slot + 1) & table.mask;
@@ -93,7 +99,11 @@ impl HashTable {
     }
 
     /// Probe for `key`; returns the first matching value (simulated).
-    pub fn probe(ctx: &mut ExecContext, table: &HashTable, key: u64) -> Option<u64> {
+    pub fn probe<B: MemoryBackend>(
+        ctx: &mut ExecContext<B>,
+        table: &HashTable,
+        key: u64,
+    ) -> Option<u64> {
         let mut slot = mix(key) & table.mask;
         loop {
             let addr = table.slots.tuple(slot);
@@ -111,11 +121,11 @@ impl HashTable {
 
     /// Probe for `key`, visiting *all* matches (duplicate build keys) via
     /// `visit(value)` (simulated).
-    pub fn probe_all(
-        ctx: &mut ExecContext,
+    pub fn probe_all<B: MemoryBackend>(
+        ctx: &mut ExecContext<B>,
         table: &HashTable,
         key: u64,
-        mut visit: impl FnMut(&mut ExecContext, u64),
+        mut visit: impl FnMut(&mut ExecContext<B>, u64),
     ) {
         let mut slot = mix(key) & table.mask;
         loop {
@@ -136,7 +146,11 @@ impl HashTable {
 
 /// Build a hash table over `v` (value = tuple index), reading the full
 /// inner tuples sequentially.
-pub fn build_hash(ctx: &mut ExecContext, v: &Relation, name: &str) -> HashTable {
+pub fn build_hash<B: MemoryBackend>(
+    ctx: &mut ExecContext<B>,
+    v: &Relation,
+    name: &str,
+) -> HashTable {
     let table = HashTable::alloc(ctx, name, v.n());
     for i in 0..v.n() {
         let key = ctx.read_tuple(v, i);
@@ -147,8 +161,8 @@ pub fn build_hash(ctx: &mut ExecContext, v: &Relation, name: &str) -> HashTable 
 
 /// Hash-join `u ⋈ v` (equal keys): builds on `v`, probes with `u`, writes
 /// one `out_w`-byte tuple per match.
-pub fn hash_join(
-    ctx: &mut ExecContext,
+pub fn hash_join<B: MemoryBackend>(
+    ctx: &mut ExecContext<B>,
     u: &Relation,
     v: &Relation,
     out_name: &str,
@@ -159,8 +173,8 @@ pub fn hash_join(
 }
 
 /// The probe phase only, against a pre-built table.
-pub fn hash_join_with_table(
-    ctx: &mut ExecContext,
+pub fn hash_join_with_table<B: MemoryBackend>(
+    ctx: &mut ExecContext<B>,
     u: &Relation,
     table: &HashTable,
     out_name: &str,
@@ -168,21 +182,18 @@ pub fn hash_join_with_table(
 ) -> Relation {
     // Cardinality oracle: host-side count of matches.
     let mut matches = 0u64;
-    {
-        let host = ctx.mem.host();
-        for i in 0..u.n() {
-            let key = host.read_u64(u.tuple(i));
-            let mut slot = mix(key) & table.mask;
-            loop {
-                let resident = host.read_u64(table.slots.tuple(slot));
-                if resident == EMPTY {
-                    break;
-                }
-                if resident == key {
-                    matches += 1;
-                }
-                slot = (slot + 1) & table.mask;
+    for i in 0..u.n() {
+        let key = ctx.mem.host_read_u64(u.tuple(i));
+        let mut slot = mix(key) & table.mask;
+        loop {
+            let resident = ctx.mem.host_read_u64(table.slots.tuple(slot));
+            if resident == EMPTY {
+                break;
             }
+            if resident == key {
+                matches += 1;
+            }
+            slot = (slot + 1) & table.mask;
         }
     }
     let out = ctx.relation(out_name, matches, out_w);

@@ -1,6 +1,7 @@
 //! Merge-join over sorted inputs (paper §6.2, Figure 7b): three
 //! concurrent sequential traversals, `s_trav(U) ⊙ s_trav(V) ⊙ s_trav(W)`.
 
+use crate::backend::MemoryBackend;
 use crate::ctx::ExecContext;
 use crate::relation::Relation;
 use gcm_core::{library, Pattern, Region};
@@ -10,8 +11,8 @@ use gcm_core::{library, Pattern, Region};
 /// (key + zero payload). Handles duplicate keys on both sides.
 ///
 /// Logical ops: one per cursor advance and one per emitted tuple.
-pub fn merge_join(
-    ctx: &mut ExecContext,
+pub fn merge_join<B: MemoryBackend>(
+    ctx: &mut ExecContext<B>,
     u: &Relation,
     v: &Relation,
     out_name: &str,
@@ -57,7 +58,7 @@ pub fn merge_join(
             }
             i += 1;
             // Advance j only when u has no duplicate of this key left.
-            if i >= u.n() || ctx.mem.host().read_u64(u.tuple(i)) != ku {
+            if i >= u.n() || ctx.mem.host_read_u64(u.tuple(i)) != ku {
                 j = jj;
             }
         }
@@ -68,29 +69,29 @@ pub fn merge_join(
 
 /// Host-side sortedness check backing the debug assertions above
 /// (branch-eliminated, but still referenced, in release builds).
-fn is_sorted_host(ctx: &ExecContext, rel: &Relation) -> bool {
-    let host = ctx.mem.host();
-    (1..rel.n()).all(|i| host.read_u64(rel.tuple(i - 1)) <= host.read_u64(rel.tuple(i)))
+fn is_sorted_host<B: MemoryBackend>(ctx: &ExecContext<B>, rel: &Relation) -> bool {
+    (1..rel.n())
+        .all(|i| ctx.mem.host_read_u64(rel.tuple(i - 1)) <= ctx.mem.host_read_u64(rel.tuple(i)))
 }
 
-fn count_matches_host(ctx: &ExecContext, u: &Relation, v: &Relation) -> u64 {
+fn count_matches_host<B: MemoryBackend>(ctx: &ExecContext<B>, u: &Relation, v: &Relation) -> u64 {
     let (mut i, mut j, mut m) = (0u64, 0u64, 0u64);
-    let host = ctx.mem.host();
+    let host = &ctx.mem;
     while i < u.n() && j < v.n() {
-        let ku = host.read_u64(u.tuple(i));
-        let kv = host.read_u64(v.tuple(j));
+        let ku = host.host_read_u64(u.tuple(i));
+        let kv = host.host_read_u64(v.tuple(j));
         if ku < kv {
             i += 1;
         } else if ku > kv {
             j += 1;
         } else {
             let mut jj = j;
-            while jj < v.n() && host.read_u64(v.tuple(jj)) == ku {
+            while jj < v.n() && host.host_read_u64(v.tuple(jj)) == ku {
                 m += 1;
                 jj += 1;
             }
             i += 1;
-            if i >= u.n() || host.read_u64(u.tuple(i)) != ku {
+            if i >= u.n() || host.host_read_u64(u.tuple(i)) != ku {
                 j = jj;
             }
         }

@@ -2,14 +2,15 @@
 //! discussion): the outer input is swept once, the inner input once per
 //! outer tuple — `s_trav(U) ⊙ rs_trav(U.n, uni, V) ⊙ s_trav(W)`.
 
+use crate::backend::MemoryBackend;
 use crate::ctx::ExecContext;
 use crate::relation::Relation;
 use gcm_core::{library, Pattern, Region};
 
 /// Join `u ⋈ v` by scanning `v` once per tuple of `u`. Quadratic: use
 /// only as the model's baseline comparator.
-pub fn nested_loop_join(
-    ctx: &mut ExecContext,
+pub fn nested_loop_join<B: MemoryBackend>(
+    ctx: &mut ExecContext<B>,
     u: &Relation,
     v: &Relation,
     out_name: &str,
@@ -17,14 +18,11 @@ pub fn nested_loop_join(
 ) -> Relation {
     // Cardinality oracle.
     let mut matches = 0u64;
-    {
-        let host = ctx.mem.host();
-        for i in 0..u.n() {
-            let ku = host.read_u64(u.tuple(i));
-            for j in 0..v.n() {
-                if host.read_u64(v.tuple(j)) == ku {
-                    matches += 1;
-                }
+    for i in 0..u.n() {
+        let ku = ctx.mem.host_read_u64(u.tuple(i));
+        for j in 0..v.n() {
+            if ctx.mem.host_read_u64(v.tuple(j)) == ku {
+                matches += 1;
             }
         }
     }

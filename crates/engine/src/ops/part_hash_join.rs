@@ -11,6 +11,7 @@
 //!                      ⊕ ⊕_{j=1}^{m} hash_join(U_j, V_j)
 //! ```
 
+use crate::backend::MemoryBackend;
 use crate::ctx::ExecContext;
 use crate::ops::hash::{build_hash, hash_join_with_table, ENTRY_BYTES};
 use crate::ops::partition::{hash_partition, partition_pattern};
@@ -19,8 +20,8 @@ use gcm_core::{library, Pattern, Region};
 
 /// Join `u ⋈ v` via `m`-way partitioning; returns the concatenated match
 /// output (one `out_w`-byte tuple per matching pair).
-pub fn part_hash_join(
-    ctx: &mut ExecContext,
+pub fn part_hash_join<B: MemoryBackend>(
+    ctx: &mut ExecContext<B>,
     u: &Relation,
     v: &Relation,
     m: u64,
@@ -35,8 +36,8 @@ pub fn part_hash_join(
 /// The join phase only: hash-join each matching partition pair of two
 /// already-partitioned inputs (the experiment of Figure 7e, which sweeps
 /// the partition size with the partitioning cost excluded).
-pub fn join_partitions(
-    ctx: &mut ExecContext,
+pub fn join_partitions<B: MemoryBackend>(
+    ctx: &mut ExecContext<B>,
     pu: &crate::ops::partition::Partitioned,
     pv: &crate::ops::partition::Partitioned,
     out_name: &str,
@@ -63,8 +64,8 @@ pub fn join_partitions(
         for i in 0..r.n() {
             // Host-side concatenation: the per-partition writes were
             // already simulated; this is bookkeeping, not algorithm.
-            let key = ctx.mem.host().read_u64(r.tuple(i));
-            ctx.mem.host_mut().write_u64(out.tuple(cursor), key);
+            let key = ctx.mem.host_read_u64(r.tuple(i));
+            ctx.mem.host_write_u64(out.tuple(cursor), key);
             cursor += 1;
         }
     }

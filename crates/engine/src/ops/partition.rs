@@ -19,6 +19,7 @@
 //! paper's §6.2 experiment models and measures without — we follow the
 //! paper).
 
+use crate::backend::MemoryBackend;
 use crate::ctx::ExecContext;
 use crate::ops::mix;
 use crate::relation::Relation;
@@ -60,8 +61,8 @@ pub fn bucket_of(key: u64, m: u64) -> u64 {
 }
 
 /// Hash-partition `input` into `m` buffers.
-pub fn hash_partition(
-    ctx: &mut ExecContext,
+pub fn hash_partition<B: MemoryBackend>(
+    ctx: &mut ExecContext<B>,
     input: &Relation,
     m: u64,
     out_name: &str,
@@ -70,7 +71,7 @@ pub fn hash_partition(
     // Host-side counting pass (cardinality oracle).
     let mut counts = vec![0u64; m as usize];
     for i in 0..input.n() {
-        let key = ctx.mem.host().read_u64(input.tuple(i));
+        let key = ctx.mem.host_read_u64(input.tuple(i));
         counts[bucket_of(key, m) as usize] += 1;
     }
     let mut offsets = Vec::with_capacity(m as usize + 1);

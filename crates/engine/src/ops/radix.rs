@@ -12,6 +12,7 @@
 //! radix(U, bits, p) = ⊕_{i=1}^{p} ( s_trav(U) ⊙ nest(W, 2^{bits/p}, s_trav, rnd) )
 //! ```
 
+use crate::backend::MemoryBackend;
 use crate::ctx::ExecContext;
 use crate::ops::mix;
 use crate::ops::partition::Partitioned;
@@ -31,8 +32,8 @@ fn digit(key: u64, shift: u32, bits: u32) -> u64 {
 ///
 /// Returns the fully clustered output; cluster `j` holds the tuples
 /// whose top `bits` mixed-key bits equal `j`.
-pub fn radix_partition(
-    ctx: &mut ExecContext,
+pub fn radix_partition<B: MemoryBackend>(
+    ctx: &mut ExecContext<B>,
     input: &Relation,
     bits: u32,
     passes: u32,
@@ -68,7 +69,7 @@ pub fn radix_partition(
             // ops::partition).
             let mut counts = vec![0u64; fanout as usize];
             for i in lo..hi {
-                let key = ctx.mem.host().read_u64(src.tuple(i));
+                let key = ctx.mem.host_read_u64(src.tuple(i));
                 counts[digit(key, done_bits, pb) as usize] += 1;
             }
             let mut cursors = Vec::with_capacity(fanout as usize);

@@ -1,37 +1,42 @@
 //! Table scan, selection and projection: the purely sequential unary
 //! operators (paper §3.2).
 
+use crate::backend::MemoryBackend;
 use crate::ctx::ExecContext;
-use crate::relation::Relation;
+use crate::relation::{Relation, KEY_BYTES};
 use gcm_core::{library, Pattern, Region};
 
 /// Scan the relation and sum the keys, touching `u` bytes of each tuple
 /// (`u = 8` reads just the key; `u = rel.w()` reads whole tuples).
 ///
 /// Logical ops: one per tuple.
-pub fn scan_sum(ctx: &mut ExecContext, rel: &Relation, u: u64) -> u64 {
-    let u = u.clamp(8, rel.w());
+pub fn scan_sum<B: MemoryBackend>(ctx: &mut ExecContext<B>, rel: &Relation, u: u64) -> u64 {
+    let u = u.clamp(KEY_BYTES, rel.w());
     let mut sum = 0u64;
     for i in 0..rel.n() {
         let addr = rel.tuple(i);
         ctx.mem.touch(addr, u);
-        sum = sum.wrapping_add(ctx.mem.host().read_u64(addr));
+        sum = sum.wrapping_add(ctx.mem.host_read_u64(addr));
         ctx.count_ops(1);
     }
     sum
 }
 
-/// Pattern of [`scan_sum`]: `s_trav(U, u)`.
+/// Pattern of [`scan_sum`]: `s_trav(U, u)`, with `u` clamped to the
+/// *same* `[8, w]` range the executor enforces (it must read the 8-byte
+/// key of every tuple, so `u < 8` still touches 8 bytes) — model and
+/// executor can never disagree on the touched width.
 pub fn scan_pattern(input: &Region, u: u64) -> Pattern {
-    Pattern::s_trav_u(input.clone(), u.clamp(1, input.w))
+    let lo = KEY_BYTES.min(input.w.max(1));
+    Pattern::s_trav_u(input.clone(), u.clamp(lo, input.w.max(lo)))
 }
 
 /// Select tuples with `key < threshold` into a fresh output relation
 /// (exact-sized; the qualifying count is precomputed host-side, which
 /// costs no simulated accesses — mirroring an exact-cardinality oracle,
 /// as the paper assumes for the logical cost component, §1).
-pub fn select_lt(
-    ctx: &mut ExecContext,
+pub fn select_lt<B: MemoryBackend>(
+    ctx: &mut ExecContext<B>,
     rel: &Relation,
     threshold: u64,
     out_name: &str,
@@ -39,7 +44,7 @@ pub fn select_lt(
     // Host-side count (cardinality oracle).
     let mut hits = 0u64;
     for i in 0..rel.n() {
-        if ctx.mem.host().read_u64(rel.tuple(i)) < threshold {
+        if ctx.mem.host_read_u64(rel.tuple(i)) < threshold {
             hits += 1;
         }
     }
@@ -63,7 +68,12 @@ pub fn select_pattern(input: &Region, output: &Region) -> Pattern {
 
 /// Project the first `u` bytes of every tuple into an output relation of
 /// width `u`.
-pub fn project(ctx: &mut ExecContext, rel: &Relation, u: u64, out_name: &str) -> Relation {
+pub fn project<B: MemoryBackend>(
+    ctx: &mut ExecContext<B>,
+    rel: &Relation,
+    u: u64,
+    out_name: &str,
+) -> Relation {
     assert!((8..=rel.w()).contains(&u), "projection width must be 8..=w");
     let out = ctx.relation(out_name, rel.n(), u);
     for i in 0..rel.n() {
@@ -71,8 +81,8 @@ pub fn project(ctx: &mut ExecContext, rel: &Relation, u: u64, out_name: &str) ->
         ctx.mem.touch(src, u);
         let dst = out.tuple(i);
         ctx.mem.touch(dst, u);
-        let key = ctx.mem.host().read_u64(src);
-        ctx.mem.host_mut().write_u64(dst, key);
+        let key = ctx.mem.host_read_u64(src);
+        ctx.mem.host_write_u64(dst, key);
         ctx.count_ops(1);
     }
     out
@@ -145,6 +155,25 @@ mod tests {
         for i in 0..3 {
             assert_eq!(c.mem.host().read_u64(out.tuple(i)), 4 + i);
         }
+    }
+
+    #[test]
+    fn pattern_clamp_matches_executor_clamp() {
+        // Regression: the executor reads at least the 8-byte key per
+        // tuple, so the model must price u < 8 as u = 8 — previously it
+        // clamped to [1, w] and under-predicted narrow scans.
+        let r = Region::new("R", 1024, 128);
+        for u in [0u64, 1, 4, 7] {
+            assert_eq!(
+                scan_pattern(&r, u).to_string(),
+                scan_pattern(&r, 8).to_string(),
+                "u = {u} must price like u = 8"
+            );
+        }
+        // In range and above-w clamps are unchanged.
+        assert_eq!(scan_pattern(&r, 64).to_string(), "s_trav(R, u=64)");
+        // Clamped to u = w, which renders as a plain full-width s_trav.
+        assert_eq!(scan_pattern(&r, 4096).to_string(), "s_trav(R)");
     }
 
     #[test]

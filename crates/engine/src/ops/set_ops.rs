@@ -12,6 +12,7 @@
 //! only the output cardinality differs (which the logical-cost oracle
 //! provides, §1).
 
+use crate::backend::MemoryBackend;
 use crate::ctx::ExecContext;
 use crate::relation::Relation;
 use gcm_core::{library, Pattern, Region};
@@ -28,19 +29,29 @@ pub enum SetOp {
     Difference,
 }
 
-fn advance_dups(ctx: &ExecContext, rel: &Relation, mut i: u64, key: u64) -> u64 {
-    while i < rel.n() && ctx.mem.host().read_u64(rel.tuple(i)) == key {
+fn advance_dups<B: MemoryBackend>(
+    ctx: &ExecContext<B>,
+    rel: &Relation,
+    mut i: u64,
+    key: u64,
+) -> u64 {
+    while i < rel.n() && ctx.mem.host_read_u64(rel.tuple(i)) == key {
         i += 1;
     }
     i
 }
 
-fn count_host(ctx: &ExecContext, u: &Relation, v: &Relation, op: SetOp) -> u64 {
+fn count_host<B: MemoryBackend>(
+    ctx: &ExecContext<B>,
+    u: &Relation,
+    v: &Relation,
+    op: SetOp,
+) -> u64 {
     let (mut i, mut j, mut out) = (0u64, 0u64, 0u64);
-    let host = ctx.mem.host();
+    let host = &ctx.mem;
     while i < u.n() || j < v.n() {
-        let ku = (i < u.n()).then(|| host.read_u64(u.tuple(i)));
-        let kv = (j < v.n()).then(|| host.read_u64(v.tuple(j)));
+        let ku = (i < u.n()).then(|| host.host_read_u64(u.tuple(i)));
+        let kv = (j < v.n()).then(|| host.host_read_u64(v.tuple(j)));
         match (ku, kv) {
             (Some(a), Some(b)) if a == b => {
                 if matches!(op, SetOp::Union | SetOp::Intersect) {
@@ -81,8 +92,8 @@ fn count_host(ctx: &ExecContext, u: &Relation, v: &Relation, op: SetOp) -> u64 {
 
 /// Execute `op` over two key-sorted relations, producing a sorted,
 /// duplicate-free output of the same tuple width as `u`.
-pub fn set_op(
-    ctx: &mut ExecContext,
+pub fn set_op<B: MemoryBackend>(
+    ctx: &mut ExecContext<B>,
     u: &Relation,
     v: &Relation,
     op: SetOp,
@@ -91,7 +102,7 @@ pub fn set_op(
     let out_n = count_host(ctx, u, v, op);
     let out = ctx.relation(out_name, out_n, u.w());
     let (mut i, mut j, mut cursor) = (0u64, 0u64, 0u64);
-    let emit = |ctx: &mut ExecContext, key: u64, cursor: &mut u64| {
+    let emit = |ctx: &mut ExecContext<B>, key: u64, cursor: &mut u64| {
         ctx.write_tuple(&out, *cursor, key);
         ctx.count_ops(1);
         *cursor += 1;

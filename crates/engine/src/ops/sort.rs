@@ -10,6 +10,7 @@
 //! quick_sort(U) = ⊕_{i=1}^{log n} ( s_trav(U/2) ⊙ s_trav(U/2) )
 //! ```
 
+use crate::backend::MemoryBackend;
 use crate::ctx::ExecContext;
 use crate::relation::Relation;
 use gcm_core::{library, Pattern, Region};
@@ -18,7 +19,7 @@ use gcm_core::{library, Pattern, Region};
 /// converging cursors, exactly the access pattern the paper models).
 ///
 /// Logical ops: one per comparison and one per swap.
-pub fn quick_sort(ctx: &mut ExecContext, rel: &Relation) {
+pub fn quick_sort<B: MemoryBackend>(ctx: &mut ExecContext<B>, rel: &Relation) {
     if rel.n() < 2 {
         return;
     }

@@ -33,13 +33,92 @@
 //! per-thread patterns the optimizer and the `parallel_speedup` bench
 //! price via `advance_parallel`.
 
+use crate::backend::{MemoryBackend, SimBackend};
 use crate::ctx::ExecContext;
+use crate::native::NativeBackend;
 use crate::ops;
 use crate::ops::hash::HashTable;
 use crate::relation::Relation;
 use gcm_core::{library, Pattern, Region};
 use gcm_hardware::HardwareSpec;
 use std::ops::Range;
+
+/// A factory of per-worker execution contexts: how a parallel stage
+/// obtains the memory substrate each of its threads runs on. The sim
+/// flavour ([`SimWorkers`]) hands every worker its own simulated
+/// hierarchy on the machine's 1/d thread view; the native flavour
+/// ([`NativeWorkers`]) hands every worker real host memory — the workers
+/// are genuine [`std::thread::scope`] threads either way, but on native
+/// memory they actually contend for the machine's caches instead of
+/// simulating the contention.
+pub trait WorkerContexts: Sync {
+    /// The backend every worker context wraps.
+    type Backend: MemoryBackend;
+
+    /// A fresh context for one worker thread.
+    fn worker(&self) -> ExecContext<Self::Backend>;
+
+    /// A fresh context for a sequential (merge) phase on the full
+    /// machine.
+    fn merge(&self) -> ExecContext<Self::Backend>;
+}
+
+/// Simulated per-thread hierarchies: each worker sees the machine's
+/// [`thread_view`](HardwareSpec::thread_view) for the stage's DOP, the
+/// merge phase sees the whole machine.
+#[derive(Debug, Clone)]
+pub struct SimWorkers {
+    view: HardwareSpec,
+    full: HardwareSpec,
+}
+
+impl SimWorkers {
+    /// Worker contexts for a `dop`-way stage on `spec`.
+    pub fn new(spec: &HardwareSpec, dop: usize) -> SimWorkers {
+        SimWorkers {
+            view: spec.thread_view(dop as u32),
+            full: spec.thread_view(1),
+        }
+    }
+}
+
+impl WorkerContexts for SimWorkers {
+    type Backend = SimBackend;
+
+    fn worker(&self) -> ExecContext<SimBackend> {
+        ExecContext::new(self.view.clone())
+    }
+
+    fn merge(&self) -> ExecContext<SimBackend> {
+        ExecContext::new(self.full.clone())
+    }
+}
+
+/// Native worker contexts: every worker thread allocates and scans real
+/// host buffers, so a stage's measured wall time is genuine concurrent
+/// execution on the actual machine (hardware shares its caches itself —
+/// no view construction required or possible).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NativeWorkers {
+    /// Optional per-worker backing-store pre-reservation, bytes.
+    pub capacity: usize,
+}
+
+impl WorkerContexts for NativeWorkers {
+    type Backend = NativeBackend;
+
+    fn worker(&self) -> ExecContext<NativeBackend> {
+        if self.capacity > 0 {
+            ExecContext::native_with_capacity(self.capacity)
+        } else {
+            ExecContext::native()
+        }
+    }
+
+    fn merge(&self) -> ExecContext<NativeBackend> {
+        self.worker()
+    }
+}
 
 /// Per-worker result triple: output, measured ns, logical ops.
 type WorkerOut<T> = (T, f64, u64);
@@ -80,10 +159,10 @@ pub fn chunk_ranges(n: usize, dop: usize) -> Vec<Range<usize>> {
     out
 }
 
-/// Read a relation's keys back from simulated memory (host-side).
-fn keys_of(ctx: &ExecContext, rel: &Relation) -> Vec<u64> {
+/// Read a relation's keys back from backend memory (host-side).
+fn keys_of<B: MemoryBackend>(ctx: &ExecContext<B>, rel: &Relation) -> Vec<u64> {
     (0..rel.n())
-        .map(|i| ctx.mem.host().read_u64(rel.tuple(i)))
+        .map(|i| ctx.mem.host_read_u64(rel.tuple(i)))
         .collect()
 }
 
@@ -97,15 +176,31 @@ pub fn par_filter_lt(
     dop: usize,
     per_op_ns: f64,
 ) -> ParRun<Vec<u64>> {
-    let view = spec.thread_view(dop as u32);
+    par_filter_lt_on(&SimWorkers::new(spec, dop), keys, threshold, dop, per_op_ns)
+}
+
+/// [`par_filter_lt`] on real host memory: the same partition-parallel
+/// filter, each worker over native buffers (per-op CPU time is inside
+/// the wall clock, so no calibration parameter is needed).
+pub fn par_filter_lt_native(keys: &[u64], threshold: u64, dop: usize) -> ParRun<Vec<u64>> {
+    par_filter_lt_on(&NativeWorkers::default(), keys, threshold, dop, 0.0)
+}
+
+/// The backend-generic realisation of [`par_filter_lt`].
+pub fn par_filter_lt_on<W: WorkerContexts>(
+    workers: &W,
+    keys: &[u64],
+    threshold: u64,
+    dop: usize,
+    per_op_ns: f64,
+) -> ParRun<Vec<u64>> {
     let results: Vec<WorkerOut<Vec<u64>>> = std::thread::scope(|s| {
         let handles: Vec<_> = chunk_ranges(keys.len(), dop)
             .into_iter()
             .map(|range| {
-                let view = view.clone();
                 let chunk = &keys[range];
                 s.spawn(move || {
-                    let mut ctx = ExecContext::new(view);
+                    let mut ctx = workers.worker();
                     let rel = ctx.relation_from_keys("U", chunk, 8);
                     let mut out = None;
                     let (_, stats) = ctx.measure(|c| {
@@ -141,15 +236,28 @@ pub fn par_group_count(
     dop: usize,
     per_op_ns: f64,
 ) -> ParRun<Vec<(u64, u64)>> {
-    let view = spec.thread_view(dop as u32);
+    par_group_count_on(&SimWorkers::new(spec, dop), keys, dop, per_op_ns)
+}
+
+/// [`par_group_count`] on real host memory.
+pub fn par_group_count_native(keys: &[u64], dop: usize) -> ParRun<Vec<(u64, u64)>> {
+    par_group_count_on(&NativeWorkers::default(), keys, dop, 0.0)
+}
+
+/// The backend-generic realisation of [`par_group_count`].
+pub fn par_group_count_on<W: WorkerContexts>(
+    workers: &W,
+    keys: &[u64],
+    dop: usize,
+    per_op_ns: f64,
+) -> ParRun<Vec<(u64, u64)>> {
     let partials: Vec<WorkerOut<Vec<(u64, u64)>>> = std::thread::scope(|s| {
         let handles: Vec<_> = chunk_ranges(keys.len(), dop)
             .into_iter()
             .map(|range| {
-                let view = view.clone();
                 let chunk = &keys[range];
                 s.spawn(move || {
-                    let mut ctx = ExecContext::new(view);
+                    let mut ctx = workers.worker();
                     let rel = ctx.relation_from_keys("U", chunk, 8);
                     let mut out = None;
                     let (_, stats) = ctx.measure(|c| {
@@ -159,7 +267,7 @@ pub fn par_group_count(
                     let pairs: Vec<(u64, u64)> = (0..out.n())
                         .map(|i| {
                             let t = out.tuple(i);
-                            (ctx.mem.host().read_u64(t), ctx.mem.host().read_u64(t + 8))
+                            (ctx.mem.host_read_u64(t), ctx.mem.host_read_u64(t + 8))
                         })
                         .collect();
                     (pairs, stats.total_ns(per_op_ns), stats.ops)
@@ -175,14 +283,14 @@ pub fn par_group_count(
     let phase_wall = thread_ns.iter().copied().fold(0.0, f64::max);
     let mut total_ops: u64 = partials.iter().map(|p| p.2).sum();
 
-    // Sequential merge on the full (single-thread view) machine: add
-    // every partial pair into one final counting table, then sweep it.
-    let mut ctx = ExecContext::new(spec.thread_view(1));
+    // Sequential merge on the full machine: add every partial pair into
+    // one final counting table, then sweep it.
+    let mut ctx = workers.merge();
     let all: Vec<(u64, u64)> = partials.into_iter().flat_map(|p| p.0).collect();
     let cat = ctx.relation("P", all.len() as u64, 16);
     for (i, (k, c)) in all.iter().enumerate() {
-        ctx.mem.host_mut().write_u64(cat.tuple(i as u64), *k);
-        ctx.mem.host_mut().write_u64(cat.tuple(i as u64) + 8, *c);
+        ctx.mem.host_write_u64(cat.tuple(i as u64), *k);
+        ctx.mem.host_write_u64(cat.tuple(i as u64) + 8, *c);
     }
     let distinct = {
         let mut seen = std::collections::HashSet::new();
@@ -194,7 +302,7 @@ pub fn par_group_count(
         for i in 0..cat.n() {
             let addr = cat.tuple(i);
             c.mem.touch(addr, 16);
-            let (k, cnt) = (c.mem.host().read_u64(addr), c.mem.host().read_u64(addr + 8));
+            let (k, cnt) = (c.mem.host_read_u64(addr), c.mem.host_read_u64(addr + 8));
             c.count_ops(1);
             ops::aggregate::upsert_add(c, &table, k, cnt);
         }
@@ -238,12 +346,42 @@ pub fn par_hash_join(
     dop: usize,
     per_op_ns: f64,
 ) -> ParRun<Vec<u64>> {
+    par_hash_join_on(
+        &SimWorkers::new(spec, dop),
+        u_keys,
+        v_keys,
+        bits,
+        dop,
+        per_op_ns,
+    )
+}
+
+/// [`par_hash_join`] on real host memory: scoped worker threads
+/// radix-partitioning and joining over native buffers, concurrently for
+/// real.
+pub fn par_hash_join_native(
+    u_keys: &[u64],
+    v_keys: &[u64],
+    bits: u32,
+    dop: usize,
+) -> ParRun<Vec<u64>> {
+    par_hash_join_on(&NativeWorkers::default(), u_keys, v_keys, bits, dop, 0.0)
+}
+
+/// The backend-generic realisation of [`par_hash_join`].
+pub fn par_hash_join_on<W: WorkerContexts>(
+    workers: &W,
+    u_keys: &[u64],
+    v_keys: &[u64],
+    bits: u32,
+    dop: usize,
+    per_op_ns: f64,
+) -> ParRun<Vec<u64>> {
     let m = 1u64 << bits;
     assert!(
         dop as u64 <= m && m.is_multiple_of(dop as u64),
         "dop {dop} must divide the fan-out {m}"
     );
-    let view = spec.thread_view(dop as u32);
 
     // Phase 1: partition chunks of both sides.
     type Buckets = Vec<Vec<u64>>;
@@ -252,10 +390,9 @@ pub fn par_hash_join(
             .into_iter()
             .zip(chunk_ranges(v_keys.len(), dop))
             .map(|(ur, vr)| {
-                let view = view.clone();
                 let (uc, vc) = (&u_keys[ur], &v_keys[vr]);
                 s.spawn(move || {
-                    let mut ctx = ExecContext::new(view);
+                    let mut ctx = workers.worker();
                     let u = ctx.relation_from_keys("U", uc, 8);
                     let v = ctx.relation_from_keys("V", vc, 8);
                     let mut parts = None;
@@ -291,10 +428,9 @@ pub fn par_hash_join(
     let phase2: Vec<WorkerOut<Vec<u64>>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..dop)
             .map(|t| {
-                let view = view.clone();
                 let phase1 = &phase1;
                 s.spawn(move || {
-                    let mut ctx = ExecContext::new(view);
+                    let mut ctx = workers.worker();
                     let mut joined = Vec::new();
                     let mut ns = 0.0;
                     let mut ops_count = 0;
@@ -582,6 +718,42 @@ mod tests {
                 "dop {dop}: predicted {predicted:.0} vs measured {:.0} (ratio {ratio:.2})",
                 run.wall_ns
             );
+        }
+    }
+
+    #[test]
+    fn native_parallel_operators_match_sim_results() {
+        // The same parallel stages on real host memory: genuine
+        // concurrent threads over native buffers must produce exactly
+        // the results of the simulated run (only timing differs).
+        let spec = presets::tiny_smp(4);
+        let keys = Workload::new(97).zipf_keys(4_000, 300, 1.0);
+        for dop in [1, 2, 4] {
+            let sim = par_filter_lt(&spec, &keys, 150, dop, PER_OP);
+            let native = par_filter_lt_native(&keys, 150, dop);
+            assert_eq!(sim.out, native.out, "filter dop {dop}");
+            assert!(native.wall_ns > 0.0, "wall clock must advance");
+            assert_eq!(native.thread_ns.len(), dop);
+
+            let sim_g = par_group_count(&spec, &keys, dop, PER_OP);
+            let native_g = par_group_count_native(&keys, dop);
+            let sort = |mut v: Vec<(u64, u64)>| {
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(sort(sim_g.out), sort(native_g.out), "group dop {dop}");
+        }
+        let mut wl = Workload::new(98);
+        let (uk, vk) = wl.join_pair(2_000);
+        for dop in [1, 2, 4] {
+            let sim = par_hash_join(&spec, &uk, &vk, 4, dop, PER_OP);
+            let native = par_hash_join_native(&uk, &vk, 4, dop);
+            let sort = |mut v: Vec<u64>| {
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(sort(sim.out), sort(native.out), "join dop {dop}");
+            assert_eq!(native.ops, sim.ops, "identical logical work");
         }
     }
 

@@ -11,7 +11,8 @@
 use super::optimizer::PlanError;
 use super::physical::PhysicalPlan;
 use super::OUT_TUPLE_BYTES;
-use crate::ctx::ExecContext;
+use crate::backend::MemoryBackend;
+use crate::ctx::{ExecContext, RunStats};
 use crate::ops;
 use crate::planner::JoinAlgorithm;
 use crate::relation::Relation;
@@ -32,8 +33,8 @@ pub struct PlanRun {
 /// nodes). Every operator runs for real over the simulated memory of
 /// `ctx`; sorts (including the sort phases of merge joins) act in place
 /// on their input.
-pub fn execute(
-    ctx: &mut ExecContext,
+pub fn execute<B: MemoryBackend>(
+    ctx: &mut ExecContext<B>,
     plan: &PhysicalPlan,
     tables: &[Relation],
 ) -> Result<PlanRun, PlanError> {
@@ -46,14 +47,57 @@ pub fn execute(
     })
 }
 
+/// A base table by value: the backend-agnostic catalog entry for
+/// [`run_on`], used when the caller has not materialized [`Relation`]s
+/// into a context yet.
+#[derive(Debug, Clone)]
+pub struct TableDef {
+    /// Region/relation display name.
+    pub name: String,
+    /// The key column.
+    pub keys: Vec<u64>,
+    /// Tuple width in bytes.
+    pub w: u64,
+}
+
+impl TableDef {
+    /// A `w`-byte-tuple table over the given key column.
+    pub fn new(name: impl Into<String>, keys: Vec<u64>, w: u64) -> TableDef {
+        TableDef {
+            name: name.into(),
+            keys,
+            w,
+        }
+    }
+}
+
+/// Lowering picks the backend: materialize `tables` into `ctx`'s memory
+/// (host-side setup) and execute `plan` there, measuring the run. The
+/// same call works on a simulated context ([`ExecContext::new`] — per-
+/// level misses and charged time) and a native one
+/// ([`ExecContext::native`](crate::native) — real buffers and wall-clock
+/// time); results are byte-identical across backends.
+pub fn run_on<B: MemoryBackend>(
+    ctx: &mut ExecContext<B>,
+    plan: &PhysicalPlan,
+    tables: &[TableDef],
+) -> Result<(PlanRun, RunStats<B>), PlanError> {
+    let rels: Vec<Relation> = tables
+        .iter()
+        .map(|t| ctx.relation_from_keys(&t.name, &t.keys, t.w))
+        .collect();
+    let (run, stats) = ctx.measure(|c| execute(c, plan, &rels));
+    run.map(|r| (r, stats))
+}
+
 fn next_name(seq: &mut u64) -> String {
     let name = format!("q{seq}");
     *seq += 1;
     name
 }
 
-fn exec_node(
-    ctx: &mut ExecContext,
+fn exec_node<B: MemoryBackend>(
+    ctx: &mut ExecContext<B>,
     plan: &PhysicalPlan,
     tables: &[Relation],
     phases: &mut Vec<Pattern>,
@@ -135,8 +179,8 @@ fn exec_node(
     }
 }
 
-fn exec_join(
-    ctx: &mut ExecContext,
+fn exec_join<B: MemoryBackend>(
+    ctx: &mut ExecContext<B>,
     u: &Relation,
     v: &Relation,
     algorithm: &JoinAlgorithm,

@@ -77,7 +77,7 @@ pub mod physical;
 pub const OUT_TUPLE_BYTES: u64 = 16;
 
 pub use catalog::StatsCatalog;
-pub use exec::{execute, PlanRun};
+pub use exec::{execute, run_on, PlanRun, TableDef};
 pub use logical::LogicalPlan;
 pub use optimizer::{Optimizer, PlanError, PlannedQuery, TableStats};
 pub use physical::PhysicalPlan;

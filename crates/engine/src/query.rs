@@ -15,6 +15,7 @@
 //! [`crate::plan::Optimizer`] when the algorithm choice should be
 //! cost-based).
 
+use crate::backend::MemoryBackend;
 use crate::ctx::ExecContext;
 use crate::plan::{self, PhysicalPlan};
 use crate::planner::JoinAlgorithm;
@@ -102,7 +103,7 @@ impl Pipeline {
 
     /// Execute over `input`, producing the output relation and the
     /// end-to-end pattern.
-    pub fn run(&self, ctx: &mut ExecContext, input: &Relation) -> QueryRun {
+    pub fn run<B: MemoryBackend>(&self, ctx: &mut ExecContext<B>, input: &Relation) -> QueryRun {
         let (node, tables) = self.lower(input);
         let run = plan::execute(ctx, &node, &tables)
             .expect("pipeline lowering references only its own tables");

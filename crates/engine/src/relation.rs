@@ -1,10 +1,16 @@
-//! Relations: fixed-width tuples in simulated memory.
+//! Relations: fixed-width tuples in backend memory.
 //!
 //! The engine is column-oriented in spirit (like the paper's Monet
 //! platform): a [`Relation`] is a single dense array of `n` fixed-width
 //! tuples whose first 8 bytes are a `u64` key and whose remaining
 //! `w − 8` bytes are payload. That layout is exactly a data region in the
 //! model's sense (§3.1), and every relation carries its [`Region`].
+//!
+//! A relation is addressed by `base + i·w` offsets into whichever
+//! [`MemoryBackend`](crate::backend::MemoryBackend) allocated it —
+//! simulated arena or native buffer — so the same `Relation` value works
+//! unchanged on either substrate (both use the same [`Addr`] space and
+//! bump-allocation rules).
 
 use gcm_core::Region;
 use gcm_sim::Addr;

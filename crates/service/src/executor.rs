@@ -18,7 +18,7 @@
 
 use gcm_core::{footprint_lines, Geometry, Pattern};
 use gcm_engine::plan::{self, PhysicalPlan, PlanError};
-use gcm_engine::{ExecContext, Relation};
+use gcm_engine::{ExecContext, MemoryBackend, NativeBackend, Relation};
 use gcm_hardware::{HardwareSpec, Sharing};
 use std::sync::Arc;
 
@@ -100,15 +100,39 @@ pub fn member_views(spec: &HardwareSpec, patterns: &[&Pattern]) -> Vec<HardwareS
         .collect()
 }
 
+/// One batch member's run on any backend: materialize the tables the
+/// plan references into the worker's context (host-side, before the
+/// measured interval — the service owns the data; unreferenced catalog
+/// slots become empty placeholders so scan indices stay valid), then
+/// execute the plan through [`gcm_engine::plan::execute`] and measure.
+fn run_member<B: MemoryBackend>(
+    ctx: &mut ExecContext<B>,
+    tables: &[Arc<TableData>],
+    plan: &PhysicalPlan,
+) -> Result<(u64, gcm_engine::RunStats<B>), PlanError> {
+    let referenced = plan.tables();
+    let rels: Vec<Relation> = tables
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            if referenced.contains(&i) {
+                ctx.relation_from_keys(&t.name, &t.keys, t.w)
+            } else {
+                ctx.relation(&t.name, 0, t.w)
+            }
+        })
+        .collect();
+    let (run, stats) = ctx.measure(|c| plan::execute(c, plan, &rels));
+    run.map(|r| (r.output.n(), stats))
+}
+
 /// Execute `plans` as one batch of `plans.len()` concurrent workers,
 /// each on its own footprint-proportional view ([`member_views`], built
 /// from `patterns` — the members' whole-plan patterns in batch order).
 /// Each worker materializes the tables its plan scans into its own
-/// simulated memory (host-side, uncharged — the service owns the data;
-/// a worker's view simulates its core's caches, not a private copy of
-/// the database; unreferenced catalog slots become empty placeholders
-/// so scan indices stay valid) and runs its plan through
-/// [`gcm_engine::plan::execute`]. Results come back in batch order.
+/// simulated memory (host-side, uncharged; a worker's view simulates
+/// its core's caches, not a private copy of the database) and runs its
+/// plan (`run_member`). Results come back in batch order.
 pub fn execute_batch(
     spec: &HardwareSpec,
     tables: &[Arc<TableData>],
@@ -125,21 +149,8 @@ pub fn execute_batch(
             .map(|(plan, view)| {
                 s.spawn(move || {
                     let mut ctx = ExecContext::new(view);
-                    let referenced = plan.tables();
-                    let rels: Vec<Relation> = tables
-                        .iter()
-                        .enumerate()
-                        .map(|(i, t)| {
-                            if referenced.contains(&i) {
-                                ctx.relation_from_keys(&t.name, &t.keys, t.w)
-                            } else {
-                                ctx.relation(&t.name, 0, t.w)
-                            }
-                        })
-                        .collect();
-                    let (run, stats) = ctx.measure(|c| plan::execute(c, plan, &rels));
-                    run.map(|r| ExecutedQuery {
-                        output_n: r.output.n(),
+                    run_member(&mut ctx, tables, plan).map(|(output_n, stats)| ExecutedQuery {
+                        output_n,
                         measured_ns: stats.total_ns(per_op_ns),
                         ops: stats.ops,
                     })
@@ -149,6 +160,46 @@ pub fn execute_batch(
         handles
             .into_iter()
             .map(|h| h.join().expect("service worker panicked"))
+            .collect()
+    });
+    results.into_iter().collect()
+}
+
+/// Execute `plans` as one batch of concurrent workers on the **host's
+/// real memory**: each query runs through the same plan executor over an
+/// [`ExecContext::native`] — real buffers, real loads, wall-clock
+/// latency. No member views are constructed (the hardware shares its
+/// caches itself; the footprint-proportional allocation the simulated
+/// pool enforces is exactly what the model *predicts* real hardware
+/// contention to look like), so comparing these latencies against the
+/// admission controller's `⊙` prices is the service-level
+/// calibrate → model → measure check. Results are byte-identical to the
+/// simulated pool's; `measured_ns` is wall time over the plan execution
+/// only (table materialization happens before the measured interval,
+/// like the simulated pool's uncharged setup) — but it still contains
+/// the in-plan host-side oracle passes, output allocation, and CPU
+/// work, so compare against predictions with generous bounds.
+pub fn execute_batch_native(
+    tables: &[Arc<TableData>],
+    plans: &[&PhysicalPlan],
+) -> Result<Vec<ExecutedQuery>, PlanError> {
+    let results: Vec<Result<ExecutedQuery, PlanError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = plans
+            .iter()
+            .map(|plan| {
+                s.spawn(move || {
+                    let mut ctx = ExecContext::native();
+                    run_member(&mut ctx, tables, plan).map(|(output_n, stats)| ExecutedQuery {
+                        output_n,
+                        measured_ns: NativeBackend::elapsed_ns(&stats.mem),
+                        ops: stats.ops,
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("native service worker panicked"))
             .collect()
     });
     results.into_iter().collect()
@@ -257,6 +308,28 @@ mod tests {
         let eps = Pattern::empty();
         let even = member_views(&spec, &[&eps, &eps]);
         assert_eq!(l2(&even[0]), l2(&even[1]));
+    }
+
+    #[test]
+    fn native_batch_matches_simulated_results() {
+        // Serving from native memory: same outputs and logical work as
+        // the simulated pool, real wall-clock latencies.
+        let spec = presets::tiny_smp(4);
+        let tables = catalog();
+        let select = PhysicalPlan::scan(0).select_lt(100);
+        let join = PhysicalPlan::scan(0)
+            .select_lt(200)
+            .join_with(PhysicalPlan::scan(1), JoinAlgorithm::Hash)
+            .group_count();
+        let eps = Pattern::empty();
+        let sim = execute_batch(&spec, &tables, &[&select, &join], &[&eps, &eps], 4.0).unwrap();
+        let native = execute_batch_native(&tables, &[&select, &join]).unwrap();
+        assert_eq!(native.len(), 2);
+        for (s, n) in sim.iter().zip(&native) {
+            assert_eq!(s.output_n, n.output_n);
+            assert_eq!(s.ops, n.ops);
+            assert!(n.measured_ns > 0.0, "wall clock must advance");
+        }
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub mod mix;
 
 pub use admission::{AdmissionConfig, BatchDecision};
 pub use cache::{PlanCache, PlanKey};
-pub use executor::{ExecutedQuery, TableData};
+pub use executor::{execute_batch_native, ExecutedQuery, TableData};
 pub use metrics::{BatchRecord, QueryRecord, ServiceMetrics};
 pub use mix::{plan_for, TenantTables};
 
@@ -326,6 +326,19 @@ impl QueryService {
         });
         self.sync_cache_counters();
         Ok(batch_idx)
+    }
+
+    /// Execute an admitted batch on the **host's real memory** instead
+    /// of the simulated pool ([`executor::execute_batch_native`]):
+    /// identical results, wall-clock latencies. Native runs are returned
+    /// rather than folded into [`ServiceMetrics`] — the metrics compare
+    /// the model against the *simulator*, whose charged clock shares the
+    /// model's units; wall-clock comparisons belong to the
+    /// calibrate-then-validate workflow with its own documented bounds.
+    /// The batch's queries are consumed like
+    /// [`execute_batch`](QueryService::execute_batch) would.
+    pub fn execute_batch_native(&mut self, batch: Batch) -> Result<Vec<ExecutedQuery>, PlanError> {
+        executor::execute_batch_native(&self.tables, &batch.plans())
     }
 
     /// Drain the queue: form and execute batches until nothing is

@@ -14,11 +14,14 @@
 //!   patterns, the miss-estimation formulas (Eq 4.2–4.9), the `⊕`/`⊙`
 //!   combinators with cache-state and footprint rules (§5), and cost
 //!   scoring (Eq 3.1/6.1).
-//! * [`engine`] — a column-oriented main-memory engine whose operators run
-//!   over simulated memory and describe themselves in the pattern language
-//!   (paper Table 2).
+//! * [`engine`] — a column-oriented main-memory engine whose operators are
+//!   generic over a pluggable memory backend — the cache simulator or the
+//!   host's real memory — and describe themselves in the pattern language
+//!   (paper Table 2); results are byte-identical across backends.
 //! * [`calibrate`] — the Calibrator: recovers the hardware parameters by
-//!   micro-benchmarking the memory hierarchy (paper §2.3 / `[MBK00b]`).
+//!   micro-benchmarking the memory hierarchy (paper §2.3 / `[MBK00b]`),
+//!   against the simulator or — with real pointer chases — the very
+//!   machine the tests run on (`calibrate::calibrate_host`).
 //! * [`workload`] — deterministic data generators for the experiments.
 //! * [`service`] — the cache-contention-aware query service: a plan cache
 //!   keyed by (plan fingerprint, statistics epoch), a `⊙`-priced admission

@@ -18,6 +18,7 @@ const EXAMPLES: &[&str] = &[
     "partition_tuning",
     "serve_mixed_tenants",
     "calibrate_then_model",
+    "native_validation",
 ];
 
 #[test]

@@ -12,6 +12,7 @@
 use crate::eval::{self, footprint_lines, CacheState};
 use crate::misses::{Geometry, MissPair};
 use crate::pattern::Pattern;
+use crate::region::Region;
 use gcm_hardware::{HardwareSpec, Sharing};
 use std::fmt;
 
@@ -317,6 +318,27 @@ impl CostModel {
     /// thread 0's residue at private levels and the threads' combined
     /// residue at shared levels.
     pub fn advance_parallel(&self, threads: &[Pattern], st: &mut HierarchyState) -> ParallelCost {
+        self.advance_parallel_shared(threads, st, &[])
+    }
+
+    /// [`advance_parallel`](CostModel::advance_parallel) with *shared
+    /// data*: regions in `shared` (immutable structures several threads
+    /// reference, e.g. one hash-join build probed by co-admitted
+    /// queries) are counted **once** in each shared level's capacity
+    /// denominator, not once per referencing thread — the threads
+    /// revisit the same physical lines, so under Eq 5.3 the data claims
+    /// one footprint. Each thread's numerator keeps its full footprint
+    /// (its claim on the level includes the shared lines it revisits),
+    /// so shares can sum above 1; they are clamped at 1 per thread (a
+    /// thread never sees more than the whole level). An empty `shared`
+    /// reproduces [`advance_parallel`](CostModel::advance_parallel)
+    /// exactly.
+    pub fn advance_parallel_shared(
+        &self,
+        threads: &[Pattern],
+        st: &mut HierarchyState,
+        shared: &[Region],
+    ) -> ParallelCost {
         let d = threads.len();
         if d <= 1 {
             let report = match threads.first() {
@@ -330,6 +352,14 @@ impl CostModel {
                 report,
             };
         }
+        let mut shared_unique: Vec<&Region> = Vec::with_capacity(shared.len());
+        for r in shared {
+            if !shared_unique.iter().any(|s| s.id() == r.id()) {
+                shared_unique.push(r);
+            }
+        }
+        let shared_ids: Vec<crate::region::RegionId> =
+            shared_unique.iter().map(|r| r.id()).collect();
         let mut per_thread_ns = vec![0.0; d];
         let mut levels = Vec::with_capacity(self.spec.levels().len());
         for (lvl, state) in self.spec.levels().iter().zip(st.states.iter_mut()) {
@@ -337,11 +367,22 @@ impl CostModel {
             let mut pairs = Vec::with_capacity(d);
             if lvl.sharing == Sharing::Shared {
                 let feet: Vec<f64> = threads.iter().map(|t| footprint_lines(t, &geo)).collect();
-                let total_foot: f64 = feet.iter().sum();
+                // Capacity denominator: per-thread footprints with the
+                // shared regions excluded, plus each referenced shared
+                // region's lines exactly once.
+                let mut denom: f64 = threads
+                    .iter()
+                    .map(|t| eval::footprint_lines_excluding(t, &geo, &shared_ids))
+                    .sum();
+                for r in &shared_unique {
+                    if threads.iter().any(|t| eval::references_region(t, r.id())) {
+                        denom += r.lines(geo.b as u64).max(1.0);
+                    }
+                }
                 let mut merged = CacheState::cold();
                 for (t, foot) in threads.iter().zip(&feet) {
-                    let share = if total_foot > 0.0 {
-                        foot / total_foot
+                    let share = if denom > 0.0 {
+                        (foot / denom).min(1.0)
                     } else {
                         1.0
                     };
@@ -397,13 +438,29 @@ impl CostModel {
     /// compare the batched wall time against serial execution — the
     /// admission predicate of a batch scheduler.
     pub fn batch_cost(&self, queries: &[Pattern], initial: &CacheState) -> BatchCost {
+        self.batch_cost_shared(queries, initial, &[])
+    }
+
+    /// [`batch_cost`](CostModel::batch_cost) with *shared data*: regions
+    /// in `shared` are counted once in every shared level's capacity
+    /// denominator no matter how many member queries reference them
+    /// ([`advance_parallel_shared`](CostModel::advance_parallel_shared))
+    /// — the pricing rule for co-admitted queries probing one shared
+    /// hash-join build. Solo prices are unaffected (a query alone never
+    /// double-counts anything).
+    pub fn batch_cost_shared(
+        &self,
+        queries: &[Pattern],
+        initial: &CacheState,
+        shared: &[Region],
+    ) -> BatchCost {
         if queries.is_empty() {
             return BatchCost {
                 per_query_ns: Vec::new(),
                 solo_ns: Vec::new(),
             };
         }
-        let par = self.advance_parallel(queries, &mut self.staged(initial));
+        let par = self.advance_parallel_shared(queries, &mut self.staged(initial), shared);
         let solo_ns = queries
             .iter()
             .map(|q| self.report_from(q, initial).mem_ns)
@@ -649,6 +706,55 @@ mod tests {
             batch.speedup()
         );
         assert!(batch.wall_ns() > batch.serial_ns());
+    }
+
+    #[test]
+    fn shared_region_is_counted_once_across_the_batch() {
+        // Two identical probe patterns over ONE hash-table region that
+        // fits the shared L2 alone but not twice. Counting the table per
+        // query halves each query's share and thrashes; declaring it
+        // shared restores (almost) the whole level to each member.
+        let model = CostModel::new(presets::tiny_smp(4));
+        let h = Region::new("H", 1_500, 8); // 12 KB vs 16 KB shared L2
+        let mk = |i: usize| {
+            Pattern::conc(vec![
+                Pattern::s_trav(Region::new(format!("U{i}"), 20_000, 8)),
+                Pattern::r_acc(h.clone(), 20_000),
+            ])
+        };
+        let queries = vec![mk(0), mk(1)];
+        let unshared = model.batch_cost(&queries, &CacheState::cold());
+        let shared =
+            model.batch_cost_shared(&queries, &CacheState::cold(), std::slice::from_ref(&h));
+        assert!(
+            shared.wall_ns() < 0.7 * unshared.wall_ns(),
+            "sharing the build must cut the wall: {} vs {}",
+            shared.wall_ns(),
+            unshared.wall_ns()
+        );
+        // Solo prices are untouched by the sharing declaration.
+        for (a, b) in shared.solo_ns.iter().zip(&unshared.solo_ns) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        // Declaring a region nobody references changes nothing.
+        let foreign = Region::new("X", 4_000, 8);
+        let noop = model.batch_cost_shared(&queries, &CacheState::cold(), &[foreign]);
+        assert!((noop.wall_ns() - unshared.wall_ns()).abs() < 1e-9);
+        // Duplicate declarations collapse to one.
+        let dup = model.batch_cost_shared(&queries, &CacheState::cold(), &[h.clone(), h]);
+        assert!((dup.wall_ns() - shared.wall_ns()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_shared_list_reproduces_batch_cost() {
+        let model = CostModel::new(presets::tiny_smp(4));
+        let queries: Vec<Pattern> = (0..3)
+            .map(|i| Pattern::rr_trav(Region::new(format!("Q{i}"), 1_200, 8), 4, 64))
+            .collect();
+        let plain = model.batch_cost(&queries, &CacheState::cold());
+        let empty = model.batch_cost_shared(&queries, &CacheState::cold(), &[]);
+        assert_eq!(plain.per_query_ns, empty.per_query_ns);
+        assert_eq!(plain.solo_ns, empty.solo_ns);
     }
 
     #[test]

@@ -124,6 +124,46 @@ pub fn footprint_lines(p: &Pattern, geo: &Geometry) -> f64 {
     }
 }
 
+/// [`footprint_lines`], with regions in `exclude` contributing nothing:
+/// the footprint of everything the pattern touches *except* the listed
+/// regions. The ⊙-with-shared-data rule
+/// ([`crate::CostModel::advance_parallel_shared`]) uses this to count an
+/// immutable region that several concurrent patterns reference — a
+/// shared hash-join build — **once** in the capacity denominator instead
+/// of once per referencing pattern (they revisit the *same* lines, so
+/// under Eq 5.3 the data claims one footprint, not `d`).
+pub fn footprint_lines_excluding(p: &Pattern, geo: &Geometry, exclude: &[RegionId]) -> f64 {
+    match p {
+        Pattern::Seq(ps) => ps
+            .iter()
+            .map(|q| footprint_lines_excluding(q, geo, exclude))
+            .fold(0.0_f64, f64::max)
+            .max(if ps.is_empty() { 0.0 } else { 1.0 }),
+        Pattern::Conc(ps) => ps
+            .iter()
+            .map(|q| footprint_lines_excluding(q, geo, exclude))
+            .sum(),
+        Pattern::Repeat { inner, .. } => footprint_lines_excluding(inner, geo, exclude),
+        basic => {
+            let r = basic.region().expect("basic pattern has a region");
+            if exclude.contains(&r.id()) {
+                0.0
+            } else {
+                footprint_lines(basic, geo)
+            }
+        }
+    }
+}
+
+/// Does the pattern contain a leaf over region `id`?
+pub fn references_region(p: &Pattern, id: RegionId) -> bool {
+    match p {
+        Pattern::Seq(ps) | Pattern::Conc(ps) => ps.iter().any(|q| references_region(q, id)),
+        Pattern::Repeat { inner, .. } => references_region(inner, id),
+        basic => basic.region().is_some_and(|r| r.id() == id),
+    }
+}
+
 /// Raw (cold-cache) misses of a basic pattern at one level.
 fn basic_misses(p: &Pattern, geo: &Geometry) -> MissPair {
     match p {

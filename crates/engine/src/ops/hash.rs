@@ -144,6 +144,67 @@ impl HashTable {
     }
 }
 
+/// CPU-operation estimate of the build phase over `items` inner tuples
+/// — the build's share of the planner's hash-join `ops` (read + hash +
+/// probe step + store per tuple). The service subtracts exactly this
+/// share when a query reuses a shared build instead of building.
+pub fn build_ops(items: u64) -> u64 {
+    4 * items
+}
+
+/// The slot array `[key₀, value₀, key₁, value₁, …]` (EMPTY-filled) that
+/// [`build_hash`] over a relation with these keys produces — computed
+/// host-side, a **pure function of the key sequence**. Because the
+/// layout is deterministic, co-admitted queries probing the same table
+/// can share one immutable build and still produce byte-identical join
+/// output (probing visits slots in the same order either way).
+pub fn build_layout(keys: &[u64]) -> Vec<u64> {
+    let capacity = table_slots(keys.len() as u64);
+    let mask = capacity - 1;
+    // Empty slots carry the EMPTY key and a zero value word — the same
+    // bytes [`HashTable::alloc`] leaves behind (it sentinel-fills only
+    // the key word of each slot; fresh memory is zeroed).
+    let mut slots = vec![0u64; 2 * capacity as usize];
+    for i in 0..capacity as usize {
+        slots[2 * i] = EMPTY;
+    }
+    for (i, &key) in keys.iter().enumerate() {
+        debug_assert_ne!(key, EMPTY);
+        let mut slot = mix(key) & mask;
+        while slots[2 * slot as usize] != EMPTY {
+            slot = (slot + 1) & mask;
+        }
+        slots[2 * slot as usize] = key;
+        slots[2 * slot as usize + 1] = i as u64;
+    }
+    slots
+}
+
+impl HashTable {
+    /// Materialize a pre-computed [`build_layout`] into memory as
+    /// host-side setup — the reuse path of a shared build: no charged
+    /// build accesses, identical bytes to what [`build_hash`] would
+    /// have produced.
+    pub fn from_layout<B: MemoryBackend>(
+        ctx: &mut ExecContext<B>,
+        name: &str,
+        layout: &[u64],
+    ) -> HashTable {
+        let capacity = (layout.len() / 2) as u64;
+        debug_assert!(capacity.is_power_of_two());
+        let slots = ctx.relation(name, capacity, ENTRY_BYTES);
+        for (i, pair) in layout.chunks_exact(2).enumerate() {
+            let addr = slots.tuple(i as u64);
+            ctx.mem.host_write_u64(addr, pair[0]);
+            ctx.mem.host_write_u64(addr + 8, pair[1]);
+        }
+        HashTable {
+            slots,
+            mask: capacity - 1,
+        }
+    }
+}
+
 /// Build a hash table over `v` (value = tuple index), reading the full
 /// inner tuples sequentially.
 pub fn build_hash<B: MemoryBackend>(
@@ -219,6 +280,12 @@ pub fn build_hash_pattern(v: &Region, h: &Region) -> Pattern {
 /// `s_trav(V) ⊙ r_trav(H) ⊕ s_trav(U) ⊙ r_acc(H, U.n) ⊙ s_trav(W)`.
 pub fn hash_join_pattern(u: &Region, v: &Region, h: &Region, w: &Region) -> Pattern {
     library::hash_join(u.clone(), v.clone(), h.clone(), w.clone())
+}
+
+/// Pattern of [`hash_join_with_table`] — the probe phase alone, for a
+/// query reusing a shared build: `s_trav(U) ⊙ r_acc(H, U.n) ⊙ s_trav(W)`.
+pub fn probe_hash_pattern(u: &Region, h: &Region, w: &Region) -> Pattern {
+    library::probe_hash(u.clone(), h.clone(), w.clone())
 }
 
 #[cfg(test)]
@@ -340,6 +407,30 @@ mod tests {
             large > 4.0 * small,
             "per-probe L2 misses must cliff: {small:.3} -> {large:.3}"
         );
+    }
+
+    #[test]
+    fn layout_is_byte_identical_to_a_charged_build() {
+        // The shared-build contract: materializing `build_layout` must
+        // reproduce a charged `build_hash` bit for bit, so sharing a
+        // build can never change join results.
+        let mut c = ctx();
+        let mut wl = Workload::new(11);
+        let keys = wl.shuffled_keys(1_000);
+        let v = c.relation_from_keys("V", &keys, 8);
+        let built = build_hash(&mut c, &v, "H");
+        let layout = build_layout(&keys);
+        let shared = HashTable::from_layout(&mut c, "Hs", &layout);
+        assert_eq!(built.capacity(), shared.capacity());
+        assert_eq!(
+            c.relation_bytes(&built.slots),
+            c.relation_bytes(&shared.slots),
+            "layout must match the charged build byte for byte"
+        );
+        // And the layout probes correctly.
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(HashTable::probe(&mut c, &shared, k), Some(i as u64));
+        }
     }
 
     #[test]

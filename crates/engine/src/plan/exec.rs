@@ -17,6 +17,7 @@ use crate::ops;
 use crate::planner::JoinAlgorithm;
 use crate::relation::Relation;
 use gcm_core::{Pattern, Region};
+use std::sync::Arc;
 
 /// Result of executing a plan: the real output plus the compound
 /// pattern describing everything that was executed.
@@ -29,6 +30,43 @@ pub struct PlanRun {
     pub pattern: Pattern,
 }
 
+/// An immutable, pre-computed hash-join build side shared between
+/// queries (see [`gcm_core`]'s `⊙` sharing story and the service's
+/// build registry).
+#[derive(Debug, Clone)]
+pub struct PrebuiltBuild {
+    /// The **canonical** model region for this build: every query
+    /// reusing the build describes its probes against this one region
+    /// identity, which is what lets Eq 5.3 footprints count the build
+    /// once across a batch.
+    pub region: Region,
+    /// The open-addressing slot array ([`ops::hash::build_layout`]):
+    /// byte-identical to what a charged build over the same base table
+    /// would produce.
+    pub layout: Arc<Vec<u64>>,
+}
+
+/// Provider of shared build sides during plan execution. `prebuilt`
+/// is consulted for every hash join whose build side is a direct base-
+/// table scan; returning `Some` replaces the charged build phase with
+/// host-side materialization of the shared layout (probe-only
+/// execution and pattern).
+pub trait BuildSource {
+    /// The shared build over base table `table`, if one exists.
+    fn prebuilt(&self, table: usize) -> Option<PrebuiltBuild>;
+}
+
+/// The default [`BuildSource`]: no sharing, every hash join builds its
+/// own table.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoPrebuilt;
+
+impl BuildSource for NoPrebuilt {
+    fn prebuilt(&self, _table: usize) -> Option<PrebuiltBuild> {
+        None
+    }
+}
+
 /// Execute `plan` over the catalog `tables` (indexed by the plan's scan
 /// nodes). Every operator runs for real over the simulated memory of
 /// `ctx`; sorts (including the sort phases of merge joins) act in place
@@ -38,9 +76,22 @@ pub fn execute<B: MemoryBackend>(
     plan: &PhysicalPlan,
     tables: &[Relation],
 ) -> Result<PlanRun, PlanError> {
+    execute_with_builds(ctx, plan, tables, &NoPrebuilt)
+}
+
+/// [`execute`] with a [`BuildSource`]: hash joins over base tables the
+/// source covers skip their build phase and probe the shared layout —
+/// same results bit for bit (the layout is a pure function of the base
+/// table), build cost charged to nobody in the batch.
+pub fn execute_with_builds<B: MemoryBackend>(
+    ctx: &mut ExecContext<B>,
+    plan: &PhysicalPlan,
+    tables: &[Relation],
+    builds: &dyn BuildSource,
+) -> Result<PlanRun, PlanError> {
     let mut phases = Vec::new();
     let mut seq = 0u64;
-    let output = exec_node(ctx, plan, tables, &mut phases, &mut seq)?;
+    let output = exec_node(ctx, plan, tables, builds, &mut phases, &mut seq)?;
     Ok(PlanRun {
         output,
         pattern: Pattern::seq(phases),
@@ -96,10 +147,23 @@ fn next_name(seq: &mut u64) -> String {
     name
 }
 
+/// The base-table index a subtree binds directly (through `Parallel`
+/// wrappers), if it is a bare scan — the only build sides eligible for
+/// sharing: anything with operators in between (selects, joins) is
+/// query-specific data.
+fn base_scan(plan: &PhysicalPlan) -> Option<usize> {
+    match plan {
+        PhysicalPlan::Scan { table } => Some(*table),
+        PhysicalPlan::Parallel { input, .. } => base_scan(input),
+        _ => None,
+    }
+}
+
 fn exec_node<B: MemoryBackend>(
     ctx: &mut ExecContext<B>,
     plan: &PhysicalPlan,
     tables: &[Relation],
+    builds: &dyn BuildSource,
     phases: &mut Vec<Pattern>,
     seq: &mut u64,
 ) -> Result<Relation, PlanError> {
@@ -113,7 +177,7 @@ fn exec_node<B: MemoryBackend>(
             })
         }
         PhysicalPlan::Select { input, threshold } => {
-            let current = exec_node(ctx, input, tables, phases, seq)?;
+            let current = exec_node(ctx, input, tables, builds, phases, seq)?;
             let name = next_name(seq);
             let out = ops::scan::select_lt(ctx, &current, *threshold, &name);
             phases.push(ops::scan::select_pattern(current.region(), out.region()));
@@ -124,12 +188,18 @@ fn exec_node<B: MemoryBackend>(
             right,
             algorithm,
         } => {
-            let u = exec_node(ctx, left, tables, phases, seq)?;
-            let v = exec_node(ctx, right, tables, phases, seq)?;
-            exec_join(ctx, &u, &v, algorithm, phases, seq)
+            let u = exec_node(ctx, left, tables, builds, phases, seq)?;
+            let v = exec_node(ctx, right, tables, builds, phases, seq)?;
+            // Shared builds only apply to hash joins whose build side
+            // is the base table itself.
+            let prebuilt = match algorithm {
+                JoinAlgorithm::Hash => base_scan(right).and_then(|t| builds.prebuilt(t)),
+                _ => None,
+            };
+            exec_join(ctx, &u, &v, algorithm, prebuilt, phases, seq)
         }
         PhysicalPlan::Aggregate { input } => {
-            let current = exec_node(ctx, input, tables, phases, seq)?;
+            let current = exec_node(ctx, input, tables, builds, phases, seq)?;
             let name = next_name(seq);
             let out = ops::aggregate::hash_group_count(ctx, &current, &name);
             let h = Region::new(
@@ -145,13 +215,13 @@ fn exec_node<B: MemoryBackend>(
             Ok(out)
         }
         PhysicalPlan::Sort { input } => {
-            let current = exec_node(ctx, input, tables, phases, seq)?;
+            let current = exec_node(ctx, input, tables, builds, phases, seq)?;
             ops::sort::quick_sort(ctx, &current);
             phases.push(ops::sort::quick_sort_pattern(current.region()));
             Ok(current)
         }
         PhysicalPlan::Dedup { input } => {
-            let current = exec_node(ctx, input, tables, phases, seq)?;
+            let current = exec_node(ctx, input, tables, builds, phases, seq)?;
             let name = next_name(seq);
             let out = ops::aggregate::sort_dedup(ctx, &current, &name);
             phases.push(ops::aggregate::sort_dedup_pattern(
@@ -161,7 +231,7 @@ fn exec_node<B: MemoryBackend>(
             Ok(out)
         }
         PhysicalPlan::Partition { input, m } => {
-            let current = exec_node(ctx, input, tables, phases, seq)?;
+            let current = exec_node(ctx, input, tables, builds, phases, seq)?;
             let name = next_name(seq);
             let parts = ops::partition::hash_partition(ctx, &current, *m, &name);
             phases.push(ops::partition::partition_pattern(
@@ -175,7 +245,7 @@ fn exec_node<B: MemoryBackend>(
         // scheduling and pricing, never results, so this executor runs
         // the wrapped operator serially. The multi-threaded realisation
         // lives in [`crate::parallel`].
-        PhysicalPlan::Parallel { input, .. } => exec_node(ctx, input, tables, phases, seq),
+        PhysicalPlan::Parallel { input, .. } => exec_node(ctx, input, tables, builds, phases, seq),
     }
 }
 
@@ -184,6 +254,7 @@ fn exec_join<B: MemoryBackend>(
     u: &Relation,
     v: &Relation,
     algorithm: &JoinAlgorithm,
+    prebuilt: Option<PrebuiltBuild>,
     phases: &mut Vec<Pattern>,
     seq: &mut u64,
 ) -> Result<Relation, PlanError> {
@@ -216,6 +287,29 @@ fn exec_join<B: MemoryBackend>(
             Ok(out)
         }
         JoinAlgorithm::Hash => {
+            if let Some(pre) = prebuilt {
+                // Shared build: materialize the layout host-side
+                // (uncharged — the build belongs to the registry, not
+                // this query) and run probe-only. Identical output to a
+                // charged build: the layout is deterministic.
+                debug_assert_eq!(
+                    pre.layout.len() as u64,
+                    2 * ops::hash::table_slots(v.n()),
+                    "shared layout sized for this build side"
+                );
+                let table =
+                    ops::hash::HashTable::from_layout(ctx, &format!("H({name})"), &pre.layout);
+                let out = ops::hash::hash_join_with_table(ctx, u, &table, &name, OUT_TUPLE_BYTES);
+                // The pattern cites the *canonical* region: co-admitted
+                // sharers present the same region identity, so Eq 5.3
+                // footprints count the build once.
+                phases.push(ops::hash::probe_hash_pattern(
+                    u.region(),
+                    &pre.region,
+                    out.region(),
+                ));
+                return Ok(out);
+            }
             let out = ops::hash::hash_join(ctx, u, v, &name, OUT_TUPLE_BYTES);
             let h = Region::new(
                 format!("H({name})"),
@@ -405,6 +499,60 @@ mod tests {
         let b = execute(&mut ctx, &wrapped, &tables).unwrap();
         assert_eq!(a.output.n(), b.output.n());
         assert_eq!(a.pattern.to_string(), b.pattern.to_string());
+    }
+
+    #[test]
+    fn shared_builds_preserve_results_byte_for_byte() {
+        // The same plan executed with and without a shared build must
+        // produce identical output bytes and drop exactly the build
+        // phase from its pattern.
+        struct DimBuild {
+            region: Region,
+            layout: Arc<Vec<u64>>,
+        }
+        impl BuildSource for DimBuild {
+            fn prebuilt(&self, table: usize) -> Option<PrebuiltBuild> {
+                (table == 1).then(|| PrebuiltBuild {
+                    region: self.region.clone(),
+                    layout: Arc::clone(&self.layout),
+                })
+            }
+        }
+        let star = Workload::new(83).star_scenario(1_500, 300, 1);
+        let plan = PhysicalPlan::scan(0)
+            .select_lt(150)
+            .join_with(PhysicalPlan::scan(1), JoinAlgorithm::Hash)
+            .group_count();
+        let run = |shared: bool| {
+            let mut ctx = ExecContext::new(presets::tiny());
+            let tables = vec![
+                ctx.relation_from_keys("F", &star.fact, 8),
+                ctx.relation_from_keys("D", &star.dims[0], 8),
+            ];
+            let source = DimBuild {
+                region: Region::new(
+                    "H#D@0",
+                    ops::hash::table_slots(star.dims[0].len() as u64),
+                    ops::hash::ENTRY_BYTES,
+                ),
+                layout: Arc::new(ops::hash::build_layout(&star.dims[0])),
+            };
+            let r = if shared {
+                execute_with_builds(&mut ctx, &plan, &tables, &source).unwrap()
+            } else {
+                execute(&mut ctx, &plan, &tables).unwrap()
+            };
+            let bytes = ctx.relation_bytes(&r.output);
+            (bytes, r.output.n(), r.pattern.to_string())
+        };
+        let (plain_bytes, plain_n, plain_pat) = run(false);
+        let (shared_bytes, shared_n, shared_pat) = run(true);
+        assert_eq!(plain_n, shared_n);
+        assert_eq!(plain_bytes, shared_bytes, "results must be byte-identical");
+        // The shared run's pattern has no build phase for the dim join.
+        assert!(plain_pat.contains("r_trav(H"), "{plain_pat}");
+        assert!(!shared_pat.contains("r_trav(H"), "{shared_pat}");
+        assert!(shared_pat.contains("r_acc(H#D@0"), "{shared_pat}");
     }
 
     #[test]

@@ -76,8 +76,10 @@ pub mod physical;
 /// 8-byte payload/count (the engine's `(key, value)` convention).
 pub const OUT_TUPLE_BYTES: u64 = 16;
 
-pub use catalog::StatsCatalog;
-pub use exec::{execute, run_on, PlanRun, TableDef};
+pub use catalog::{StatsCatalog, StatsSnapshot};
+pub use exec::{
+    execute, execute_with_builds, run_on, BuildSource, NoPrebuilt, PlanRun, PrebuiltBuild, TableDef,
+};
 pub use logical::LogicalPlan;
 pub use optimizer::{Optimizer, PlanError, PlannedQuery, TableStats};
 pub use physical::PhysicalPlan;

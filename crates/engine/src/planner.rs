@@ -154,7 +154,9 @@ pub fn join_candidates(model: &CostModel, inputs: &JoinInputs, w: &Region) -> Ve
         out.push(JoinCandidate {
             algorithm: JoinAlgorithm::Hash,
             pattern: ops::hash::hash_join_pattern(u, v, &h, w),
-            ops: 4 * v.n + 4 * u.n + inputs.out_n,
+            // Build share + probe share: kept in sync with the shared-
+            // build CPU adjustment through `ops::hash::build_ops`.
+            ops: ops::hash::build_ops(v.n) + 4 * u.n + inputs.out_n,
         });
     }
 

@@ -25,7 +25,7 @@
 //! after the other. Rejected candidates stay queued and are
 //! reconsidered for the following batch.
 
-use gcm_core::{CacheState, CostModel, Pattern};
+use gcm_core::{CacheState, CostModel, Pattern, Region};
 
 /// One pending query, as the admission controller sees it: its
 /// whole-plan compound pattern plus its predicted CPU time (Eq 6.1's
@@ -89,8 +89,9 @@ fn price(
     patterns: &[Pattern],
     cpus: &[f64],
     cfg: &AdmissionConfig,
+    shared: &[Region],
 ) -> (f64, f64, Vec<f64>) {
-    let batch = model.batch_cost(patterns, &CacheState::cold());
+    let batch = model.batch_cost_shared(patterns, &CacheState::cold(), shared);
     let per_query: Vec<f64> = batch
         .per_query_ns
         .iter()
@@ -109,11 +110,18 @@ fn price(
 }
 
 /// Greedily form the next batch from `candidates` (the pending queue in
-/// arrival order). Returns `None` on an empty queue.
+/// arrival order). Returns `None` on an empty queue. `shared` lists the
+/// canonical regions of data candidates may *share* (immutable build
+/// sides from the [`BuildRegistry`](crate::builds::BuildRegistry)):
+/// pricing counts each such region once across the forming batch
+/// (Eq 5.3 with shared data), so two queries probing the same build
+/// look as cheap together as the composition they actually are. Pass
+/// `&[]` when nothing is shared.
 pub fn next_batch(
     model: &CostModel,
     candidates: &[Candidate<'_>],
     cfg: &AdmissionConfig,
+    shared: &[Region],
 ) -> Option<BatchDecision> {
     if candidates.is_empty() {
         return None;
@@ -125,14 +133,14 @@ pub fn next_batch(
     let mut patterns = vec![candidates[0].pattern.clone()];
     let mut cpus = vec![candidates[0].cpu_ns];
     let mut admitted = vec![0usize];
-    let (mut wall, mut serial, mut per_query) = price(model, &patterns, &cpus, cfg);
+    let (mut wall, mut serial, mut per_query) = price(model, &patterns, &cpus, cfg, shared);
     for (idx, cand) in candidates.iter().enumerate().skip(1) {
         if patterns.len() >= max_batch {
             break;
         }
         patterns.push(cand.pattern.clone());
         cpus.push(cand.cpu_ns);
-        let (t_wall, t_serial, t_per_query) = price(model, &patterns, &cpus, cfg);
+        let (t_wall, t_serial, t_per_query) = price(model, &patterns, &cpus, cfg, shared);
         // solo(q): the candidate's own serial contribution is the
         // difference of the serial sums (solo mem + cpu + dispatch).
         let solo = t_serial - serial;
@@ -168,7 +176,7 @@ mod tests {
     #[test]
     fn empty_queue_has_no_batch() {
         let model = CostModel::new(presets::tiny_smp(4));
-        assert!(next_batch(&model, &[], &cfg(4)).is_none());
+        assert!(next_batch(&model, &[], &cfg(4), &[]).is_none());
     }
 
     #[test]
@@ -184,7 +192,7 @@ mod tests {
                 cpu_ns: 10_000.0,
             })
             .collect();
-        let d = next_batch(&model, &candidates, &cfg(4)).unwrap();
+        let d = next_batch(&model, &candidates, &cfg(4), &[]).unwrap();
         assert_eq!(d.admitted, vec![0, 1, 2, 3], "core budget caps at 4");
         assert!(d.predicted_speedup() > 2.0, "{}", d.predicted_speedup());
         assert!(d.predicted_wall_ns < d.predicted_serial_ns);
@@ -206,8 +214,38 @@ mod tests {
                 cpu_ns: 0.0,
             })
             .collect();
-        let d = next_batch(&model, &candidates, &cfg(4)).unwrap();
+        let d = next_batch(&model, &candidates, &cfg(4), &[]).unwrap();
         assert_eq!(d.admitted, vec![0], "contending pair must serialize");
+    }
+
+    #[test]
+    fn declared_sharing_admits_a_pair_that_would_otherwise_serialize() {
+        // Two probe patterns over ONE table region that fits the shared
+        // L2 once but not twice. Priced as private data, the pair
+        // serializes; declared shared (one immutable build both probe),
+        // the composition is admitted.
+        let model = CostModel::new(presets::tiny_smp(4));
+        let h = Region::new("H", 1_500, 8);
+        let patterns: Vec<Pattern> = (0..2)
+            .map(|i| {
+                Pattern::conc(vec![
+                    Pattern::s_trav(Region::new(format!("U{i}"), 2_000, 8)),
+                    Pattern::r_acc(h.clone(), 200_000),
+                ])
+            })
+            .collect();
+        let candidates: Vec<Candidate<'_>> = patterns
+            .iter()
+            .map(|p| Candidate {
+                pattern: p,
+                cpu_ns: 0.0,
+            })
+            .collect();
+        let private = next_batch(&model, &candidates, &cfg(4), &[]).unwrap();
+        assert_eq!(private.admitted, vec![0], "private builds must serialize");
+        let shared = next_batch(&model, &candidates, &cfg(4), &[h]).unwrap();
+        assert_eq!(shared.admitted, vec![0, 1], "shared build must batch");
+        assert!(shared.predicted_speedup() > 1.0);
     }
 
     #[test]
@@ -227,7 +265,7 @@ mod tests {
                 cpu_ns: 0.0,
             })
             .collect();
-        let d = next_batch(&model, &candidates, &cfg(4)).unwrap();
+        let d = next_batch(&model, &candidates, &cfg(4), &[]).unwrap();
         assert!(d.admitted.contains(&0));
         assert!(!d.admitted.contains(&1), "twin must be skipped");
         assert!(d.admitted.contains(&2) && d.admitted.contains(&3));
@@ -243,7 +281,7 @@ mod tests {
             pattern: &p,
             cpu_ns: 5_000.0,
         }];
-        let d = next_batch(&model, &candidates, &cfg(4)).unwrap();
+        let d = next_batch(&model, &candidates, &cfg(4), &[]).unwrap();
         assert_eq!(d.admitted, vec![0]);
         assert!((d.predicted_wall_ns - d.predicted_serial_ns).abs() < 1e-9);
         assert!((d.predicted_speedup() - 1.0).abs() < 1e-9);
@@ -259,7 +297,7 @@ mod tests {
                 cpu_ns: 0.0,
             },
         ];
-        let d1 = next_batch(&model, &two, &cfg(1)).unwrap();
+        let d1 = next_batch(&model, &two, &cfg(1), &[]).unwrap();
         assert_eq!(d1.admitted, vec![0]);
     }
 }

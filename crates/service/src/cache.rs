@@ -12,16 +12,25 @@
 //! statistics.
 //!
 //! The cache is shared by the executor-pool threads, so it must be
-//! concurrency-correct: per-key [`OnceLock`] slots guarantee that many
-//! threads racing on one key run the optimizer **once** and everyone
-//! else blocks until the winner's result is published — never a
-//! deadlock, never a duplicated optimization (asserted by the
+//! concurrency-correct **and** contention-free on the hot path. Entries
+//! live in a [`gcm_trie::TrieMap`]: a hit is a wait-free snapshot read
+//! (no mutex at all — the structure that made lookups a serialization
+//! point at high reader counts is gone; see the `plan_cache_contention`
+//! bench), while a miss takes the trie's writer path once to install a
+//! per-key [`OnceLock`] slot. The slot guarantees that many threads
+//! racing on one key run the optimizer **once** and everyone else
+//! blocks until the winner's result is published — never a deadlock,
+//! never a duplicated optimization (asserted by the
 //! [`PlanCache::optimizer_runs`] counter in the property tests).
+//!
+//! The pre-trie implementation is kept as `MutexPlanCache` behind the
+//! `mutex-baseline` feature, solely so the contention bench can measure
+//! what was replaced.
 
 use gcm_engine::plan::{LogicalPlan, PlanError, PlannedQuery};
-use std::collections::HashMap;
+use gcm_trie::TrieMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 
 /// A plan-cache key: the logical plan's structural fingerprint
 /// ([`LogicalPlan::fingerprint`](gcm_engine::plan::LogicalPlan::fingerprint))
@@ -30,13 +39,15 @@ pub type PlanKey = (u64, u64);
 
 type Slot = Arc<OnceLock<(LogicalPlan, Result<Arc<PlannedQuery>, PlanError>)>>;
 
-/// A concurrent memo table from [`PlanKey`] to optimized plans.
+/// A concurrent memo table from [`PlanKey`] to optimized plans, with
+/// wait-free hit-path lookups over trie snapshots.
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    entries: Mutex<HashMap<PlanKey, Slot>>,
+    entries: TrieMap<PlanKey, Slot>,
     hits: AtomicU64,
     misses: AtomicU64,
     optimizer_runs: AtomicU64,
+    retired: AtomicU64,
 }
 
 impl PlanCache {
@@ -63,12 +74,14 @@ impl PlanCache {
         plan: &LogicalPlan,
         optimize: impl FnOnce() -> Result<PlannedQuery, PlanError>,
     ) -> Result<Arc<PlannedQuery>, PlanError> {
-        let slot: Slot = {
-            let mut entries = self.entries.lock().expect("plan cache poisoned");
-            entries.entry(key).or_default().clone()
+        // Hit path: a wait-free snapshot read, no lock anywhere. Only a
+        // vacant key takes the trie's writer path to install its slot.
+        let slot: Slot = match self.entries.snapshot().get(&key) {
+            Some(slot) => slot.clone(),
+            None => self.entries.get_or_insert_with(key, Slot::default),
         };
-        // The map lock is released before optimizing: a long
-        // optimization must never serialize lookups of other keys.
+        // No trie lock is held while optimizing: a long optimization
+        // must never serialize lookups or installs of other keys.
         let mut optimize = Some(optimize);
         let mut ran = false;
         let (stored, result) = slot.get_or_init(|| {
@@ -95,17 +108,17 @@ impl PlanCache {
     /// Drop every entry whose epoch predates `epoch`. Called after a
     /// stats-drift epoch bump: the stale keys can never be looked up
     /// again, so this only bounds memory, it is not needed for
-    /// correctness.
+    /// correctness. The survivors are published as one new trie root;
+    /// readers mid-lookup keep whatever snapshot they pinned.
     pub fn retire_epochs_before(&self, epoch: u64) -> usize {
-        let mut entries = self.entries.lock().expect("plan cache poisoned");
-        let before = entries.len();
-        entries.retain(|(_, e), _| *e >= epoch);
-        before - entries.len()
+        let removed = self.entries.retain(|(_, e), _| *e >= epoch);
+        self.retired.fetch_add(removed as u64, Ordering::Relaxed);
+        removed
     }
 
     /// Number of cached entries (including in-flight slots).
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("plan cache poisoned").len()
+        self.entries.len()
     }
 
     /// True when nothing is cached.
@@ -131,6 +144,11 @@ impl PlanCache {
         self.optimizer_runs.load(Ordering::Relaxed)
     }
 
+    /// Entries dropped by [`PlanCache::retire_epochs_before`] so far.
+    pub fn retired(&self) -> u64 {
+        self.retired.load(Ordering::Relaxed)
+    }
+
     /// Hit fraction of all lookups so far (0 when none).
     pub fn hit_rate(&self) -> f64 {
         let (h, m) = (self.hits() as f64, self.misses() as f64);
@@ -139,6 +157,65 @@ impl PlanCache {
         } else {
             0.0
         }
+    }
+}
+
+/// The pre-trie plan cache: every lookup — hit or miss — serializes on
+/// one mutex around a `HashMap`. Kept only as the baseline the
+/// `plan_cache_contention` bench measures [`PlanCache`] against; not
+/// part of the serving path.
+#[cfg(feature = "mutex-baseline")]
+#[derive(Debug, Default)]
+pub struct MutexPlanCache {
+    entries: std::sync::Mutex<std::collections::HashMap<PlanKey, Slot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    optimizer_runs: AtomicU64,
+}
+
+#[cfg(feature = "mutex-baseline")]
+impl MutexPlanCache {
+    /// An empty cache.
+    pub fn new() -> MutexPlanCache {
+        MutexPlanCache::default()
+    }
+
+    /// Mutex-serialized equivalent of [`PlanCache::get_or_optimize`]
+    /// (identical slot protocol, contended entry map).
+    pub fn get_or_optimize(
+        &self,
+        key: PlanKey,
+        plan: &LogicalPlan,
+        optimize: impl FnOnce() -> Result<PlannedQuery, PlanError>,
+    ) -> Result<Arc<PlannedQuery>, PlanError> {
+        let slot: Slot = {
+            let mut entries = self.entries.lock().expect("plan cache poisoned");
+            entries.entry(key).or_default().clone()
+        };
+        let mut optimize = Some(optimize);
+        let mut ran = false;
+        let (stored, result) = slot.get_or_init(|| {
+            ran = true;
+            self.optimizer_runs.fetch_add(1, Ordering::Relaxed);
+            let f = optimize.take().expect("init closure runs once");
+            (plan.clone(), f().map(Arc::new))
+        });
+        if ran {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else if stored != plan {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.optimizer_runs.fetch_add(1, Ordering::Relaxed);
+            let f = optimize.take().expect("closure unused on this path");
+            return f().map(Arc::new);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result.clone()
+    }
+
+    /// Lookups that found a published entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
     }
 }
 
@@ -196,6 +273,7 @@ mod tests {
         // Retiring the old epoch drops exactly one entry.
         assert_eq!(cache.retire_epochs_before(1), 1);
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.retired(), 1);
         assert!(!cache.is_empty());
     }
 
@@ -242,6 +320,33 @@ mod tests {
         // The winner's entry is untouched.
         cache
             .get_or_optimize(key, &plan, || panic!("winner stays cached"))
+            .unwrap();
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn lookups_keep_hitting_across_a_concurrent_retire() {
+        // A reader that pinned its snapshot before a retire keeps
+        // resolving against it; afterwards the key is simply gone.
+        let (model, plan, stats) = setup();
+        let cache = PlanCache::new();
+        let old_key = (plan.fingerprint(), 0);
+        let new_key = (plan.fingerprint(), 1);
+        cache
+            .get_or_optimize(old_key, &plan, || optimize_and_lower(&model, &plan, &stats))
+            .unwrap();
+        cache
+            .get_or_optimize(new_key, &plan, || optimize_and_lower(&model, &plan, &stats))
+            .unwrap();
+        assert_eq!(cache.retire_epochs_before(1), 1);
+        // The retired key misses (and re-optimizes) rather than erroring.
+        cache
+            .get_or_optimize(old_key, &plan, || optimize_and_lower(&model, &plan, &stats))
+            .unwrap();
+        assert_eq!(cache.optimizer_runs(), 3);
+        // The surviving key still hits.
+        cache
+            .get_or_optimize(new_key, &plan, || panic!("survivor stays cached"))
             .unwrap();
         assert_eq!(cache.hits(), 1);
     }

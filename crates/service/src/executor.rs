@@ -16,11 +16,42 @@
 //! plus the per-op CPU charge (Eq 6.1), and the batch's measured wall
 //! is the slowest member, which is what the `⊙` composition predicted.
 
-use gcm_core::{footprint_lines, Geometry, Pattern};
-use gcm_engine::plan::{self, PhysicalPlan, PlanError};
+use crate::builds::SharedBuild;
+use gcm_core::{
+    footprint_lines, footprint_lines_excluding, references_region, Geometry, Pattern, Region,
+    RegionId,
+};
+use gcm_engine::plan::{self, BuildSource, NoPrebuilt, PhysicalPlan, PlanError, PrebuiltBuild};
 use gcm_engine::{ExecContext, MemoryBackend, NativeBackend, Relation};
 use gcm_hardware::{HardwareSpec, Sharing};
 use std::sync::Arc;
+
+/// The builds one batch member may reuse, as a [`BuildSource`] for the
+/// plan executor: `prebuilt(t)` answers with the member's shared build
+/// over table `t`, if it holds one.
+#[derive(Debug, Default)]
+pub struct MemberBuilds {
+    builds: Vec<Arc<SharedBuild>>,
+}
+
+impl MemberBuilds {
+    /// A source over the given shared builds.
+    pub fn new(builds: Vec<Arc<SharedBuild>>) -> MemberBuilds {
+        MemberBuilds { builds }
+    }
+}
+
+impl BuildSource for MemberBuilds {
+    fn prebuilt(&self, table: usize) -> Option<PrebuiltBuild> {
+        self.builds
+            .iter()
+            .find(|b| b.table == table)
+            .map(|b| PrebuiltBuild {
+                region: b.region.clone(),
+                layout: Arc::clone(&b.layout),
+            })
+    }
+}
 
 /// One registered table's data: the key column the per-worker contexts
 /// materialize into their simulated memories.
@@ -39,11 +70,27 @@ pub struct TableData {
 pub struct ExecutedQuery {
     /// Output cardinality.
     pub output_n: u64,
+    /// FNV-1a hash of the output relation's raw bytes — the
+    /// result-equality surface: two executions of the same query agree
+    /// byte for byte iff their hashes agree (with or without shared
+    /// builds, on any backend).
+    pub output_hash: u64,
     /// Measured elapsed time: charged (simulated) memory latency plus
     /// `per_op_ns ×` logical ops (Eq 6.1), ns.
     pub measured_ns: f64,
     /// Logical CPU operations the query performed.
     pub ops: u64,
+}
+
+/// FNV-1a over a byte slice (order-sensitive, so tuple order matters —
+/// exactly what byte identity means).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// The per-member machine views of a batch: each member keeps every
@@ -54,11 +101,33 @@ pub struct ExecutedQuery {
 /// [`batch_cost`](gcm_core::CostModel::batch_cost) priced. A singleton
 /// batch sees the whole machine.
 pub fn member_views(spec: &HardwareSpec, patterns: &[&Pattern]) -> Vec<HardwareSpec> {
+    member_views_shared(spec, patterns, &[])
+}
+
+/// [`member_views`] with *shared data*: regions in `shared` (immutable
+/// builds several members probe) are counted once in each shared level's
+/// allocation denominator, mirroring the pricing rule of
+/// [`gcm_core::CostModel::batch_cost_shared`] — so the enforcement stays
+/// exactly what the admission controller priced. A member's own claim
+/// (numerator) keeps its full footprint, clamped at the whole level.
+pub fn member_views_shared(
+    spec: &HardwareSpec,
+    patterns: &[&Pattern],
+    shared: &[Region],
+) -> Vec<HardwareSpec> {
     let d = patterns.len();
     if d <= 1 {
         return patterns.iter().map(|_| spec.thread_view(1)).collect();
     }
-    // Footprint of every member at every shared level.
+    let mut shared_unique: Vec<&Region> = Vec::with_capacity(shared.len());
+    for r in shared {
+        if !shared_unique.iter().any(|s| s.id() == r.id()) {
+            shared_unique.push(r);
+        }
+    }
+    let shared_ids: Vec<RegionId> = shared_unique.iter().map(|r| r.id()).collect();
+    // Full footprint of every member at every level (its claim), and the
+    // capacity denominator with shared regions counted once.
     let feet: Vec<Vec<f64>> = patterns
         .iter()
         .map(|p| {
@@ -66,6 +135,23 @@ pub fn member_views(spec: &HardwareSpec, patterns: &[&Pattern]) -> Vec<HardwareS
                 .iter()
                 .map(|lvl| footprint_lines(p, &Geometry::of(lvl)))
                 .collect()
+        })
+        .collect();
+    let denom: Vec<f64> = spec
+        .levels()
+        .iter()
+        .map(|lvl| {
+            let geo = Geometry::of(lvl);
+            let mut total: f64 = patterns
+                .iter()
+                .map(|p| footprint_lines_excluding(p, &geo, &shared_ids))
+                .sum();
+            for r in &shared_unique {
+                if patterns.iter().any(|p| references_region(p, r.id())) {
+                    total += r.lines(geo.b as u64).max(1.0);
+                }
+            }
+            total
         })
         .collect();
     (0..d)
@@ -78,9 +164,8 @@ pub fn member_views(spec: &HardwareSpec, patterns: &[&Pattern]) -> Vec<HardwareS
                     if lvl.sharing != Sharing::Shared {
                         return lvl.clone();
                     }
-                    let total: f64 = feet.iter().map(|f| f[l]).sum();
-                    let share = if total > 0.0 {
-                        feet[i][l] / total
+                    let share = if denom[l] > 0.0 {
+                        (feet[i][l] / denom[l]).min(1.0)
                     } else {
                         1.0 / d as f64
                     };
@@ -109,7 +194,8 @@ fn run_member<B: MemoryBackend>(
     ctx: &mut ExecContext<B>,
     tables: &[Arc<TableData>],
     plan: &PhysicalPlan,
-) -> Result<(u64, gcm_engine::RunStats<B>), PlanError> {
+    builds: &dyn BuildSource,
+) -> Result<(u64, u64, gcm_engine::RunStats<B>), PlanError> {
     let referenced = plan.tables();
     let rels: Vec<Relation> = tables
         .iter()
@@ -122,8 +208,11 @@ fn run_member<B: MemoryBackend>(
             }
         })
         .collect();
-    let (run, stats) = ctx.measure(|c| plan::execute(c, plan, &rels));
-    run.map(|r| (r.output.n(), stats))
+    let (run, stats) = ctx.measure(|c| plan::execute_with_builds(c, plan, &rels, builds));
+    run.map(|r| {
+        let hash = fnv1a(&ctx.relation_bytes(&r.output));
+        (r.output.n(), hash, stats)
+    })
 }
 
 /// Execute `plans` as one batch of `plans.len()` concurrent workers,
@@ -140,20 +229,45 @@ pub fn execute_batch(
     patterns: &[&Pattern],
     per_op_ns: f64,
 ) -> Result<Vec<ExecutedQuery>, PlanError> {
+    let no_builds: Vec<MemberBuilds> = plans.iter().map(|_| MemberBuilds::default()).collect();
+    execute_batch_shared(spec, tables, plans, patterns, per_op_ns, &no_builds, &[])
+}
+
+/// [`execute_batch`] with shared build sides: `builds[i]` is member
+/// `i`'s [`MemberBuilds`] (the immutable hash-join builds its plan may
+/// probe instead of building), and `shared` the canonical regions of
+/// every build referenced by the batch — the member views allocate the
+/// shared levels with those regions counted once
+/// ([`member_views_shared`]), enforcing exactly what
+/// [`gcm_core::CostModel::batch_cost_shared`] priced at admission.
+pub fn execute_batch_shared(
+    spec: &HardwareSpec,
+    tables: &[Arc<TableData>],
+    plans: &[&PhysicalPlan],
+    patterns: &[&Pattern],
+    per_op_ns: f64,
+    builds: &[MemberBuilds],
+    shared: &[Region],
+) -> Result<Vec<ExecutedQuery>, PlanError> {
     assert_eq!(plans.len(), patterns.len());
-    let views = member_views(spec, patterns);
+    assert_eq!(plans.len(), builds.len());
+    let views = member_views_shared(spec, patterns, shared);
     let results: Vec<Result<ExecutedQuery, PlanError>> = std::thread::scope(|s| {
         let handles: Vec<_> = plans
             .iter()
             .zip(views)
-            .map(|(plan, view)| {
+            .zip(builds)
+            .map(|((plan, view), member)| {
                 s.spawn(move || {
                     let mut ctx = ExecContext::new(view);
-                    run_member(&mut ctx, tables, plan).map(|(output_n, stats)| ExecutedQuery {
-                        output_n,
-                        measured_ns: stats.total_ns(per_op_ns),
-                        ops: stats.ops,
-                    })
+                    run_member(&mut ctx, tables, plan, member).map(
+                        |(output_n, output_hash, stats)| ExecutedQuery {
+                            output_n,
+                            output_hash,
+                            measured_ns: stats.total_ns(per_op_ns),
+                            ops: stats.ops,
+                        },
+                    )
                 })
             })
             .collect();
@@ -189,11 +303,14 @@ pub fn execute_batch_native(
             .map(|plan| {
                 s.spawn(move || {
                     let mut ctx = ExecContext::native();
-                    run_member(&mut ctx, tables, plan).map(|(output_n, stats)| ExecutedQuery {
-                        output_n,
-                        measured_ns: NativeBackend::elapsed_ns(&stats.mem),
-                        ops: stats.ops,
-                    })
+                    run_member(&mut ctx, tables, plan, &NoPrebuilt).map(
+                        |(output_n, output_hash, stats)| ExecutedQuery {
+                            output_n,
+                            output_hash,
+                            measured_ns: NativeBackend::elapsed_ns(&stats.mem),
+                            ops: stats.ops,
+                        },
+                    )
                 })
             })
             .collect();
@@ -246,6 +363,7 @@ mod tests {
         for (plan, got) in [&select, &join].into_iter().zip(&batch) {
             let solo = execute_batch(&spec, &tables, &[plan], &[&eps], 4.0).unwrap();
             assert_eq!(solo[0].output_n, got.output_n);
+            assert_eq!(solo[0].output_hash, got.output_hash);
             assert_eq!(solo[0].ops, got.ops);
             assert!(got.measured_ns > 0.0);
         }
@@ -327,6 +445,10 @@ mod tests {
         assert_eq!(native.len(), 2);
         for (s, n) in sim.iter().zip(&native) {
             assert_eq!(s.output_n, n.output_n);
+            assert_eq!(
+                s.output_hash, n.output_hash,
+                "bytes must agree across backends"
+            );
             assert_eq!(s.ops, n.ops);
             assert!(n.measured_ns > 0.0, "wall clock must advance");
         }

@@ -55,22 +55,28 @@
 //! ```
 
 pub mod admission;
+pub mod builds;
 pub mod cache;
 pub mod executor;
 pub mod metrics;
 pub mod mix;
 
 pub use admission::{AdmissionConfig, BatchDecision};
+pub use builds::{strip_build_phase, BuildRegistry, SharedBuild};
+#[cfg(feature = "mutex-baseline")]
+pub use cache::MutexPlanCache;
 pub use cache::{PlanCache, PlanKey};
-pub use executor::{execute_batch_native, ExecutedQuery, TableData};
+pub use executor::{execute_batch_native, ExecutedQuery, MemberBuilds, TableData};
 pub use metrics::{BatchRecord, QueryRecord, ServiceMetrics};
 pub use mix::{plan_for, TenantTables};
 
-use gcm_core::{CostModel, CpuCost};
+use gcm_core::{CostModel, CpuCost, Pattern, Region};
+use gcm_engine::ops::hash::build_ops;
 use gcm_engine::plan::{
     catalog::DEFAULT_DRIFT_THRESHOLD, optimize_and_lower, optimizer::DEFAULT_THREAD_SPAWN_NS,
     LogicalPlan, PhysicalPlan, PlanError, PlannedQuery, StatsCatalog, TableStats,
 };
+use gcm_engine::planner::JoinAlgorithm;
 use gcm_hardware::HardwareSpec;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -107,6 +113,16 @@ struct Pending {
     id: u64,
     plan: LogicalPlan,
     planned: Arc<PlannedQuery>,
+    /// The pattern the admission controller prices: the planned pattern
+    /// with every shared build phase stripped and the probe redirected
+    /// at the build's canonical region ([`strip_build_phase`]); the
+    /// planned pattern unchanged when nothing is shared.
+    pattern: Arc<Pattern>,
+    /// Predicted CPU time matching `pattern`: the planned `cpu_ns`
+    /// minus the build share of every stripped build phase.
+    cpu_ns: f64,
+    /// The shared builds this query probes instead of building.
+    builds: Vec<Arc<SharedBuild>>,
 }
 
 /// An admitted batch, ready to execute. Produced by
@@ -165,6 +181,7 @@ pub struct QueryService {
     catalog: StatsCatalog,
     tables: Vec<Arc<TableData>>,
     cache: Arc<PlanCache>,
+    builds: Arc<BuildRegistry>,
     queue: VecDeque<Pending>,
     cfg: ServiceConfig,
     next_id: u64,
@@ -188,6 +205,7 @@ impl QueryService {
             catalog: StatsCatalog::new(Vec::new()).with_drift_threshold(cfg.drift_threshold),
             tables: Vec::new(),
             cache: Arc::new(PlanCache::new()),
+            builds: Arc::new(BuildRegistry::new()),
             queue: VecDeque::new(),
             cfg,
             next_id: 0,
@@ -222,22 +240,72 @@ impl QueryService {
         });
         let bumped = self.catalog.update(idx, stats);
         if bumped {
-            self.cache.retire_epochs_before(self.catalog.epoch());
+            let epoch = self.catalog.epoch();
+            self.cache.retire_epochs_before(epoch);
+            self.builds.retire_epochs_before(epoch);
         }
         bumped
     }
 
-    /// Submit a logical plan: optimize it (through the plan cache) and
-    /// append it to the pending queue. Returns the query id.
+    /// Submit a logical plan: optimize it (through the plan cache,
+    /// against a consistent statistics snapshot) and append it to the
+    /// pending queue, attaching the shared build side of every hash
+    /// join over a base table ([`BuildRegistry`]). Returns the query id.
     pub fn submit(&mut self, plan: LogicalPlan) -> Result<u64, PlanError> {
-        let key = (plan.fingerprint(), self.catalog.epoch());
+        let snap = self.catalog.snapshot();
+        let key = (plan.fingerprint(), snap.epoch());
         let planned = self.cache.get_or_optimize(key, &plan, || {
-            optimize_and_lower(&self.plan_model, &plan, self.catalog.tables())
+            optimize_and_lower(&self.plan_model, &plan, snap.tables())
         })?;
+        let (pattern, cpu_ns, builds) = self.attach_shared_builds(&planned, snap.epoch());
         let id = self.next_id;
         self.next_id += 1;
-        self.queue.push_back(Pending { id, plan, planned });
+        self.queue.push_back(Pending {
+            id,
+            plan,
+            planned,
+            pattern,
+            cpu_ns,
+            builds,
+        });
         Ok(id)
+    }
+
+    /// Register (or reuse) a shared build for every hash join in the
+    /// planned query whose build side is a base-table scan, returning
+    /// the query's serving-path pattern, its matching CPU prediction,
+    /// and the builds to hand the executor. The *first* query to request
+    /// a (table, epoch) build registers the layout but keeps its charged
+    /// build phase — somebody has to pay for the build, and it is the
+    /// builder. Every later query at the same key reuses: its build
+    /// phase is stripped, its probe redirected at the canonical shared
+    /// region, and the planner's build share subtracted from its CPU
+    /// prediction (via [`build_ops`] — the same term the planner
+    /// charged). A rewrite that does not match keeps the planned pattern
+    /// for that join, so prediction and execution never disagree.
+    fn attach_shared_builds(
+        &self,
+        planned: &PlannedQuery,
+        epoch: u64,
+    ) -> (Arc<Pattern>, f64, Vec<Arc<SharedBuild>>) {
+        let mut pattern = planned.pattern.clone();
+        let mut cpu_ns = planned.cpu_ns;
+        let mut builds: Vec<Arc<SharedBuild>> = Vec::new();
+        for t in hash_build_tables(&planned.plan) {
+            let Some(data) = self.tables.get(t) else {
+                continue;
+            };
+            let (b, computed) = self.builds.get_or_build(t, epoch, &data.keys);
+            if computed {
+                continue;
+            }
+            if let Some(stripped) = strip_build_phase(&pattern, &format!("T{t}"), &b.region) {
+                pattern = stripped;
+                cpu_ns -= CpuCost::default_planner().ns(build_ops(data.keys.len() as u64));
+                builds.push(b);
+            }
+        }
+        (Arc::new(pattern), cpu_ns.max(0.0), builds)
     }
 
     /// Number of queries waiting for admission.
@@ -254,10 +322,11 @@ impl QueryService {
             .queue
             .iter()
             .map(|p| admission::Candidate {
-                pattern: &p.planned.pattern,
-                cpu_ns: p.planned.cpu_ns,
+                pattern: &p.pattern,
+                cpu_ns: p.cpu_ns,
             })
             .collect();
+        let shared = shared_regions(self.queue.iter());
         let cfg = AdmissionConfig {
             max_batch: if self.cfg.max_batch == 0 {
                 self.spec.cores() as usize
@@ -266,7 +335,7 @@ impl QueryService {
             },
             dispatch_ns: self.cfg.dispatch_ns,
         };
-        let decision = admission::next_batch(&self.batch_model, &candidates, &cfg)?;
+        let decision = admission::next_batch(&self.batch_model, &candidates, &cfg, &shared)?;
         // `admitted` is strictly ascending (queue scan order): remove
         // back to front so earlier indices stay valid, then restore
         // admission order.
@@ -289,14 +358,21 @@ impl QueryService {
     /// metrics. Returns the index of the new
     /// [`BatchRecord`](ServiceMetrics::batches).
     pub fn execute_batch(&mut self, batch: Batch) -> Result<usize, PlanError> {
-        let patterns: Vec<&gcm_core::Pattern> =
-            batch.entries.iter().map(|p| &p.planned.pattern).collect();
-        let runs = executor::execute_batch(
+        let patterns: Vec<&Pattern> = batch.entries.iter().map(|p| p.pattern.as_ref()).collect();
+        let members: Vec<MemberBuilds> = batch
+            .entries
+            .iter()
+            .map(|p| MemberBuilds::new(p.builds.clone()))
+            .collect();
+        let shared = shared_regions(batch.entries.iter());
+        let runs = executor::execute_batch_shared(
             &self.spec,
             &self.tables,
             &batch.plans(),
             &patterns,
             self.cfg.per_op_ns,
+            &members,
+            &shared,
         )?;
         let batch_idx = self.metrics.batches.len();
         // The simulator cannot measure dispatch (it is host-side thread
@@ -316,6 +392,7 @@ impl QueryService {
                 predicted_ns: *predicted_ns,
                 measured_ns: run.measured_ns,
                 output_n: run.output_n,
+                output_hash: run.output_hash,
             });
         }
         self.metrics.batches.push(BatchRecord {
@@ -362,6 +439,11 @@ impl QueryService {
         &self.cache
     }
 
+    /// The shared build-side registry.
+    pub fn builds(&self) -> &Arc<BuildRegistry> {
+        &self.builds
+    }
+
     /// The statistics catalog (epoch, per-table stats).
     pub fn catalog(&self) -> &StatsCatalog {
         &self.catalog
@@ -376,7 +458,65 @@ impl QueryService {
         self.metrics.cache_hits = self.cache.hits();
         self.metrics.cache_misses = self.cache.misses();
         self.metrics.optimizer_runs = self.cache.optimizer_runs();
+        self.metrics.cache_retired = self.cache.retired();
+        self.metrics.builds_built = self.builds.built();
+        self.metrics.builds_reused = self.builds.reused();
     }
+}
+
+/// Catalog indices of every hash join in the plan whose build (inner)
+/// side is a base-table scan — the joins a [`SharedBuild`] can serve.
+/// One entry per join occurrence, in plan order.
+fn hash_build_tables(plan: &PhysicalPlan) -> Vec<usize> {
+    fn base_scan(p: &PhysicalPlan) -> Option<usize> {
+        match p {
+            PhysicalPlan::Scan { table } => Some(*table),
+            PhysicalPlan::Parallel { input, .. } => base_scan(input),
+            _ => None,
+        }
+    }
+    fn walk(p: &PhysicalPlan, out: &mut Vec<usize>) {
+        match p {
+            PhysicalPlan::Scan { .. } => {}
+            PhysicalPlan::Select { input, .. }
+            | PhysicalPlan::Aggregate { input }
+            | PhysicalPlan::Sort { input }
+            | PhysicalPlan::Dedup { input }
+            | PhysicalPlan::Partition { input, .. }
+            | PhysicalPlan::Parallel { input, .. } => walk(input, out),
+            PhysicalPlan::Join {
+                left,
+                right,
+                algorithm,
+            } => {
+                walk(left, out);
+                walk(right, out);
+                if *algorithm == JoinAlgorithm::Hash {
+                    if let Some(t) = base_scan(right) {
+                        out.push(t);
+                    }
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(plan, &mut out);
+    out
+}
+
+/// The canonical regions of every shared build attached to `entries`,
+/// each exactly once — the `shared` list for Eq 5.3-with-shared-data
+/// pricing and for the executor's member views.
+fn shared_regions<'a>(entries: impl Iterator<Item = &'a Pending>) -> Vec<Region> {
+    let mut out: Vec<Region> = Vec::new();
+    for p in entries {
+        for b in &p.builds {
+            if !out.iter().any(|r| r.id() == b.region.id()) {
+                out.push(b.region.clone());
+            }
+        }
+    }
+    out
 }
 
 /// Derive a relation's [`TableStats`] from its actual key column — the

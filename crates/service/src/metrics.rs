@@ -19,6 +19,10 @@ pub struct QueryRecord {
     pub measured_ns: f64,
     /// Output cardinality.
     pub output_n: u64,
+    /// FNV-1a hash of the output relation's bytes
+    /// ([`ExecutedQuery::output_hash`](crate::executor::ExecutedQuery)):
+    /// equal hashes ⇔ byte-identical results.
+    pub output_hash: u64,
 }
 
 impl QueryRecord {
@@ -71,6 +75,14 @@ pub struct ServiceMetrics {
     pub cache_misses: u64,
     /// Times the optimizer actually ran.
     pub optimizer_runs: u64,
+    /// Plan-cache entries retired by statistics-epoch bumps.
+    pub cache_retired: u64,
+    /// Shared hash-join builds computed
+    /// ([`BuildRegistry`](crate::builds::BuildRegistry) misses).
+    pub builds_built: u64,
+    /// Shared-build requests served from an existing build — every
+    /// reuse is one build phase a query skipped.
+    pub builds_reused: u64,
 }
 
 impl ServiceMetrics {
@@ -125,6 +137,11 @@ impl fmt::Display for ServiceMetrics {
             self.hit_rate() * 100.0,
             self.optimizer_runs,
         )?;
+        writeln!(
+            f,
+            "cache retired {}  shared builds {} built / {} reused",
+            self.cache_retired, self.builds_built, self.builds_reused,
+        )?;
         write!(
             f,
             "measured wall {:.2} ms  predicted-serial {:.2} ms  mean query error {:.0}%",
@@ -147,6 +164,7 @@ mod tests {
             predicted_ns: predicted,
             measured_ns: measured,
             output_n: 1,
+            output_hash: 0,
         }
     }
 
@@ -171,6 +189,9 @@ mod tests {
             cache_hits: 3,
             cache_misses: 1,
             optimizer_runs: 1,
+            cache_retired: 2,
+            builds_built: 1,
+            builds_reused: 3,
         };
         assert!((m.hit_rate() - 0.75).abs() < 1e-9);
         assert_eq!(m.max_batch_size(), 2);
@@ -181,6 +202,7 @@ mod tests {
         assert!((m.batches[0].accuracy() - 1.1).abs() < 1e-9);
         let s = m.to_string();
         assert!(s.contains("hit rate 75%"), "{s}");
+        assert!(s.contains("1 built / 3 reused"), "{s}");
     }
 
     #[test]

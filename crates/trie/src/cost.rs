@@ -1,0 +1,147 @@
+//! Pricing trie descent with the paper's pattern algebra.
+//!
+//! A lookup in an 8-ary hash-trie hops `avg_depth` nodes, each hop a
+//! hash-directed jump to an unpredictable address — exactly the
+//! *repetitive random access* basic pattern `r_acc(R, q)` (§3.2): `q`
+//! accesses spread uniformly over a region of `R.n` items. The node
+//! arena and the leaf-entry storage are two regions accessed
+//! concurrently (`⊙`), so a batch of lookups prices as
+//!
+//! ```text
+//! r_acc(TrieNodes, q · avg_depth) ⊙ r_acc(TrieEntries, q)
+//! ```
+//!
+//! [`TrieStats`] measures a snapshot's real shape (node count, mean
+//! descent depth) so the pattern reflects the structure as built, not a
+//! textbook ideal; the `trie_cost` integration test closes the
+//! calibrate → model → measure loop on the native backend.
+
+use crate::{Node, TrieSnapshot};
+use gcm_core::{Pattern, Region};
+
+/// Shape summary of one trie snapshot, sufficient to price lookups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrieStats {
+    /// Total nodes (branches + leaves).
+    pub nodes: u64,
+    /// Total entries stored in leaves.
+    pub entries: u64,
+    /// Mean root-to-entry node hops, entry-weighted (≥ 1 when
+    /// non-empty): the expected random touches per lookup.
+    pub avg_depth: f64,
+    /// Deepest root-to-entry hop count.
+    pub max_depth: u32,
+    /// Bytes per node as allocated (`size_of::<Node<K, V>>`).
+    pub node_bytes: u64,
+    /// Bytes per leaf entry (`size_of::<(K, V)>`).
+    pub entry_bytes: u64,
+}
+
+impl TrieStats {
+    /// The access pattern of `lookups` point queries against the
+    /// snapshot this summary was taken from: repetitive random accesses
+    /// over the node arena (one per hop) concurrent with the entry
+    /// touches in the leaves.
+    pub fn lookup_pattern(&self, lookups: u64) -> Pattern {
+        let nodes = Region::new("TrieNodes", self.nodes.max(1), self.node_bytes.max(1));
+        let entries = Region::new("TrieEntries", self.entries.max(1), self.entry_bytes.max(1));
+        let hops = ((lookups as f64 * self.avg_depth).ceil() as u64).max(lookups);
+        Pattern::conc(vec![
+            Pattern::r_acc(nodes, hops),
+            Pattern::r_acc(entries, lookups),
+        ])
+    }
+
+    /// Rough CPU work per lookup in "logical operations" for Eq 6.1's
+    /// `T_cpu = w_CPU · ops`: one hash plus one compare-and-branch per
+    /// hop, matching how the engine counts operator work.
+    pub fn lookup_ops(&self, lookups: u64) -> u64 {
+        ((lookups as f64 * (1.0 + self.avg_depth)).ceil() as u64).max(lookups)
+    }
+}
+
+impl<K, V> TrieSnapshot<K, V> {
+    /// Measure this version's shape for the cost model.
+    pub fn stats(&self) -> TrieStats {
+        let mut stats = TrieStats {
+            nodes: 0,
+            entries: 0,
+            avg_depth: 0.0,
+            max_depth: 0,
+            node_bytes: std::mem::size_of::<Node<K, V>>() as u64,
+            entry_bytes: std::mem::size_of::<(K, V)>() as u64,
+        };
+        let mut depth_sum = 0.0;
+        if let Some(node) = &self.root.node {
+            walk(node, 1, &mut stats, &mut depth_sum);
+        }
+        if stats.entries > 0 {
+            stats.avg_depth = depth_sum / stats.entries as f64;
+        }
+        stats
+    }
+}
+
+fn walk<K, V>(node: &Node<K, V>, depth: u32, stats: &mut TrieStats, depth_sum: &mut f64) {
+    stats.nodes += 1;
+    match node {
+        Node::Leaf { entries, .. } => {
+            stats.entries += entries.len() as u64;
+            *depth_sum += f64::from(depth) * entries.len() as f64;
+            stats.max_depth = stats.max_depth.max(depth);
+        }
+        Node::Branch { children } => {
+            for child in children.iter().flatten() {
+                walk(child, depth + 1, stats, depth_sum);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::TrieMap;
+
+    #[test]
+    fn stats_measure_the_real_shape() {
+        let map = TrieMap::new();
+        let snap = map.snapshot();
+        let empty = snap.stats();
+        assert_eq!((empty.nodes, empty.entries), (0, 0));
+        assert_eq!(empty.avg_depth, 0.0);
+
+        for i in 0..10_000u64 {
+            map.insert(i, [0u8; 8]);
+        }
+        let stats = map.snapshot().stats();
+        assert_eq!(stats.entries, 10_000);
+        assert!(stats.nodes >= stats.entries / 8, "8-ary fan-out bound");
+        // An 8-ary trie over 10k random hashes settles around
+        // log8(10k) ≈ 4.4 hops; allow generous slack either side.
+        assert!(
+            (3.0..=9.0).contains(&stats.avg_depth),
+            "avg depth {} out of the plausible band",
+            stats.avg_depth
+        );
+        assert!(f64::from(stats.max_depth) >= stats.avg_depth);
+        assert!(stats.node_bytes > 0 && stats.entry_bytes > 0);
+    }
+
+    #[test]
+    fn lookup_pattern_prices_descent_as_r_acc() {
+        let map = TrieMap::new();
+        for i in 0..4096u64 {
+            map.insert(i, i);
+        }
+        let stats = map.snapshot().stats();
+        let pattern = stats.lookup_pattern(1000);
+        let shown = pattern.to_string();
+        assert!(
+            shown.contains("r_acc(TrieNodes") && shown.contains("r_acc(TrieEntries"),
+            "{shown}"
+        );
+        assert!(shown.contains('⊙'), "{shown}");
+        // Hop count scales with lookups × depth.
+        assert!(stats.lookup_ops(1000) as f64 >= 1000.0 * stats.avg_depth);
+    }
+}

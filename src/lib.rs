@@ -38,4 +38,5 @@ pub use gcm_engine as engine;
 pub use gcm_hardware as hardware;
 pub use gcm_service as service;
 pub use gcm_sim as sim;
+pub use gcm_trie as trie;
 pub use gcm_workload as workload;

@@ -74,12 +74,15 @@ proptest! {
     fn drift_past_threshold_forces_reoptimization(seed in 0u64..1_000) {
         let model = CostModel::new(presets::tiny_smp(2));
         let (plan, stats) = scenario(seed);
-        let mut catalog = StatsCatalog::new(stats);
+        let catalog = StatsCatalog::new(stats);
         let cache = PlanCache::new();
         let lookup = |cache: &PlanCache, catalog: &StatsCatalog| {
+            // One transactional read pairs the epoch with the stats the
+            // optimizer sees — a mid-lookup drift update cannot tear it.
+            let snap = catalog.snapshot();
             cache
-                .get_or_optimize((plan.fingerprint(), catalog.epoch()), &plan, || {
-                    optimize_and_lower(&model, &plan, catalog.tables())
+                .get_or_optimize((plan.fingerprint(), snap.epoch()), &plan, || {
+                    optimize_and_lower(&model, &plan, snap.tables())
                 })
                 .unwrap()
         };
@@ -87,13 +90,13 @@ proptest! {
         prop_assert_eq!(cache.optimizer_runs(), 1);
         // A +10% refresh stays under the 20% threshold: same epoch,
         // cached plan reused.
-        let t0 = catalog.tables()[0].clone();
+        let t0 = catalog.snapshot().tables()[0].clone();
         let small = TableStats::uniform(t0.n + t0.n / 10, t0.w, t0.key_bound, t0.sorted);
         prop_assert!(!catalog.update(0, small));
         lookup(&cache, &catalog);
         prop_assert_eq!(cache.optimizer_runs(), 1);
         // A 3× blowup drifts past it: new epoch, fresh optimization.
-        let t0 = catalog.tables()[0].clone();
+        let t0 = catalog.snapshot().tables()[0].clone();
         let big = TableStats::uniform(t0.n * 3, t0.w, t0.key_bound, t0.sorted);
         prop_assert!(catalog.update(0, big));
         lookup(&cache, &catalog);
@@ -157,6 +160,139 @@ fn concurrent_lookups_never_double_optimize() {
         }
     });
     assert_eq!(cache.optimizer_runs(), 2);
+}
+
+/// (d) 8-thread stress on the trie-backed cache with inserts, lookups,
+/// and epoch retirement racing: the outcome must be *linearizable* —
+/// every lookup of a live key returns the one published plan for it,
+/// per-key optimization counts stay exact (1 for never-retired keys,
+/// ≥ 1 for keys raced by the retirer), and the global counters balance.
+#[test]
+fn concurrent_insert_lookup_retire_linearizes() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let model = CostModel::new(presets::tiny_smp(4));
+    let scenarios: Vec<_> = (0..4).map(|i| scenario(100 + i)).collect();
+    let cache = Arc::new(PlanCache::new());
+    // Per-(plan, epoch) optimizer-run counts, indexed [plan][epoch].
+    let runs: Vec<[AtomicU64; 2]> = (0..4)
+        .map(|_| [AtomicU64::new(0), AtomicU64::new(0)])
+        .collect();
+    const ROUNDS: usize = 40;
+    std::thread::scope(|s| {
+        for t in 0..8 {
+            let cache = Arc::clone(&cache);
+            let (model, scenarios, runs) = (&model, &scenarios, &runs);
+            s.spawn(move || {
+                for r in 0..ROUNDS {
+                    let i = (t + r) % scenarios.len();
+                    let epoch = ((t / 2 + r) % 2) as u64;
+                    let (plan, stats) = &scenarios[i];
+                    let got = cache
+                        .get_or_optimize((plan.fingerprint(), epoch), plan, || {
+                            runs[i][epoch as usize].fetch_add(1, Ordering::Relaxed);
+                            optimize_and_lower(model, plan, stats)
+                        })
+                        .unwrap();
+                    // Any published plan for this key is the right one.
+                    let fresh = optimize_and_lower(model, plan, stats).unwrap();
+                    assert_eq!(fresh.plan, got.plan);
+                    assert_eq!(fresh.mem_ns, got.mem_ns);
+                }
+            });
+        }
+        // The retirer races everyone: epoch-0 entries keep getting
+        // dropped mid-flight, epoch-1 entries must never be touched.
+        let cache = Arc::clone(&cache);
+        s.spawn(move || {
+            for _ in 0..20 {
+                cache.retire_epochs_before(1);
+                std::thread::yield_now();
+            }
+        });
+    });
+    // Counters balance: every lookup was a hit or a miss, every miss ran
+    // the optimizer exactly once, and the per-key counts add up.
+    assert_eq!(cache.hits() + cache.misses(), (8 * ROUNDS) as u64);
+    let total_runs: u64 = runs
+        .iter()
+        .flat_map(|by_epoch| by_epoch.iter())
+        .map(|c| c.load(Ordering::Relaxed))
+        .sum();
+    assert_eq!(cache.optimizer_runs(), total_runs);
+    assert_eq!(cache.misses(), total_runs);
+    for by_epoch in &runs {
+        // Epoch-1 keys survive every retirement: exactly one run each.
+        assert_eq!(by_epoch[1].load(Ordering::Relaxed), 1);
+        // Epoch-0 keys may be retired and re-optimized, never skipped.
+        assert!(by_epoch[0].load(Ordering::Relaxed) >= 1);
+    }
+    // A final retirement leaves exactly the four epoch-1 entries.
+    cache.retire_epochs_before(1);
+    assert_eq!(cache.len(), 4);
+}
+
+/// (e) Build-side sharing is invisible in the results: a service where
+/// later queries reuse the first query's hash-join build produces
+/// byte-identical output (same FNV over the output relation's bytes) to
+/// fresh one-query-per-service runs where sharing cannot engage.
+#[test]
+fn shared_builds_keep_results_byte_identical() {
+    // Sized so the optimizer picks a plain hash join on the modern SMP
+    // (the shape the registry shares); cuts vary the probe input only.
+    let cuts = [120u64, 180, 240, 300, 360];
+    let mut wl = Workload::new(314);
+    let star = wl.star_scenario(8_000, 1_000, 1);
+    let query = |cut: u64| {
+        LogicalPlan::scan(0)
+            .select_lt(cut)
+            .join(LogicalPlan::scan(1))
+            .group_count()
+    };
+
+    // Control: each query alone in a fresh service — the single
+    // submission is the build's first requester, so it keeps its
+    // charged build phase and nothing is reused.
+    let control: Vec<(u64, u64)> = cuts
+        .iter()
+        .map(|&cut| {
+            let mut svc = QueryService::new(presets::modern_smp(4));
+            svc.register_table("F", star.fact.clone(), 8);
+            svc.register_table("D", star.dims[0].clone(), 8);
+            svc.submit(query(cut)).unwrap();
+            svc.run().unwrap();
+            let m = svc.metrics();
+            assert_eq!(m.builds_reused, 0, "a lone query cannot reuse");
+            (m.queries[0].output_n, m.queries[0].output_hash)
+        })
+        .collect();
+
+    // Shared: all five queries through one service. The first
+    // submission registers the dim build, the other four reuse it.
+    let mut svc = QueryService::new(presets::modern_smp(4));
+    svc.register_table("F", star.fact.clone(), 8);
+    svc.register_table("D", star.dims[0].clone(), 8);
+    let ids: Vec<u64> = cuts
+        .iter()
+        .map(|&c| svc.submit(query(c)).unwrap())
+        .collect();
+    svc.run().unwrap();
+    let m = svc.metrics();
+    assert_eq!(m.builds_built, 1, "one build per (table, epoch)");
+    assert!(
+        m.builds_reused >= cuts.len() as u64 - 1,
+        "later queries must reuse: {} reuses",
+        m.builds_reused
+    );
+    for (i, id) in ids.iter().enumerate() {
+        let q = m.queries.iter().find(|q| q.id == *id).unwrap();
+        assert_eq!(q.output_n, control[i].0, "cardinality (cut {})", cuts[i]);
+        assert_eq!(
+            q.output_hash, control[i].1,
+            "bytes must be identical with and without sharing (cut {})",
+            cuts[i]
+        );
+    }
 }
 
 /// The service end of the same guarantees: repeated submissions of one

@@ -1,0 +1,14 @@
+fn main() {
+    let r = gcm_calibrate::calibrate_host(16 * 1024 * 1024);
+    println!("caches: {:#?}", r.caches);
+    println!("sustained_bw: {:?}", r.sustained_bw);
+    println!("prefetch_depth: {}", r.prefetch_depth);
+    println!("tlb: {:?}", r.tlb);
+    for bytes in [64 * 1024u64, 1 << 20, 8 << 20, 32 << 20] {
+        println!(
+            "sustained({} KiB) = {:.2} B/ns",
+            bytes / 1024,
+            gcm_calibrate::sustained_bytes_per_ns(bytes)
+        );
+    }
+}

@@ -58,6 +58,16 @@ pub struct CalibrationReport {
     pub caches: Vec<DetectedCache>,
     /// The TLB, if one was detected.
     pub tlb: Option<DetectedTlb>,
+    /// Sustained sequential bandwidth in bytes/ns per cache level
+    /// (aligned with `caches`), measured with interleaved independent
+    /// streams — the ceiling the overlap model prices sequential
+    /// misses at. Empty when not probed (the simulated pipeline
+    /// charges fixed latencies, so there is nothing to sustain).
+    pub sustained_bw: Vec<f64>,
+    /// Best software-prefetch look-ahead (in items) found by the
+    /// gather probe; 0 when not probed or when prefetching did not
+    /// help.
+    pub prefetch_depth: u64,
 }
 
 /// The Calibrator: measures a (simulated) machine blind and recovers its
@@ -90,7 +100,12 @@ impl Calibrator {
     pub fn run(&mut self) -> CalibrationReport {
         let tlb = self.detect_tlb();
         let caches = self.detect_caches(&tlb);
-        CalibrationReport { caches, tlb }
+        CalibrationReport {
+            caches,
+            tlb,
+            sustained_bw: Vec::new(),
+            prefetch_depth: 0,
+        }
     }
 
     /// TLB scan (stage 1).

@@ -74,6 +74,102 @@ pub trait MemoryBackend {
         self.host_write_bytes(b, &ta);
     }
 
+    /// Hint that the line holding `addr` will soon be **read**. Never
+    /// charged, never required for correctness: the simulator's charged
+    /// clock already prices every future access, so its hint is a no-op;
+    /// the native backend forwards it to the hardware prefetcher.
+    fn prefetch_read(&mut self, _addr: Addr) {}
+
+    /// Hint that the line holding `addr` will soon be **written**.
+    /// Uncharged no-op by default, like
+    /// [`prefetch_read`](MemoryBackend::prefetch_read).
+    fn prefetch_write(&mut self, _addr: Addr) {}
+
+    /// How many items ahead operators should issue software prefetches
+    /// on this backend. `0` disables prefetching entirely (the
+    /// simulator's default — hints would neither help nor be priced);
+    /// the native backend derives a positive distance from the
+    /// calibrated latency/bandwidth ratio.
+    fn prefetch_distance(&self) -> u64 {
+        0
+    }
+
+    /// Charged bulk scan: touch `u` bytes of each of `n` `w`-byte tuples
+    /// starting at `base` and return the wrapping sum of their 8-byte
+    /// keys. The default performs exactly the per-tuple charged loop the
+    /// scalar scan operator historically ran (one
+    /// [`touch`](MemoryBackend::touch) plus one uncharged key read per
+    /// tuple), so simulated counters are bit-identical whether or not an
+    /// operator routes through this entry point; vectorizing backends
+    /// override it with real SIMD sweeps that preserve the same
+    /// access/line accounting.
+    fn scan_sum_bulk(&mut self, base: Addr, n: u64, w: u64, u: u64) -> u64 {
+        let mut sum = 0u64;
+        for i in 0..n {
+            let addr = base + i * w;
+            self.touch(addr, u);
+            sum = sum.wrapping_add(self.host_read_u64(addr));
+        }
+        sum
+    }
+
+    /// Charged bulk filter: read each of `n` `w`-byte tuples at `src`
+    /// and copy those with key `< threshold` densely into `dst`
+    /// (`dst_w`-byte slots); returns the number of hits. The default is
+    /// exactly the scalar selection loop (per-tuple full-width
+    /// [`touch`](MemoryBackend::touch), then a charged
+    /// [`copy`](MemoryBackend::copy) of `min(w, dst_w)` bytes per hit);
+    /// overrides must preserve that accounting.
+    fn select_lt_bulk(
+        &mut self,
+        src: Addr,
+        n: u64,
+        w: u64,
+        threshold: u64,
+        dst: Addr,
+        dst_w: u64,
+    ) -> u64 {
+        let cw = w.min(dst_w);
+        let mut hits = 0u64;
+        for i in 0..n {
+            let addr = src + i * w;
+            self.touch(addr, w);
+            let key = self.host_read_u64(addr);
+            if key < threshold {
+                self.copy(addr, dst + hits * dst_w, cw);
+                hits += 1;
+            }
+        }
+        hits
+    }
+
+    /// Charged bulk hash-scatter: append each of `n` `w`-byte tuples at
+    /// `src` to its output buffer in `dst`, where `buckets[i]` names
+    /// tuple `i`'s buffer and `cursors[b]` is buffer `b`'s running write
+    /// position (a tuple index into `dst`, advanced by the call). The
+    /// default is exactly the scalar partition scatter (per-tuple
+    /// full-width [`touch`](MemoryBackend::touch) of the input, then a
+    /// charged [`copy`](MemoryBackend::copy) to the destination);
+    /// overrides must preserve that accounting.
+    fn partition_scatter_bulk(
+        &mut self,
+        src: Addr,
+        n: u64,
+        w: u64,
+        dst: Addr,
+        buckets: &[u32],
+        cursors: &mut [u64],
+    ) {
+        debug_assert_eq!(buckets.len() as u64, n);
+        for i in 0..n {
+            let from = src + i * w;
+            self.touch(from, w);
+            let b = buckets[i as usize] as usize;
+            self.copy(from, dst + cursors[b] * w, w);
+            cursors[b] += 1;
+        }
+    }
+
     /// Uncharged (setup/oracle) read of a `u64`.
     fn host_read_u64(&self, addr: Addr) -> u64;
 

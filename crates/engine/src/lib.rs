@@ -42,6 +42,7 @@
 
 pub mod backend;
 pub mod ctx;
+pub mod kernels;
 pub mod native;
 pub mod ops;
 pub mod parallel;

@@ -27,8 +27,18 @@ pub fn hash_group_count<B: MemoryBackend>(
         }
     }
     let table = HashTable::alloc(ctx, &format!("H({out_name})"), distinct.max(1));
-    // Aggregate: probe; on hit increment the count in place, else insert 1.
+    // Aggregate: probe; on hit increment the count in place, else insert
+    // 1. The upsert's random table line N tuples ahead is
+    // software-prefetched for write (uncharged hint; distance 0 on the
+    // simulator skips it).
+    let dist = ctx.mem.prefetch_distance();
+    let mask = table.capacity() - 1;
     for i in 0..input.n() {
+        if dist > 0 && i + dist < input.n() {
+            let ahead = ctx.mem.host_read_u64(input.tuple(i + dist));
+            ctx.mem
+                .prefetch_write(table.slot_addr(crate::ops::mix(ahead) & mask));
+        }
         let key = ctx.read_tuple(input, i);
         ctx.count_ops(1);
         upsert_count(ctx, &table, key);

@@ -49,7 +49,20 @@ pub fn join_partitions<B: MemoryBackend>(
     // them as one relation. Output sizes come from the per-pair joins; we
     // first compute total matches host-side to allocate the output once.
     let mut results: Vec<Relation> = Vec::with_capacity(m as usize);
+    let dist = ctx.mem.prefetch_distance();
     for j in 0..m {
+        // Warm-ahead: while pair j is joined, hint the first lines of
+        // the *next* pair's inputs (the per-pair build and probe inside
+        // the loop body carry their own N-ahead prefetching).
+        if dist > 0 && j + 1 < m {
+            let (un, vn) = (pu.part(j + 1), pv.part(j + 1));
+            if un.n() > 0 {
+                ctx.mem.prefetch_read(un.tuple(0));
+            }
+            if vn.n() > 0 {
+                ctx.mem.prefetch_read(vn.tuple(0));
+            }
+        }
         let uj = pu.part(j);
         let vj = pv.part(j);
         let table = build_hash(ctx, &vj, &format!("{out_name}.H{j}"));

@@ -67,12 +67,16 @@ pub fn hash_partition<B: MemoryBackend>(
     m: u64,
     out_name: &str,
 ) -> Partitioned {
-    assert!(m >= 1);
-    // Host-side counting pass (cardinality oracle).
+    assert!(m >= 1 && m <= u32::MAX as u64);
+    // Host-side counting pass (cardinality oracle); the per-tuple bucket
+    // is remembered so the scatter need not re-hash.
     let mut counts = vec![0u64; m as usize];
+    let mut buckets = Vec::with_capacity(input.n() as usize);
     for i in 0..input.n() {
         let key = ctx.mem.host_read_u64(input.tuple(i));
-        counts[bucket_of(key, m) as usize] += 1;
+        let b = bucket_of(key, m);
+        counts[b as usize] += 1;
+        buckets.push(b as u32);
     }
     let mut offsets = Vec::with_capacity(m as usize + 1);
     let mut acc = 0u64;
@@ -84,13 +88,22 @@ pub fn hash_partition<B: MemoryBackend>(
 
     let out = ctx.relation(out_name, input.n(), input.w());
     let mut cursors: Vec<u64> = offsets[..m as usize].to_vec();
-    for i in 0..input.n() {
-        let key = ctx.read_tuple(input, i);
-        ctx.count_ops(1);
-        let b = bucket_of(key, m) as usize;
-        let dst = cursors[b];
-        cursors[b] += 1;
-        ctx.copy_tuple(input, i, &out, dst);
+    // One logical op per tuple (the bucket decision); the scatter routes
+    // through the backend's bulk entry point, where the native kernel
+    // issues an N-ahead write prefetch of the destination cursor of the
+    // future tuple — the open-buffer stores are the nest() pattern's
+    // random component (uncharged hint; the simulator runs the
+    // reference loop with identical accounting).
+    if input.n() > 0 {
+        ctx.count_ops(input.n());
+        ctx.mem.partition_scatter_bulk(
+            input.tuple(0),
+            input.n(),
+            input.w(),
+            out.tuple(0),
+            &buckets,
+            &mut cursors,
+        );
     }
     Partitioned { rel: out, offsets }
 }

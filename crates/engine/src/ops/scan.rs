@@ -9,16 +9,14 @@ use gcm_core::{library, Pattern, Region};
 /// Scan the relation and sum the keys, touching `u` bytes of each tuple
 /// (`u = 8` reads just the key; `u = rel.w()` reads whole tuples).
 ///
-/// Logical ops: one per tuple.
+/// Routed through [`MemoryBackend::scan_sum_bulk`]: the simulator's
+/// default replays the historical per-tuple charged loop bit-for-bit,
+/// while the native backend substitutes a SIMD sweep for the dense
+/// key-only case. Logical ops: one per tuple, on every backend.
 pub fn scan_sum<B: MemoryBackend>(ctx: &mut ExecContext<B>, rel: &Relation, u: u64) -> u64 {
     let u = u.clamp(KEY_BYTES, rel.w());
-    let mut sum = 0u64;
-    for i in 0..rel.n() {
-        let addr = rel.tuple(i);
-        ctx.mem.touch(addr, u);
-        sum = sum.wrapping_add(ctx.mem.host_read_u64(addr));
-        ctx.count_ops(1);
-    }
+    let sum = ctx.mem.scan_sum_bulk(rel.base(), rel.n(), rel.w(), u);
+    ctx.count_ops(rel.n());
     sum
 }
 
@@ -49,15 +47,14 @@ pub fn select_lt<B: MemoryBackend>(
         }
     }
     let out = ctx.relation(out_name, hits, rel.w());
-    let mut cursor = 0u64;
-    for i in 0..rel.n() {
-        let key = ctx.read_tuple(rel, i);
-        ctx.count_ops(1);
-        if key < threshold {
-            ctx.copy_tuple(rel, i, &out, cursor);
-            cursor += 1;
-        }
-    }
+    // Charged pass through the backend's bulk filter: the default is
+    // the historical per-tuple touch-then-copy loop; the native backend
+    // vectorizes the predicate. Logical ops: one per input tuple.
+    let copied =
+        ctx.mem
+            .select_lt_bulk(rel.base(), rel.n(), rel.w(), threshold, out.base(), out.w());
+    ctx.count_ops(rel.n());
+    debug_assert_eq!(copied, hits, "oracle and charged pass must agree");
     out
 }
 

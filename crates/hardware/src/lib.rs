@@ -46,6 +46,7 @@ pub mod error;
 pub mod level;
 pub mod presets;
 pub mod spec;
+pub mod stride;
 pub mod text;
 
 pub use builder::HardwareBuilder;

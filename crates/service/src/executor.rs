@@ -297,12 +297,18 @@ pub fn execute_batch_native(
     tables: &[Arc<TableData>],
     plans: &[&PhysicalPlan],
 ) -> Result<Vec<ExecutedQuery>, PlanError> {
+    // Pre-size each worker's arena from the catalog footprint so the
+    // measured interval contains no growth reallocations: inputs plus
+    // headroom for partitions/hash tables/outputs (≈4× input bytes
+    // covers every plan shape the planner emits).
+    let table_bytes: u64 = tables.iter().map(|t| t.keys.len() as u64 * t.w).sum();
+    let arena = (4 * table_bytes).clamp(1 << 16, 1 << 30) as usize;
     let results: Vec<Result<ExecutedQuery, PlanError>> = std::thread::scope(|s| {
         let handles: Vec<_> = plans
             .iter()
             .map(|plan| {
                 s.spawn(move || {
-                    let mut ctx = ExecContext::native();
+                    let mut ctx = ExecContext::native_with_capacity(arena);
                     run_member(&mut ctx, tables, plan, &NoPrebuilt).map(
                         |(output_n, output_hash, stats)| ExecutedQuery {
                             output_n,

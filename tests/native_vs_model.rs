@@ -18,39 +18,49 @@
 //! Wall-clock measurements on a shared, possibly virtualized CI machine
 //! include host-side oracle passes, allocator work, and scheduling
 //! noise that neither the model nor the simulator prices, and the
-//! timing-only calibration cannot see line sizes or the TLB. The
-//! *enforced* assertion therefore only pins the order of magnitude:
-//! predicted and measured totals within a factor of
-//! [`GENEROUS_BOUND`] (25×) of each other. The `#[ignore]`d strict
-//! variant tightens this to [`STRICT_BOUND`] (8×) for runs on a quiet
-//! machine (`cargo test --release -- --ignored native_strict`);
-//! observed release-mode ratios on a quiet host are ~0.25 (the model
-//! underpredicts because the wall clock also contains the host-side
-//! cardinality-oracle passes and output allocation, which the pattern
-//! language deliberately does not describe).
+//! timing-only calibration cannot see line sizes. The *enforced*
+//! assertion pins predicted and measured totals within a factor of
+//! [`GENEROUS_BOUND`] (10×) of each other — tightened from the
+//! pre-kernel 25× now that (a) calibration also recovers the host TLB
+//! and per-level sustained bandwidths and (b) the prediction prices the
+//! pattern through the bandwidth-overlap extension of Eq 6.1, which
+//! matches what the vectorized/prefetched kernels actually achieve.
+//! The `#[ignore]`d strict variant tightens this to [`STRICT_BOUND`]
+//! (4×) for runs on a quiet machine
+//! (`cargo test --release -- --ignored native_strict`); observed
+//! release-mode ratios on a quiet host are ~0.3–0.6 (residual
+//! underprediction comes from the host-side cardinality-oracle passes
+//! and output allocation, which the pattern language deliberately does
+//! not describe).
 
 use gcm_calibrate::calibrate_host;
-use gcm_core::{CostModel, CpuCost};
+use gcm_core::{CostModel, CpuCost, OverlapParams};
 use gcm_engine::native::calibrate_per_op_ns;
 use gcm_engine::plan::{run_on, PhysicalPlan, TableDef};
 use gcm_engine::planner::JoinAlgorithm;
 use gcm_engine::{ExecContext, MemoryBackend, NativeBackend};
-use gcm_hardware::HardwareSpec;
 use gcm_workload::Workload;
 
 /// Enforced predicted/measured agreement factor (see module docs).
-const GENEROUS_BOUND: f64 = 25.0;
+const GENEROUS_BOUND: f64 = 10.0;
 
 /// Strict agreement factor for quiet machines (`--ignored`).
-const STRICT_BOUND: f64 = 8.0;
+const STRICT_BOUND: f64 = 4.0;
 
 /// Calibration sweep ceiling: past the LLC of anything we run on in CI.
 const CAL_MAX_BYTES: u64 = 16 * 1024 * 1024;
 
-fn host_spec() -> HardwareSpec {
-    calibrate_host(CAL_MAX_BYTES)
+/// Residual serialization factor of the overlap prediction: the native
+/// kernels overlap memory and compute well on dense scans but the
+/// per-tuple operator glue still serializes part of the work.
+const ALPHA: f64 = 1.0;
+
+fn host_model() -> (CostModel, OverlapParams) {
+    let report = calibrate_host(CAL_MAX_BYTES);
+    let spec = report
         .to_spec("host (calibrated)", 1_000.0)
-        .expect("calibrated parameters form a valid spec")
+        .expect("calibrated parameters form a valid spec");
+    (CostModel::new(spec), report.overlap_params(ALPHA))
 }
 
 fn star_tables(seed: u64, fact_n: usize, dim_n: usize) -> Vec<TableDef> {
@@ -65,6 +75,7 @@ fn star_tables(seed: u64, fact_n: usize, dim_n: usize) -> Vec<TableDef> {
 /// `(predicted_ns, measured_ns)`.
 fn predict_and_measure(
     model: &CostModel,
+    ov: &OverlapParams,
     per_op_ns: f64,
     plan: &PhysicalPlan,
     tables: &[TableDef],
@@ -72,8 +83,13 @@ fn predict_and_measure(
     let mut ctx = ExecContext::native();
     let (run, stats) = run_on(&mut ctx, plan, tables).expect("plan executes");
     // The execution-provided oracle: the compound pattern with actual
-    // cardinalities, priced on the calibrated model (Eq 3.1 + Eq 6.1).
-    let predicted = CpuCost::per_op(per_op_ns).eq61_ns(model.mem_ns(&run.pattern), stats.ops);
+    // cardinalities, priced on the calibrated model through the
+    // bandwidth-overlap extension of Eq 6.1 (sequential misses at the
+    // calibrated sustained bandwidths; `α`-weighted overlap of the
+    // memory and CPU terms).
+    let predicted = model
+        .overlap_ns(&run.pattern, CpuCost::per_op(per_op_ns), stats.ops, ov)
+        .total_ns;
     let measured = NativeBackend::elapsed_ns(&stats.mem);
     assert!(run.output.n() > 0, "plan must produce rows");
     assert!(measured > 0.0, "wall clock must advance");
@@ -81,8 +97,7 @@ fn predict_and_measure(
 }
 
 fn check_plans(bound: f64) {
-    let spec = host_spec();
-    let model = CostModel::new(spec);
+    let (model, ov) = host_model();
     let per_op = calibrate_per_op_ns();
     let tables = star_tables(42, 60_000, 6_000);
     let plans = [
@@ -108,8 +123,11 @@ fn check_plans(bound: f64) {
         ),
     ];
     for (name, plan) in plans {
-        let (predicted, measured) = predict_and_measure(&model, per_op, &plan, &tables);
+        let (predicted, measured) = predict_and_measure(&model, &ov, per_op, &plan, &tables);
         let ratio = predicted / measured;
+        eprintln!(
+            "{name}: predicted {predicted:.0} ns, measured {measured:.0} ns, ratio {ratio:.3}"
+        );
         assert!(
             (1.0 / bound..bound).contains(&ratio),
             "{name}: predicted {predicted:.0} ns vs native-measured {measured:.0} ns \
@@ -140,8 +158,7 @@ fn native_strict_calibrated_model_within_8x() {
 /// when the difference is structural (quadratic nested-loop vs hash).
 #[test]
 fn calibrated_model_ranks_join_algorithms_like_the_machine() {
-    let spec = host_spec();
-    let model = CostModel::new(spec);
+    let (model, ov) = host_model();
     let per_op = calibrate_per_op_ns();
     let tables = star_tables(7, 6_000, 1_500);
     let nl = PhysicalPlan::scan(0)
@@ -150,8 +167,8 @@ fn calibrated_model_ranks_join_algorithms_like_the_machine() {
     let hash = PhysicalPlan::scan(0)
         .select_lt(750)
         .join_with(PhysicalPlan::scan(1), JoinAlgorithm::Hash);
-    let (p_nl, m_nl) = predict_and_measure(&model, per_op, &nl, &tables);
-    let (p_hash, m_hash) = predict_and_measure(&model, per_op, &hash, &tables);
+    let (p_nl, m_nl) = predict_and_measure(&model, &ov, per_op, &nl, &tables);
+    let (p_hash, m_hash) = predict_and_measure(&model, &ov, per_op, &hash, &tables);
     assert!(
         p_nl > p_hash,
         "model must rank hash below nested-loop: {p_hash:.0} vs {p_nl:.0}"

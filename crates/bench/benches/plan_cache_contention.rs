@@ -12,8 +12,10 @@
 //! mutex serializes every hit, so its curve plateaus (or inverts) as
 //! soon as there is real parallelism.
 //!
-//! Results land in `BENCH_service.json` at the repo root so throughput
-//! regressions stay visible across PRs. Scaling assertions are gated on
+//! Results land in `BENCH_contention.json` at the repo root so
+//! throughput regressions stay visible across PRs (`BENCH_service.json`
+//! belongs to the `service_latency` bench, which reports the serving
+//! path's latency distribution). Scaling assertions are gated on
 //! [`std::thread::available_parallelism`]: on a single-core runner the
 //! numbers are still recorded, but no claim about scaling is enforced.
 
@@ -142,7 +144,7 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
-    std::fs::write(path, json).expect("write BENCH_service.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_contention.json");
+    std::fs::write(path, json).expect("write BENCH_contention.json");
     println!("wrote {path}");
 }

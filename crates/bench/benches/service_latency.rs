@@ -1,0 +1,215 @@
+//! Observability — open-loop serving latency under a Zipf-skewed
+//! multi-tenant mix.
+//!
+//! Three tenants (point-lookup / scan-heavy / join-heavy) share one
+//! machine; requests arrive *open-loop* on a simulated clock — a fixed
+//! interarrival gap calibrated to ~80% utilization of the mean solo
+//! service time, so arrivals do not wait for completions and queueing
+//! delay is part of every latency. The service batches admitted
+//! queries with its `⊙`-priced admission controller exactly as in
+//! production; a query's **sojourn** latency is `completion − arrival`
+//! on the simulated clock (queue wait + its batch's measured wall).
+//!
+//! Latencies land in the log-linear histograms of [`gcm_obs::hist`]
+//! (one per tenant class, labels baked into the metric name), and the
+//! p50/p99/p999 rows — bounded-error quantiles, see
+//! [`gcm_obs::hist::QUANTILE_REL_ERROR`] — are written to
+//! `BENCH_service.json` (schema `gcm-service-latency/v1`) at the repo
+//! root. Every number in the file is *simulated* (charged ns), so the
+//! artifact is machine-independent and committable: regressions in
+//! admission, batching, or the executor show up as latency-row diffs.
+
+use gcm_obs::json::{Arr, Obj};
+use gcm_obs::MetricsRegistry;
+use gcm_service::{plan_for, QueryService, TenantTables};
+use gcm_workload::{TenantClass, Workload};
+use std::collections::HashMap;
+
+/// Requests in the open-loop run.
+const REQUESTS: usize = 48;
+
+/// Zipf exponent for the tenant-ownership draw (0 = uniform).
+const ZIPF_THETA: f64 = 0.8;
+
+/// Target utilization the interarrival gap is calibrated to.
+const UTILIZATION: f64 = 0.8;
+
+const TENANTS: [TenantClass; 3] = [
+    TenantClass::PointLookup,
+    TenantClass::ScanHeavy,
+    TenantClass::JoinHeavy,
+];
+
+fn class_label(c: TenantClass) -> &'static str {
+    match c {
+        TenantClass::PointLookup => "point_lookup",
+        TenantClass::ScanHeavy => "scan_heavy",
+        TenantClass::JoinHeavy => "join_heavy",
+    }
+}
+
+/// A service with one fact + dimension pair per tenant, and the
+/// binding each tenant's requests resolve against.
+fn service(seed: u64) -> (QueryService, Vec<TenantTables>) {
+    let mut svc = QueryService::new(gcm_hardware::presets::modern_smp(4));
+    let mut wl = Workload::new(seed);
+    let mut tenants = Vec::new();
+    for t in 0..TENANTS.len() {
+        let star = wl.star_scenario(60_000, 4_000, 1);
+        let fact = svc.register_table(&format!("t{t}.F"), star.fact, 8);
+        let dim = svc.register_table(&format!("t{t}.D"), star.dims[0].clone(), 8);
+        tenants.push(TenantTables {
+            fact,
+            dim,
+            key_bound: 4_000,
+        });
+    }
+    (svc, tenants)
+}
+
+/// Mean solo (unbatched, uncontended) service time of the three class
+/// shapes, simulated ns — the calibration base for the arrival rate.
+fn mean_solo_service_ns(tenants: &[TenantTables]) -> f64 {
+    let (mut svc, _) = service(9001);
+    for (t, &class) in TENANTS.iter().enumerate() {
+        let req = gcm_workload::QueryRequest {
+            tenant: t,
+            class,
+            selectivity: 0.25,
+        };
+        svc.submit(plan_for(&req, &tenants[t]))
+            .expect("calibration");
+    }
+    while let Some(batch) = svc.next_batch() {
+        svc.execute_batch(batch).expect("calibration batch");
+    }
+    let m = svc.metrics();
+    m.queries.iter().map(|q| q.measured_ns).sum::<f64>() / m.queries.len() as f64
+}
+
+fn main() {
+    let (mut svc, tenants) = service(77);
+    let mut wl = Workload::new(78);
+    let reqs = wl.query_mix(REQUESTS, &TENANTS, ZIPF_THETA);
+
+    let interarrival_ns = (mean_solo_service_ns(&tenants) / UTILIZATION).round() as u64;
+    let arrivals: Vec<u64> = (0..REQUESTS as u64).map(|i| i * interarrival_ns).collect();
+
+    // Open loop on the simulated clock: submit everything that has
+    // arrived by `now`, let the admission controller batch what is
+    // pending, advance the clock by the batch's measured wall.
+    let mut pending: HashMap<u64, (TenantClass, u64)> = HashMap::new();
+    let mut done: Vec<(TenantClass, u64)> = Vec::new(); // (class, sojourn)
+    let mut now = 0u64;
+    let mut next = 0usize;
+    while next < reqs.len() || svc.queue_len() > 0 {
+        while next < reqs.len() && arrivals[next] <= now {
+            let req = &reqs[next];
+            let id = svc
+                .submit(plan_for(req, &tenants[req.tenant]))
+                .expect("registered tables");
+            pending.insert(id, (req.class, arrivals[next]));
+            next += 1;
+        }
+        if svc.queue_len() == 0 {
+            now = arrivals[next]; // idle until the next arrival
+            continue;
+        }
+        let batch = svc.next_batch().expect("queue is non-empty");
+        let ids = batch.ids();
+        let idx = svc.execute_batch(batch).expect("batch executes");
+        now += svc.metrics().batches[idx].measured_wall_ns.round() as u64;
+        for id in ids {
+            let (class, arrived) = pending.remove(&id).expect("admitted id was pending");
+            done.push((class, now - arrived));
+        }
+    }
+    assert_eq!(done.len(), REQUESTS);
+    assert_eq!(svc.spans().dropped(), 0, "trace must not truncate");
+
+    // Per-class sojourn histograms, labels baked into the metric name.
+    let reg = MetricsRegistry::default();
+    for (class, sojourn) in &done {
+        let name = format!("service_sojourn_ns{{class=\"{}\"}}", class_label(*class));
+        reg.observe(&name, *sojourn);
+        reg.observe("service_sojourn_ns_overall", *sojourn);
+    }
+
+    let m = svc.metrics();
+    let (ep50, ep99, ep999) = m
+        .latency_quantiles()
+        .expect("execution-latency histogram populated");
+    let overall = reg
+        .histogram("service_sojourn_ns_overall")
+        .expect("overall sojourn histogram");
+    assert!(overall.p50() <= overall.p99() && overall.p99() <= overall.p999());
+
+    println!(
+        "open-loop mix: {REQUESTS} requests, interarrival {:.2} ms, {} batches (max size {})",
+        interarrival_ns as f64 / 1e6,
+        m.batches.len(),
+        m.max_batch_size()
+    );
+    println!(
+        "execution latency (sim):  p50 {:.2} ms  p99 {:.2} ms  p999 {:.2} ms",
+        ep50 as f64 / 1e6,
+        ep99 as f64 / 1e6,
+        ep999 as f64 / 1e6
+    );
+    println!(
+        "{:>14} {:>6} {:>12} {:>12} {:>12}",
+        "class", "count", "p50 (ms)", "p99 (ms)", "p999 (ms)"
+    );
+
+    let mut class_rows = Arr::new();
+    for &class in &TENANTS {
+        let label = class_label(class);
+        let Some(h) = reg.histogram(&format!("service_sojourn_ns{{class=\"{label}\"}}")) else {
+            continue; // class drew no requests in this mix
+        };
+        println!(
+            "{label:>14} {:>6} {:>12.2} {:>12.2} {:>12.2}",
+            h.count(),
+            h.p50() as f64 / 1e6,
+            h.p99() as f64 / 1e6,
+            h.p999() as f64 / 1e6
+        );
+        let mut row = Obj::new();
+        row.str("class", label)
+            .u64("count", h.count())
+            .u64("p50_ns", h.p50())
+            .u64("p99_ns", h.p99())
+            .u64("p999_ns", h.p999())
+            .num("mean_ns", h.mean());
+        class_rows.raw(&row.finish());
+    }
+
+    let mut sojourn = Obj::new();
+    sojourn
+        .u64("count", overall.count())
+        .u64("p50_ns", overall.p50())
+        .u64("p99_ns", overall.p99())
+        .u64("p999_ns", overall.p999())
+        .num("mean_ns", overall.mean());
+    let mut execution = Obj::new();
+    execution
+        .u64("p50_ns", ep50)
+        .u64("p99_ns", ep99)
+        .u64("p999_ns", ep999);
+    let mut top = Obj::new();
+    top.str("bench", "service_latency")
+        .str("schema", "gcm-service-latency/v1")
+        .u64("requests", REQUESTS as u64)
+        .num("zipf_theta", ZIPF_THETA)
+        .u64("interarrival_ns", interarrival_ns)
+        .u64("batches", m.batches.len() as u64)
+        .u64("max_batch", m.max_batch_size() as u64)
+        .raw("sojourn", &sojourn.finish())
+        .raw("execution", &execution.finish())
+        .raw("classes", &class_rows.finish());
+    let json = format!("{}\n", top.finish());
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    std::fs::write(path, json).expect("write BENCH_service.json");
+    println!("wrote {path}");
+}

@@ -70,6 +70,44 @@ pub struct CalibrationReport {
     pub prefetch_depth: u64,
 }
 
+impl CalibrationReport {
+    /// The report as one JSON object (via [`gcm_obs::json`]) — the
+    /// machine-readable form the `host_report` example emits, so a
+    /// calibration run can be committed or diffed against a later one.
+    pub fn to_json(&self) -> String {
+        let mut caches = gcm_obs::json::Arr::new();
+        for (i, c) in self.caches.iter().enumerate() {
+            let mut o = gcm_obs::json::Obj::new();
+            o.u64("level", i as u64 + 1)
+                .u64("capacity_bytes", c.capacity)
+                .u64("line_bytes", c.line)
+                .num("seq_miss_ns", c.seq_miss_ns)
+                .num("rand_miss_ns", c.rand_miss_ns);
+            if let Some(bw) = self.sustained_bw.get(i) {
+                o.num("sustained_bytes_per_ns", *bw);
+            }
+            caches.raw(&o.finish());
+        }
+        let mut top = gcm_obs::json::Obj::new();
+        top.str("report", "gcm-calibration/v1")
+            .raw("caches", &caches.finish())
+            .u64("prefetch_depth", self.prefetch_depth);
+        match &self.tlb {
+            Some(t) => {
+                let mut o = gcm_obs::json::Obj::new();
+                o.u64("entries", t.entries)
+                    .u64("page_bytes", t.page)
+                    .num("miss_ns", t.miss_ns);
+                top.raw("tlb", &o.finish());
+            }
+            None => {
+                top.raw("tlb", "null");
+            }
+        }
+        top.finish()
+    }
+}
+
 /// The Calibrator: measures a (simulated) machine blind and recovers its
 /// parameters.
 #[derive(Debug)]
@@ -379,6 +417,32 @@ impl Calibrator {
 mod tests {
     use super::*;
     use gcm_hardware::presets;
+
+    #[test]
+    fn report_serializes_to_json() {
+        let r = CalibrationReport {
+            caches: vec![DetectedCache {
+                capacity: 32 * 1024,
+                line: 64,
+                seq_miss_ns: 4.0,
+                rand_miss_ns: 12.5,
+            }],
+            tlb: Some(DetectedTlb {
+                entries: 64,
+                page: 4096,
+                miss_ns: 20.0,
+            }),
+            sustained_bw: vec![16.0],
+            prefetch_depth: 8,
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"report\":\"gcm-calibration/v1\""), "{json}");
+        assert!(json.contains("\"capacity_bytes\":32768"), "{json}");
+        assert!(json.contains("\"rand_miss_ns\":12.500"), "{json}");
+        assert!(json.contains("\"page_bytes\":4096"), "{json}");
+        let no_tlb = CalibrationReport { tlb: None, ..r };
+        assert!(no_tlb.to_json().contains("\"tlb\":null"));
+    }
 
     #[test]
     fn recovers_tiny_machine() {

@@ -432,6 +432,23 @@ impl CostModel {
         self.score(pairs)
     }
 
+    /// Price one plan node end to end from the current staged state:
+    /// [`advance`](CostModel::advance) for `T_mem` under the threaded
+    /// cache state (Eq 5.2), plus `cpu.ns(ops)` for `T_cpu` — the
+    /// per-node Eq 6.1 hook `EXPLAIN ANALYZE` prices its tree with.
+    /// Returns the per-level report and the node's total nanoseconds.
+    pub fn advance_total(
+        &self,
+        p: &Pattern,
+        st: &mut HierarchyState,
+        cpu: &CpuCost,
+        ops: u64,
+    ) -> (CostReport, f64) {
+        let report = self.advance(p, st);
+        let total = cpu.eq61_ns(report.mem_ns, ops);
+        (report, total)
+    }
+
     /// Price one stage executed by `threads.len()` concurrent threads on
     /// separate cores — the `⊙` rule of Eq 5.3 applied *across cores*,
     /// level by level:

@@ -21,7 +21,7 @@
 //! validated against the *actual* machine (§6), not only the simulator.
 
 use gcm_core::CpuCost;
-use gcm_sim::{Addr, MemorySystem};
+use gcm_sim::{Addr, MemorySystem, MissTrace};
 
 /// The simulated backend: the deterministic measurement substrate the
 /// validation experiments use (bit-for-bit the engine's historical
@@ -192,6 +192,45 @@ pub trait MemoryBackend {
     /// Elapsed (charged or wall-clock) nanoseconds of an interval.
     fn elapsed_ns(c: &Self::Counters) -> f64;
 
+    /// Charged accesses of an interval, when the backend counts them
+    /// (the simulator's first-level probe count; `None` on backends
+    /// without access counters).
+    fn counter_accesses(c: &Self::Counters) -> Option<u64> {
+        let _ = c;
+        None
+    }
+
+    /// Per-cache-level `(name, misses)` of an interval. Empty on
+    /// backends without per-level counters (native memory): callers
+    /// treat "no rows" as "not observable", never as "zero misses".
+    fn counter_level_misses(&self, c: &Self::Counters) -> Vec<(String, u64)> {
+        let _ = c;
+        Vec::new()
+    }
+
+    /// Attach a bounded miss trace of `capacity` events, replacing any
+    /// existing one. Returns whether the backend records traces at all
+    /// — `false` (the default) on backends without observable misses,
+    /// where attach/take are documented no-ops.
+    fn attach_miss_trace(&mut self, capacity: usize) -> bool {
+        let _ = capacity;
+        false
+    }
+
+    /// Detach and return the miss trace. Check
+    /// [`MissTrace::dropped`] before trusting it: a full ring drops
+    /// (and counts) events rather than growing.
+    fn take_miss_trace(&mut self) -> Option<MissTrace> {
+        None
+    }
+
+    /// Events dropped by the currently attached trace, if one exists —
+    /// exposed separately so truncation can be monitored without
+    /// detaching the trace.
+    fn miss_trace_dropped(&self) -> Option<u64> {
+        None
+    }
+
     /// Measured total time of an interval under a per-op CPU calibration
     /// — the engine-side Eq 6.1 (`T = T_mem + T_cpu`), routed through
     /// [`CpuCost::eq61_ns`]. Backends whose elapsed time already
@@ -264,6 +303,33 @@ impl MemoryBackend for MemorySystem {
 
     fn elapsed_ns(c: &gcm_sim::Snapshot) -> f64 {
         c.clock_ns
+    }
+
+    fn counter_accesses(c: &gcm_sim::Snapshot) -> Option<u64> {
+        // Every charged access probes the first level exactly once.
+        c.levels.first().map(|l| l.accesses)
+    }
+
+    fn counter_level_misses(&self, c: &gcm_sim::Snapshot) -> Vec<(String, u64)> {
+        self.spec()
+            .levels()
+            .iter()
+            .zip(&c.levels)
+            .map(|(level, stats)| (level.name.clone(), stats.misses()))
+            .collect()
+    }
+
+    fn attach_miss_trace(&mut self, capacity: usize) -> bool {
+        MemorySystem::attach_trace(self, capacity);
+        true
+    }
+
+    fn take_miss_trace(&mut self) -> Option<MissTrace> {
+        MemorySystem::take_trace(self)
+    }
+
+    fn miss_trace_dropped(&self) -> Option<u64> {
+        self.trace().map(|t| t.dropped())
     }
 
     fn cold_caches(&mut self) {

@@ -435,6 +435,19 @@ impl MemoryBackend for NativeBackend {
         c.elapsed_ns
     }
 
+    fn counter_accesses(c: &NativeCounters) -> Option<u64> {
+        Some(c.accesses)
+    }
+
+    /// Documented no-op: real hardware does not expose which cache
+    /// level satisfied a load, so native memory cannot record a miss
+    /// trace. Attach reports `false`, take yields `None`, and callers
+    /// fall back to wall-clock-only attribution — per-level miss
+    /// breakdowns exist only on the sim backend.
+    fn attach_miss_trace(&mut self, _capacity: usize) -> bool {
+        false
+    }
+
     /// The wall clock already includes every nanosecond of CPU work:
     /// charging `per_op_ns × ops` on top would double-count `T_cpu`, so
     /// native total time is the elapsed time alone.

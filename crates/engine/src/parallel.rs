@@ -41,6 +41,7 @@ use crate::ops::hash::HashTable;
 use crate::relation::Relation;
 use gcm_core::{library, Pattern, Region};
 use gcm_hardware::HardwareSpec;
+use gcm_obs::span::{Span, SpanKind, SpanSink};
 use std::ops::Range;
 
 /// A factory of per-worker execution contexts: how a parallel stage
@@ -141,6 +142,33 @@ pub struct ParRun<T> {
     /// The subset of `ops` performed in a sequential phase (e.g. the
     /// aggregation merge) — work a DOP cannot divide.
     pub serial_ops: u64,
+}
+
+/// Append one [`SpanKind::Worker`] span per worker of a finished
+/// parallel stage. `t0_ns` is the stage's start on the recorder's
+/// clock (capture [`SpanSink::now_ns`] before launching the stage);
+/// each worker's span ends at `t0_ns + thread_ns[i]` — its *measured*
+/// time (charged on sim, wall on native), which is the number the
+/// straggler analysis cares about. Per-worker op counts are not
+/// tracked, so the spans carry timing only.
+pub fn record_worker_spans<T>(sink: &mut SpanSink, stage: &str, t0_ns: u64, run: &ParRun<T>) {
+    if !sink.active() {
+        return;
+    }
+    for (i, ns) in run.thread_ns.iter().enumerate() {
+        sink.record(Span {
+            name: format!("{stage}/worker{i}"),
+            kind: SpanKind::Worker,
+            start_ns: t0_ns,
+            end_ns: t0_ns + ns.max(0.0).round() as u64,
+            elapsed_ns: *ns,
+            accesses: 0,
+            level_misses: Vec::new(),
+            ops: 0,
+            lane: 0,
+            seq: 0,
+        });
+    }
 }
 
 /// Split `0..n` into `dop` near-equal contiguous chunks (the leading
@@ -754,6 +782,24 @@ mod tests {
             };
             assert_eq!(sort(sim.out), sort(native.out), "join dop {dop}");
             assert_eq!(native.ops, sim.ops, "identical logical work");
+        }
+    }
+
+    #[test]
+    fn worker_spans_cover_every_thread() {
+        let spec = presets::tiny_smp(4);
+        let keys = Workload::new(99).shuffled_keys(2_000);
+        let recorder = gcm_obs::SpanRecorder::new();
+        let mut sink = recorder.sink();
+        let t0 = sink.now_ns();
+        let run = par_filter_lt(&spec, &keys, 500, 4, PER_OP);
+        record_worker_spans(&mut sink, "filter", t0, &run);
+        let spans = recorder.drain();
+        assert_eq!(spans.len(), 4);
+        for (i, s) in spans.iter().enumerate() {
+            assert_eq!(s.name, format!("filter/worker{i}"));
+            assert!(s.elapsed_ns > 0.0);
+            assert!(s.end_ns >= s.start_ns);
         }
     }
 

@@ -17,6 +17,7 @@ use crate::ops;
 use crate::planner::JoinAlgorithm;
 use crate::relation::Relation;
 use gcm_core::{Pattern, Region};
+use gcm_obs::span::{Span, SpanKind, SpanSink};
 use std::sync::Arc;
 
 /// Result of executing a plan: the real output plus the compound
@@ -89,9 +90,119 @@ pub fn execute_with_builds<B: MemoryBackend>(
     tables: &[Relation],
     builds: &dyn BuildSource,
 ) -> Result<PlanRun, PlanError> {
+    execute_traced(ctx, plan, tables, builds, &mut NoTrace)
+}
+
+/// Observer of per-node execution: [`execute_traced`] reports every
+/// operator node once, post-order (children before parents), with the
+/// phases the node pushed, the backend counter delta across its
+/// execution, and its logical-op delta. Scan nodes bind tables without
+/// doing work and are not reported; `Parallel` wrappers are
+/// transparent. Tracing never changes what executes — counter
+/// snapshots are uncharged reads — so traced and untraced runs produce
+/// byte-identical results.
+pub trait ExecTracer<B: MemoryBackend> {
+    /// Whether node reports will actually be consumed. `false` lets
+    /// the executor skip counter snapshots entirely — the
+    /// disabled-tracing fast path the `tracing_overhead` bench guards.
+    fn active(&self) -> bool {
+        true
+    }
+
+    /// One executed operator node. `class` is the stable operator
+    /// class (`"select"`, `"join_hash"`, …) drift monitoring keys on;
+    /// `label` is the display form; `pattern` covers exactly the
+    /// phases this node pushed (with actual cardinalities).
+    fn node(
+        &mut self,
+        mem: &B,
+        label: &str,
+        class: &str,
+        pattern: &Pattern,
+        delta: &B::Counters,
+        ops: u64,
+    );
+}
+
+/// The inert tracer: [`execute`]/[`execute_with_builds`] are
+/// [`execute_traced`] with this.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoTrace;
+
+impl<B: MemoryBackend> ExecTracer<B> for NoTrace {
+    fn active(&self) -> bool {
+        false
+    }
+
+    fn node(&mut self, _: &B, _: &str, _: &str, _: &Pattern, _: &B::Counters, _: u64) {}
+}
+
+/// An [`ExecTracer`] that records one [`SpanKind::Execute`] span per
+/// operator node into a [`SpanSink`] lane, carrying the backend's
+/// counter deltas (charged accesses and per-level misses on the sim
+/// backend, wall-ns on native).
+///
+/// Children execute before their parent's own work, so each span
+/// covers the node's **exclusive** time: the span's interval starts
+/// where the previous completed node's ended.
+pub struct SpanTracer<'a> {
+    sink: &'a mut SpanSink,
+    cursor_ns: u64,
+}
+
+impl<'a> SpanTracer<'a> {
+    /// A tracer appending to `sink`, starting its interval clock now.
+    pub fn new(sink: &'a mut SpanSink) -> SpanTracer<'a> {
+        let cursor_ns = sink.now_ns();
+        SpanTracer { sink, cursor_ns }
+    }
+}
+
+impl<B: MemoryBackend> ExecTracer<B> for SpanTracer<'_> {
+    fn active(&self) -> bool {
+        self.sink.active()
+    }
+
+    fn node(
+        &mut self,
+        mem: &B,
+        label: &str,
+        _class: &str,
+        _pattern: &Pattern,
+        delta: &B::Counters,
+        ops: u64,
+    ) {
+        let end_ns = self.sink.now_ns();
+        self.sink.record(Span {
+            name: label.to_string(),
+            kind: SpanKind::Execute,
+            start_ns: self.cursor_ns,
+            end_ns,
+            elapsed_ns: B::elapsed_ns(delta),
+            accesses: B::counter_accesses(delta).unwrap_or(0),
+            level_misses: mem.counter_level_misses(delta),
+            ops,
+            lane: 0,
+            seq: 0,
+        });
+        self.cursor_ns = end_ns;
+    }
+}
+
+/// [`execute_with_builds`] reporting every operator node to `tracer` —
+/// the entry point `EXPLAIN ANALYZE` and the span-recording service
+/// executor share. With an inactive tracer this is exactly the
+/// untraced path.
+pub fn execute_traced<B: MemoryBackend>(
+    ctx: &mut ExecContext<B>,
+    plan: &PhysicalPlan,
+    tables: &[Relation],
+    builds: &dyn BuildSource,
+    tracer: &mut dyn ExecTracer<B>,
+) -> Result<PlanRun, PlanError> {
     let mut phases = Vec::new();
     let mut seq = 0u64;
-    let output = exec_node(ctx, plan, tables, builds, &mut phases, &mut seq)?;
+    let output = exec_node(ctx, plan, tables, builds, &mut phases, &mut seq, tracer)?;
     Ok(PlanRun {
         output,
         pattern: Pattern::seq(phases),
@@ -159,6 +270,47 @@ fn base_scan(plan: &PhysicalPlan) -> Option<usize> {
     }
 }
 
+/// Run one operator node's own work under the tracer: snapshot
+/// counters (only when the tracer will consume them), apply `f`, and
+/// report the deltas plus the phases `f` pushed.
+fn run_traced<B: MemoryBackend, T>(
+    ctx: &mut ExecContext<B>,
+    phases: &mut Vec<Pattern>,
+    tracer: &mut dyn ExecTracer<B>,
+    label: &str,
+    class: &str,
+    f: impl FnOnce(&mut ExecContext<B>, &mut Vec<Pattern>) -> T,
+) -> T {
+    if !tracer.active() {
+        return f(ctx, phases);
+    }
+    let counters_before = ctx.mem.counters();
+    let ops_before = ctx.ops();
+    let phases_before = phases.len();
+    let out = f(ctx, phases);
+    let delta = ctx.mem.counters_since(&counters_before);
+    let ops = ctx.ops() - ops_before;
+    let pattern = match phases.len() - phases_before {
+        1 => phases[phases_before].clone(),
+        _ => Pattern::seq(phases[phases_before..].to_vec()),
+    };
+    tracer.node(&ctx.mem, label, class, &pattern, &delta, ops);
+    out
+}
+
+/// The display label and stable class of a join algorithm (shared
+/// builds change the label, not the class: drift statistics should not
+/// split on an execution detail).
+fn join_names(algorithm: &JoinAlgorithm, shared: bool) -> (&'static str, &'static str) {
+    match algorithm {
+        JoinAlgorithm::NestedLoop => ("join[nl]", "join_nl"),
+        JoinAlgorithm::Merge { .. } => ("join[merge]", "join_merge"),
+        JoinAlgorithm::Hash if shared => ("join[hash,shared]", "join_hash"),
+        JoinAlgorithm::Hash => ("join[hash]", "join_hash"),
+        JoinAlgorithm::PartitionedHash { .. } => ("join[part_hash]", "join_part_hash"),
+    }
+}
+
 fn exec_node<B: MemoryBackend>(
     ctx: &mut ExecContext<B>,
     plan: &PhysicalPlan,
@@ -166,6 +318,7 @@ fn exec_node<B: MemoryBackend>(
     builds: &dyn BuildSource,
     phases: &mut Vec<Pattern>,
     seq: &mut u64,
+    tracer: &mut dyn ExecTracer<B>,
 ) -> Result<Relation, PlanError> {
     match plan {
         PhysicalPlan::Scan { table } => {
@@ -177,75 +330,125 @@ fn exec_node<B: MemoryBackend>(
             })
         }
         PhysicalPlan::Select { input, threshold } => {
-            let current = exec_node(ctx, input, tables, builds, phases, seq)?;
-            let name = next_name(seq);
-            let out = ops::scan::select_lt(ctx, &current, *threshold, &name);
-            phases.push(ops::scan::select_pattern(current.region(), out.region()));
-            Ok(out)
+            let current = exec_node(ctx, input, tables, builds, phases, seq, tracer)?;
+            Ok(run_traced(
+                ctx,
+                phases,
+                tracer,
+                "select",
+                "select",
+                |ctx, phases| {
+                    let name = next_name(seq);
+                    let out = ops::scan::select_lt(ctx, &current, *threshold, &name);
+                    phases.push(ops::scan::select_pattern(current.region(), out.region()));
+                    out
+                },
+            ))
         }
         PhysicalPlan::Join {
             left,
             right,
             algorithm,
         } => {
-            let u = exec_node(ctx, left, tables, builds, phases, seq)?;
-            let v = exec_node(ctx, right, tables, builds, phases, seq)?;
+            let u = exec_node(ctx, left, tables, builds, phases, seq, tracer)?;
+            let v = exec_node(ctx, right, tables, builds, phases, seq, tracer)?;
             // Shared builds only apply to hash joins whose build side
             // is the base table itself.
             let prebuilt = match algorithm {
                 JoinAlgorithm::Hash => base_scan(right).and_then(|t| builds.prebuilt(t)),
                 _ => None,
             };
-            exec_join(ctx, &u, &v, algorithm, prebuilt, phases, seq)
+            let (label, class) = join_names(algorithm, prebuilt.is_some());
+            run_traced(ctx, phases, tracer, label, class, |ctx, phases| {
+                exec_join(ctx, &u, &v, algorithm, prebuilt, phases, seq)
+            })
         }
         PhysicalPlan::Aggregate { input } => {
-            let current = exec_node(ctx, input, tables, builds, phases, seq)?;
-            let name = next_name(seq);
-            let out = ops::aggregate::hash_group_count(ctx, &current, &name);
-            let h = Region::new(
-                format!("H({name})"),
-                ops::hash::table_slots(out.n()),
-                ops::hash::ENTRY_BYTES,
-            );
-            phases.push(ops::aggregate::hash_group_pattern(
-                current.region(),
-                &h,
-                out.region(),
-            ));
-            Ok(out)
+            let current = exec_node(ctx, input, tables, builds, phases, seq, tracer)?;
+            Ok(run_traced(
+                ctx,
+                phases,
+                tracer,
+                "group_count",
+                "aggregate",
+                |ctx, phases| {
+                    let name = next_name(seq);
+                    let out = ops::aggregate::hash_group_count(ctx, &current, &name);
+                    let h = Region::new(
+                        format!("H({name})"),
+                        ops::hash::table_slots(out.n()),
+                        ops::hash::ENTRY_BYTES,
+                    );
+                    phases.push(ops::aggregate::hash_group_pattern(
+                        current.region(),
+                        &h,
+                        out.region(),
+                    ));
+                    out
+                },
+            ))
         }
         PhysicalPlan::Sort { input } => {
-            let current = exec_node(ctx, input, tables, builds, phases, seq)?;
-            ops::sort::quick_sort(ctx, &current);
-            phases.push(ops::sort::quick_sort_pattern(current.region()));
-            Ok(current)
+            let current = exec_node(ctx, input, tables, builds, phases, seq, tracer)?;
+            Ok(run_traced(
+                ctx,
+                phases,
+                tracer,
+                "sort",
+                "sort",
+                |ctx, phases| {
+                    ops::sort::quick_sort(ctx, &current);
+                    phases.push(ops::sort::quick_sort_pattern(current.region()));
+                    current
+                },
+            ))
         }
         PhysicalPlan::Dedup { input } => {
-            let current = exec_node(ctx, input, tables, builds, phases, seq)?;
-            let name = next_name(seq);
-            let out = ops::aggregate::sort_dedup(ctx, &current, &name);
-            phases.push(ops::aggregate::sort_dedup_pattern(
-                current.region(),
-                out.region(),
-            ));
-            Ok(out)
+            let current = exec_node(ctx, input, tables, builds, phases, seq, tracer)?;
+            Ok(run_traced(
+                ctx,
+                phases,
+                tracer,
+                "dedup",
+                "dedup",
+                |ctx, phases| {
+                    let name = next_name(seq);
+                    let out = ops::aggregate::sort_dedup(ctx, &current, &name);
+                    phases.push(ops::aggregate::sort_dedup_pattern(
+                        current.region(),
+                        out.region(),
+                    ));
+                    out
+                },
+            ))
         }
         PhysicalPlan::Partition { input, m } => {
-            let current = exec_node(ctx, input, tables, builds, phases, seq)?;
-            let name = next_name(seq);
-            let parts = ops::partition::hash_partition(ctx, &current, *m, &name);
-            phases.push(ops::partition::partition_pattern(
-                current.region(),
-                parts.rel.region(),
-                *m,
-            ));
-            Ok(parts.rel)
+            let current = exec_node(ctx, input, tables, builds, phases, seq, tracer)?;
+            Ok(run_traced(
+                ctx,
+                phases,
+                tracer,
+                "partition",
+                "partition",
+                |ctx, phases| {
+                    let name = next_name(seq);
+                    let parts = ops::partition::hash_partition(ctx, &current, *m, &name);
+                    phases.push(ops::partition::partition_pattern(
+                        current.region(),
+                        parts.rel.region(),
+                        *m,
+                    ));
+                    parts.rel
+                },
+            ))
         }
         // The cache simulator is single-core: a DOP annotation changes
         // scheduling and pricing, never results, so this executor runs
         // the wrapped operator serially. The multi-threaded realisation
         // lives in [`crate::parallel`].
-        PhysicalPlan::Parallel { input, .. } => exec_node(ctx, input, tables, builds, phases, seq),
+        PhysicalPlan::Parallel { input, .. } => {
+            exec_node(ctx, input, tables, builds, phases, seq, tracer)
+        }
     }
 }
 

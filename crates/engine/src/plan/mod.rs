@@ -68,6 +68,7 @@
 
 pub mod catalog;
 pub mod exec;
+pub mod explain;
 pub mod logical;
 pub mod optimizer;
 pub mod physical;
@@ -78,8 +79,10 @@ pub const OUT_TUPLE_BYTES: u64 = 16;
 
 pub use catalog::{StatsCatalog, StatsSnapshot};
 pub use exec::{
-    execute, execute_with_builds, run_on, BuildSource, NoPrebuilt, PlanRun, PrebuiltBuild, TableDef,
+    execute, execute_traced, execute_with_builds, run_on, BuildSource, ExecTracer, NoPrebuilt,
+    NoTrace, PlanRun, PrebuiltBuild, SpanTracer, TableDef,
 };
+pub use explain::{explain_analyze, plan_classes, ExplainNode, ExplainReport};
 pub use logical::LogicalPlan;
 pub use optimizer::{Optimizer, PlanError, PlannedQuery, TableStats};
 pub use physical::PhysicalPlan;

@@ -1,0 +1,251 @@
+//! Model-drift monitor: notices when calibration has gone stale.
+//!
+//! The cost model's whole value is that prediction tracks measurement
+//! (Eq 6.1: `T = T_mem + T_cpu` on calibrated parameters). This
+//! monitor closes that loop: every executed query feeds its
+//! `(measured, predicted)` pair in, keyed by operator class, and the
+//! monitor keeps an EWMA of `log2(measured / predicted)` per class.
+//! Working in log space makes over- and under-prediction symmetric —
+//! a stable 4× miss in either direction pushes the EWMA toward ±2 —
+//! and makes "drift by more than a factor F" a simple threshold:
+//! `|ewma| > log2(F)`. When any class crosses it after a minimum
+//! sample count, [`DriftMonitor::needs_recalibration`] flips, telling
+//! the operator to re-run the calibrator on this host.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Drift state for one operator class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDrift {
+    /// EWMA of `log2(measured / predicted)`.
+    pub ewma_log2: f64,
+    /// Samples observed.
+    pub samples: u64,
+}
+
+impl ClassDrift {
+    /// The smoothed measured/predicted ratio (1.0 = calibrated).
+    pub fn ratio(&self) -> f64 {
+        self.ewma_log2.exp2()
+    }
+}
+
+/// Per-operator-class EWMA drift tracker. Thread-safe; shared by
+/// reference from the service layer.
+#[derive(Debug)]
+pub struct DriftMonitor {
+    alpha: f64,
+    threshold_log2: f64,
+    min_samples: u64,
+    classes: Mutex<BTreeMap<String, ClassDrift>>,
+}
+
+/// Smoothing factor: each new sample contributes 25%, so a sustained
+/// shift dominates after ~8 samples while a single moderate outlier
+/// (under ~16×) cannot trip the flag on its own.
+pub const DEFAULT_ALPHA: f64 = 0.25;
+/// Flag when the smoothed ratio leaves `[1/2, 2]`.
+pub const DEFAULT_THRESHOLD: f64 = 2.0;
+/// Ignore classes with fewer samples than this.
+pub const DEFAULT_MIN_SAMPLES: u64 = 8;
+
+impl Default for DriftMonitor {
+    fn default() -> Self {
+        DriftMonitor::new()
+    }
+}
+
+impl DriftMonitor {
+    /// A monitor with the default alpha/threshold/min-samples.
+    pub fn new() -> DriftMonitor {
+        DriftMonitor::with_params(DEFAULT_ALPHA, DEFAULT_THRESHOLD, DEFAULT_MIN_SAMPLES)
+    }
+
+    /// A monitor flagging when the smoothed measured/predicted ratio
+    /// leaves `[1/threshold, threshold]` after `min_samples`
+    /// observations of a class.
+    pub fn with_params(alpha: f64, threshold: f64, min_samples: u64) -> DriftMonitor {
+        DriftMonitor {
+            alpha: alpha.clamp(0.0, 1.0),
+            threshold_log2: threshold.max(1.0).log2(),
+            min_samples: min_samples.max(1),
+            classes: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Feed one `(measured, predicted)` pair for an operator class.
+    /// Non-positive or non-finite inputs are ignored (a zero-cost
+    /// prediction says nothing about calibration).
+    pub fn observe(&self, class: &str, measured_ns: f64, predicted_ns: f64) {
+        let usable = measured_ns > 0.0
+            && predicted_ns > 0.0
+            && measured_ns.is_finite()
+            && predicted_ns.is_finite();
+        if !usable {
+            return;
+        }
+        let sample = (measured_ns / predicted_ns).log2();
+        let mut classes = self.classes.lock().unwrap();
+        let entry = classes.entry(class.to_string()).or_insert(ClassDrift {
+            ewma_log2: 0.0,
+            samples: 0,
+        });
+        if entry.samples == 0 {
+            entry.ewma_log2 = sample;
+        } else {
+            entry.ewma_log2 += self.alpha * (sample - entry.ewma_log2);
+        }
+        entry.samples += 1;
+    }
+
+    /// Snapshot of every class's drift state.
+    pub fn status(&self) -> BTreeMap<String, ClassDrift> {
+        self.classes.lock().unwrap().clone()
+    }
+
+    /// The smoothed measured/predicted ratio for one class, if seen.
+    pub fn ratio(&self, class: &str) -> Option<f64> {
+        self.classes.lock().unwrap().get(class).map(|c| c.ratio())
+    }
+
+    fn is_stale(&self, d: &ClassDrift) -> bool {
+        d.samples >= self.min_samples && d.ewma_log2.abs() > self.threshold_log2
+    }
+
+    /// Classes whose smoothed ratio has crossed the threshold.
+    pub fn stale_classes(&self) -> Vec<String> {
+        self.classes
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|(_, d)| self.is_stale(d))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// The recalibration flag: true when any class has drifted past
+    /// the threshold.
+    pub fn needs_recalibration(&self) -> bool {
+        self.classes
+            .lock()
+            .unwrap()
+            .values()
+            .any(|d| self.is_stale(d))
+    }
+
+    /// Reset all state (e.g. after re-running the calibrator).
+    pub fn reset(&self) {
+        self.classes.lock().unwrap().clear();
+    }
+
+    /// The monitor as one JSON object: flag, stale classes, and every
+    /// class's smoothed ratio.
+    pub fn to_json(&self) -> String {
+        let classes = self.classes.lock().unwrap();
+        let mut rows = crate::json::Arr::new();
+        for (name, d) in classes.iter() {
+            let mut o = crate::json::Obj::new();
+            o.str("class", name)
+                .num("ratio", d.ratio())
+                .num("ewma_log2", d.ewma_log2)
+                .u64("samples", d.samples)
+                .bool("stale", self.is_stale(d));
+            rows.raw(&o.finish());
+        }
+        let any_stale = classes.values().any(|d| self.is_stale(d));
+        let mut o = crate::json::Obj::new();
+        o.bool("needs_recalibration", any_stale)
+            .raw("classes", &rows.finish());
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_model_never_flags() {
+        let m = DriftMonitor::new();
+        for i in 0..100 {
+            // Noise within ±30% of the prediction.
+            let jitter = 1.0 + 0.3 * if i % 2 == 0 { 1.0 } else { -1.0 };
+            m.observe("scan", 1000.0 * jitter, 1000.0);
+        }
+        assert!(!m.needs_recalibration());
+        let r = m.ratio("scan").unwrap();
+        assert!((0.5..2.0).contains(&r), "ratio {r}");
+    }
+
+    #[test]
+    fn four_x_miscalibration_flags_after_min_samples() {
+        let m = DriftMonitor::new();
+        for i in 0..DEFAULT_MIN_SAMPLES {
+            m.observe("sort", 4000.0, 1000.0);
+            if i + 1 < DEFAULT_MIN_SAMPLES {
+                assert!(!m.needs_recalibration(), "flagged too early at {i}");
+            }
+        }
+        assert!(m.needs_recalibration());
+        assert_eq!(m.stale_classes(), vec!["sort".to_string()]);
+        let r = m.ratio("sort").unwrap();
+        assert!((r - 4.0).abs() < 0.5, "ratio {r}");
+    }
+
+    #[test]
+    fn underprediction_and_overprediction_are_symmetric() {
+        let over = DriftMonitor::new();
+        let under = DriftMonitor::new();
+        for _ in 0..20 {
+            over.observe("join", 4000.0, 1000.0);
+            under.observe("join", 1000.0, 4000.0);
+        }
+        assert!(over.needs_recalibration());
+        assert!(under.needs_recalibration());
+    }
+
+    #[test]
+    fn one_outlier_does_not_flag() {
+        let m = DriftMonitor::new();
+        for _ in 0..20 {
+            m.observe("scan", 1000.0, 1000.0);
+        }
+        m.observe("scan", 10_000.0, 1000.0);
+        assert!(!m.needs_recalibration());
+    }
+
+    #[test]
+    fn garbage_inputs_are_ignored() {
+        let m = DriftMonitor::new();
+        m.observe("x", 0.0, 1.0);
+        m.observe("x", 1.0, 0.0);
+        m.observe("x", f64::NAN, 1.0);
+        m.observe("x", 1.0, f64::INFINITY);
+        assert!(m.status().is_empty());
+    }
+
+    #[test]
+    fn reset_clears_the_flag() {
+        let m = DriftMonitor::new();
+        for _ in 0..10 {
+            m.observe("scan", 8000.0, 1000.0);
+        }
+        assert!(m.needs_recalibration());
+        m.reset();
+        assert!(!m.needs_recalibration());
+        assert!(m.status().is_empty());
+    }
+
+    #[test]
+    fn json_reports_flag_and_classes() {
+        let m = DriftMonitor::new();
+        for _ in 0..10 {
+            m.observe("sort", 4000.0, 1000.0);
+        }
+        let json = m.to_json();
+        assert!(json.contains("\"needs_recalibration\":true"), "{json}");
+        assert!(json.contains("\"class\":\"sort\""), "{json}");
+        assert!(json.contains("\"stale\":true"), "{json}");
+    }
+}

@@ -21,9 +21,13 @@ use gcm_core::{
     footprint_lines, footprint_lines_excluding, references_region, Geometry, Pattern, Region,
     RegionId,
 };
-use gcm_engine::plan::{self, BuildSource, NoPrebuilt, PhysicalPlan, PlanError, PrebuiltBuild};
+use gcm_engine::plan::{
+    self, BuildSource, ExecTracer, NoPrebuilt, NoTrace, PhysicalPlan, PlanError, PrebuiltBuild,
+    SpanTracer,
+};
 use gcm_engine::{ExecContext, MemoryBackend, NativeBackend, Relation};
 use gcm_hardware::{HardwareSpec, Sharing};
+use gcm_obs::SpanRecorder;
 use std::sync::Arc;
 
 /// The builds one batch member may reuse, as a [`BuildSource`] for the
@@ -195,6 +199,7 @@ fn run_member<B: MemoryBackend>(
     tables: &[Arc<TableData>],
     plan: &PhysicalPlan,
     builds: &dyn BuildSource,
+    tracer: &mut dyn ExecTracer<B>,
 ) -> Result<(u64, u64, gcm_engine::RunStats<B>), PlanError> {
     let referenced = plan.tables();
     let rels: Vec<Relation> = tables
@@ -208,7 +213,7 @@ fn run_member<B: MemoryBackend>(
             }
         })
         .collect();
-    let (run, stats) = ctx.measure(|c| plan::execute_with_builds(c, plan, &rels, builds));
+    let (run, stats) = ctx.measure(|c| plan::execute_traced(c, plan, &rels, builds, tracer));
     run.map(|r| {
         let hash = fnv1a(&ctx.relation_bytes(&r.output));
         (r.output.n(), hash, stats)
@@ -249,6 +254,30 @@ pub fn execute_batch_shared(
     builds: &[MemberBuilds],
     shared: &[Region],
 ) -> Result<Vec<ExecutedQuery>, PlanError> {
+    execute_batch_observed(
+        spec, tables, plans, patterns, per_op_ns, builds, shared, None,
+    )
+}
+
+/// [`execute_batch_shared`] with span tracing: when `spans` holds an
+/// enabled [`SpanRecorder`], every worker registers its own lane and
+/// records one [`Execute`](gcm_obs::SpanKind::Execute) span per
+/// physical operator it runs (via [`SpanTracer`]), carrying the
+/// operator's charged-time and per-level miss counter deltas. Tracing
+/// never changes results — the traced and untraced paths run the same
+/// operators on the same data (`observability_tracing_is_free` in the
+/// service tests pins byte identity).
+#[allow(clippy::too_many_arguments)]
+pub fn execute_batch_observed(
+    spec: &HardwareSpec,
+    tables: &[Arc<TableData>],
+    plans: &[&PhysicalPlan],
+    patterns: &[&Pattern],
+    per_op_ns: f64,
+    builds: &[MemberBuilds],
+    shared: &[Region],
+    spans: Option<&SpanRecorder>,
+) -> Result<Vec<ExecutedQuery>, PlanError> {
     assert_eq!(plans.len(), patterns.len());
     assert_eq!(plans.len(), builds.len());
     let views = member_views_shared(spec, patterns, shared);
@@ -260,14 +289,22 @@ pub fn execute_batch_shared(
             .map(|((plan, view), member)| {
                 s.spawn(move || {
                     let mut ctx = ExecContext::new(view);
-                    run_member(&mut ctx, tables, plan, member).map(
-                        |(output_n, output_hash, stats)| ExecutedQuery {
-                            output_n,
-                            output_hash,
-                            measured_ns: stats.total_ns(per_op_ns),
-                            ops: stats.ops,
-                        },
-                    )
+                    let run = match spans {
+                        // The enabled check keeps the disabled path free
+                        // of lane registration, not just span stores.
+                        Some(rec) if rec.enabled() => {
+                            let mut sink = rec.sink();
+                            let mut tracer = SpanTracer::new(&mut sink);
+                            run_member(&mut ctx, tables, plan, member, &mut tracer)
+                        }
+                        _ => run_member(&mut ctx, tables, plan, member, &mut NoTrace),
+                    };
+                    run.map(|(output_n, output_hash, stats)| ExecutedQuery {
+                        output_n,
+                        output_hash,
+                        measured_ns: stats.total_ns(per_op_ns),
+                        ops: stats.ops,
+                    })
                 })
             })
             .collect();
@@ -309,7 +346,7 @@ pub fn execute_batch_native(
             .map(|plan| {
                 s.spawn(move || {
                     let mut ctx = ExecContext::native_with_capacity(arena);
-                    run_member(&mut ctx, tables, plan, &NoPrebuilt).map(
+                    run_member(&mut ctx, tables, plan, &NoPrebuilt, &mut NoTrace).map(
                         |(output_n, output_hash, stats)| ExecutedQuery {
                             output_n,
                             output_hash,

@@ -74,10 +74,11 @@ use gcm_core::{CostModel, CpuCost, Pattern, Region};
 use gcm_engine::ops::hash::build_ops;
 use gcm_engine::plan::{
     catalog::DEFAULT_DRIFT_THRESHOLD, optimize_and_lower, optimizer::DEFAULT_THREAD_SPAWN_NS,
-    LogicalPlan, PhysicalPlan, PlanError, PlannedQuery, StatsCatalog, TableStats,
+    plan_classes, LogicalPlan, PhysicalPlan, PlanError, PlannedQuery, StatsCatalog, TableStats,
 };
 use gcm_engine::planner::JoinAlgorithm;
 use gcm_hardware::HardwareSpec;
+use gcm_obs::{DriftMonitor, Span, SpanKind, SpanRecorder, SpanSink};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -186,6 +187,17 @@ pub struct QueryService {
     cfg: ServiceConfig,
     next_id: u64,
     metrics: ServiceMetrics,
+    /// The service trace: control-path spans (optimize / build-attach /
+    /// admission) land on [`QueryService::ctl`]'s lane; each batch
+    /// worker registers its own lane for per-operator execute spans
+    /// ([`executor::execute_batch_observed`]).
+    spans: SpanRecorder,
+    /// The control path's own span lane (submit / next_batch run on the
+    /// caller's thread — one writer, one lane).
+    ctl: SpanSink,
+    /// Per-operator-class measured/predicted drift
+    /// ([`DriftMonitor::needs_recalibration`] asks for a re-calibrate).
+    drift: DriftMonitor,
 }
 
 impl QueryService {
@@ -198,6 +210,8 @@ impl QueryService {
     pub fn with_config(spec: HardwareSpec, cfg: ServiceConfig) -> QueryService {
         let plan_model = CostModel::new(spec.thread_view(1));
         let batch_model = CostModel::new(spec.clone());
+        let spans = SpanRecorder::new();
+        let ctl = spans.sink();
         QueryService {
             spec,
             batch_model,
@@ -210,7 +224,30 @@ impl QueryService {
             cfg,
             next_id: 0,
             metrics: ServiceMetrics::default(),
+            spans,
+            ctl,
+            drift: DriftMonitor::new(),
         }
+    }
+
+    /// Record a control-path span (optimize / build-attach / admission)
+    /// on the service's own lane. A no-op when tracing is off.
+    fn ctl_span(&mut self, name: String, kind: SpanKind, start_ns: u64, end_ns: u64, ops: u64) {
+        if !self.ctl.active() {
+            return;
+        }
+        self.ctl.record(Span {
+            name,
+            kind,
+            start_ns,
+            end_ns,
+            elapsed_ns: end_ns.saturating_sub(start_ns) as f64,
+            accesses: 0,
+            level_misses: Vec::new(),
+            ops,
+            lane: 0,
+            seq: 0,
+        });
     }
 
     /// Register a relation (a key column of `w`-byte tuples), deriving
@@ -254,12 +291,23 @@ impl QueryService {
     pub fn submit(&mut self, plan: LogicalPlan) -> Result<u64, PlanError> {
         let snap = self.catalog.snapshot();
         let key = (plan.fingerprint(), snap.epoch());
+        let t0 = self.ctl.now_ns();
         let planned = self.cache.get_or_optimize(key, &plan, || {
             optimize_and_lower(&self.plan_model, &plan, snap.tables())
         })?;
+        let t1 = self.ctl.now_ns();
         let (pattern, cpu_ns, builds) = self.attach_shared_builds(&planned, snap.epoch());
+        let t2 = self.ctl.now_ns();
         let id = self.next_id;
         self.next_id += 1;
+        self.ctl_span(format!("optimize q{id}"), SpanKind::Optimize, t0, t1, 0);
+        self.ctl_span(
+            format!("attach-builds q{id}"),
+            SpanKind::Build,
+            t1,
+            t2,
+            builds.len() as u64,
+        );
         self.queue.push_back(Pending {
             id,
             plan,
@@ -318,6 +366,7 @@ impl QueryService {
     /// The decision is pure pricing — callers may inspect the batch
     /// (sizes, predicted times) without executing it.
     pub fn next_batch(&mut self) -> Option<Batch> {
+        let t0 = self.ctl.now_ns();
         let candidates: Vec<admission::Candidate<'_>> = self
             .queue
             .iter()
@@ -346,6 +395,14 @@ impl QueryService {
             .map(|&idx| self.queue.remove(idx).expect("admitted index in queue"))
             .collect();
         entries.reverse();
+        let t1 = self.ctl.now_ns();
+        self.ctl_span(
+            format!("admission[{}]", entries.len()),
+            SpanKind::Admission,
+            t0,
+            t1,
+            entries.len() as u64,
+        );
         Some(Batch {
             entries,
             predicted_wall_ns: decision.predicted_wall_ns,
@@ -365,7 +422,7 @@ impl QueryService {
             .map(|p| MemberBuilds::new(p.builds.clone()))
             .collect();
         let shared = shared_regions(batch.entries.iter());
-        let runs = executor::execute_batch_shared(
+        let runs = executor::execute_batch_observed(
             &self.spec,
             &self.tables,
             &batch.plans(),
@@ -373,6 +430,7 @@ impl QueryService {
             self.cfg.per_op_ns,
             &members,
             &shared,
+            Some(&self.spans),
         )?;
         let batch_idx = self.metrics.batches.len();
         // The simulator cannot measure dispatch (it is host-side thread
@@ -385,7 +443,19 @@ impl QueryService {
         for ((pending, run), predicted_ns) in
             batch.entries.iter().zip(&runs).zip(&batch.per_query_ns)
         {
-            self.metrics.queries.push(QueryRecord {
+            // Service-level drift: the whole-query measured/predicted
+            // ratio, attributed to every operator class the plan
+            // contains (once per class). Coarser than the per-node
+            // attribution of `explain_analyze` — here a stale class
+            // shows up on every plan shape that uses it, which is the
+            // signal the recalibration flag needs.
+            let mut classes = plan_classes(&pending.planned.plan);
+            classes.sort_unstable();
+            classes.dedup();
+            for class in classes {
+                self.drift.observe(class, run.measured_ns, *predicted_ns);
+            }
+            self.metrics.record_query(QueryRecord {
                 id: pending.id,
                 plan: pending.plan.to_string(),
                 batch: batch_idx,
@@ -395,7 +465,7 @@ impl QueryService {
                 output_hash: run.output_hash,
             });
         }
-        self.metrics.batches.push(BatchRecord {
+        self.metrics.record_batch(BatchRecord {
             ids: batch.ids(),
             predicted_wall_ns: batch.predicted_wall_ns,
             predicted_serial_ns: batch.predicted_serial_ns,
@@ -454,6 +524,27 @@ impl QueryService {
         &self.spec
     }
 
+    /// The span trace: drain with
+    /// [`SpanRecorder::drain`](gcm_obs::SpanRecorder::drain), toggle
+    /// with [`set_tracing`](QueryService::set_tracing).
+    pub fn spans(&self) -> &SpanRecorder {
+        &self.spans
+    }
+
+    /// Turn span recording on or off at runtime (on by default; off
+    /// costs one relaxed atomic load per would-be span).
+    pub fn set_tracing(&self, on: bool) {
+        self.spans.set_enabled(on);
+    }
+
+    /// The per-operator-class model-drift monitor. When
+    /// [`needs_recalibration`](DriftMonitor::needs_recalibration)
+    /// reports `true`, re-run the calibrate workflow and rebuild the
+    /// service with the refreshed `per_op_ns` / hardware spec.
+    pub fn drift(&self) -> &DriftMonitor {
+        &self.drift
+    }
+
     fn sync_cache_counters(&mut self) {
         self.metrics.cache_hits = self.cache.hits();
         self.metrics.cache_misses = self.cache.misses();
@@ -461,6 +552,27 @@ impl QueryService {
         self.metrics.cache_retired = self.cache.retired();
         self.metrics.builds_built = self.builds.built();
         self.metrics.builds_reused = self.builds.reused();
+        let r = &self.metrics.registry;
+        r.set_counter("gcm_service_cache_hits_total", self.metrics.cache_hits);
+        r.set_counter("gcm_service_cache_misses_total", self.metrics.cache_misses);
+        r.set_counter(
+            "gcm_service_optimizer_runs_total",
+            self.metrics.optimizer_runs,
+        );
+        r.set_counter(
+            "gcm_service_cache_retired_total",
+            self.metrics.cache_retired,
+        );
+        r.set_counter("gcm_service_builds_built_total", self.metrics.builds_built);
+        r.set_counter(
+            "gcm_service_builds_reused_total",
+            self.metrics.builds_reused,
+        );
+        r.set_counter("gcm_service_spans_dropped_total", self.spans.dropped());
+        r.set_gauge(
+            "gcm_service_drift_stale_classes",
+            self.drift.stale_classes().len() as f64,
+        );
     }
 }
 
@@ -643,6 +755,131 @@ mod tests {
         let err = svc.submit(LogicalPlan::scan(5)).unwrap_err();
         assert!(matches!(err, PlanError::UnknownTable { table: 5, .. }));
         assert_eq!(svc.queue_len(), 0);
+    }
+
+    #[test]
+    fn spans_cover_the_whole_query_lifecycle() {
+        let mut svc = service();
+        for cut in [100, 200] {
+            svc.submit(
+                LogicalPlan::scan(0)
+                    .select_lt(cut)
+                    .join(LogicalPlan::scan(1))
+                    .group_count(),
+            )
+            .unwrap();
+        }
+        svc.run().unwrap();
+        let spans = svc.spans().drain();
+        let kind_count = |k: gcm_obs::SpanKind| spans.iter().filter(|s| s.kind == k).count();
+        assert_eq!(kind_count(gcm_obs::SpanKind::Optimize), 2);
+        assert_eq!(kind_count(gcm_obs::SpanKind::Build), 2);
+        assert!(kind_count(gcm_obs::SpanKind::Admission) >= 1);
+        // Per-operator execute spans: each query ran select + join +
+        // aggregate at least.
+        assert!(kind_count(gcm_obs::SpanKind::Execute) >= 6, "{spans:#?}");
+        // Execute spans carry the sim backend's per-level miss deltas.
+        assert!(spans
+            .iter()
+            .filter(|s| s.kind == gcm_obs::SpanKind::Execute)
+            .all(|s| !s.level_misses.is_empty()));
+        assert_eq!(svc.spans().dropped(), 0);
+    }
+
+    #[test]
+    fn tracing_off_is_byte_identical_and_spanless() {
+        let run_with = |tracing: bool| -> (Vec<(u64, u64)>, usize) {
+            let mut svc = service();
+            svc.set_tracing(tracing);
+            for cut in [50, 150] {
+                svc.submit(
+                    LogicalPlan::scan(0)
+                        .select_lt(cut)
+                        .join(LogicalPlan::scan(1))
+                        .group_count(),
+                )
+                .unwrap();
+            }
+            svc.run().unwrap();
+            let mut out: Vec<(u64, u64)> = svc
+                .metrics()
+                .queries
+                .iter()
+                .map(|q| (q.output_n, q.output_hash))
+                .collect();
+            out.sort_unstable();
+            let n_spans = svc.spans().drain().len();
+            (out, n_spans)
+        };
+        let (on, spans_on) = run_with(true);
+        let (off, spans_off) = run_with(false);
+        assert_eq!(on, off, "tracing must not change results");
+        assert_eq!(spans_off, 0);
+        assert!(spans_on > 0);
+    }
+
+    #[test]
+    fn drift_monitor_flags_a_miscalibrated_cpu_charge() {
+        // Same queue twice: once with the calibration the planner
+        // predicts with, once with the measured CPU charge lowballed
+        // 4× under it — the monitor must stay quiet on the honest run
+        // and raise the flag on the skewed one.
+        let run_with = |per_op_ns: f64| -> (bool, Vec<String>) {
+            let mut svc = QueryService::with_config(
+                presets::tiny_smp(4),
+                ServiceConfig {
+                    max_batch: 1, // predicted == serial per-query price
+                    per_op_ns,
+                    ..ServiceConfig::default()
+                },
+            );
+            let mut wl = Workload::new(45);
+            let star = wl.star_scenario(3_000, 500, 1);
+            svc.register_table("F", star.fact, 8);
+            svc.register_table("D", star.dims[0].clone(), 8);
+            for i in 0..10 {
+                svc.submit(LogicalPlan::scan(0).select_lt(100 + 10 * i).group_count())
+                    .unwrap();
+            }
+            svc.run().unwrap();
+            (
+                svc.drift().needs_recalibration(),
+                svc.drift().stale_classes(),
+            )
+        };
+        let honest = CpuCost::DEFAULT_PLANNER_PER_OP_NS;
+        let (flag_honest, stale_honest) = run_with(honest);
+        assert!(!flag_honest, "honest calibration flagged: {stale_honest:?}");
+        let (flag_skewed, stale_skewed) = run_with(honest * 64.0);
+        assert!(flag_skewed, "64× CPU skew must flag");
+        assert!(
+            stale_skewed
+                .iter()
+                .any(|c| c == "select" || c == "aggregate"),
+            "{stale_skewed:?}"
+        );
+    }
+
+    #[test]
+    fn metrics_export_prometheus_and_json() {
+        let mut svc = service();
+        for cut in [100, 200, 300] {
+            svc.submit(LogicalPlan::scan(0).select_lt(cut).group_count())
+                .unwrap();
+        }
+        svc.run().unwrap();
+        let m = svc.metrics();
+        let (p50, p99, p999) = m.latency_quantiles().unwrap();
+        assert!(p50 > 0 && p50 <= p99 && p99 <= p999);
+        let prom = m.to_prometheus();
+        assert!(
+            prom.contains("# TYPE gcm_service_query_latency_ns summary"),
+            "{prom}"
+        );
+        assert!(prom.contains("gcm_service_queries_total 3"), "{prom}");
+        assert!(prom.contains("gcm_service_spans_dropped_total 0"), "{prom}");
+        let json = m.to_json_lines();
+        assert!(json.lines().count() >= 5, "{json}");
     }
 
     #[test]

@@ -1,7 +1,29 @@
 //! Service telemetry: per-query latency, per-batch accuracy, and
 //! plan-cache effectiveness.
+//!
+//! Next to the exact per-query/per-batch record vectors (kept: tests
+//! and the accuracy report read them), every executed query and batch
+//! also lands in a [`MetricsRegistry`] — counters, gauges, and
+//! log-linear latency histograms with bounded-error quantiles
+//! ([`gcm_obs::hist`]) — which is what the exporters
+//! ([`ServiceMetrics::to_prometheus`] /
+//! [`ServiceMetrics::to_json_lines`]) serialize. The registry is the
+//! *aggregated* view a scrape reads in O(1) space; the vectors are the
+//! exact trace a test asserts on.
 
+use gcm_obs::{Histogram, MetricsRegistry};
 use std::fmt;
+
+/// Registry name of the per-query measured-latency histogram.
+pub const QUERY_LATENCY: &str = "gcm_service_query_latency_ns";
+/// Registry name of the per-query predicted-latency histogram.
+pub const QUERY_PREDICTED: &str = "gcm_service_query_predicted_ns";
+/// Registry name of the per-batch measured-wall histogram.
+pub const BATCH_WALL: &str = "gcm_service_batch_wall_ns";
+/// Registry name of the executed-query counter.
+pub const QUERIES_TOTAL: &str = "gcm_service_queries_total";
+/// Registry name of the executed-batch counter.
+pub const BATCHES_TOTAL: &str = "gcm_service_batches_total";
 
 /// One executed query's record.
 #[derive(Debug, Clone)]
@@ -83,9 +105,56 @@ pub struct ServiceMetrics {
     /// Shared-build requests served from an existing build — every
     /// reuse is one build phase a query skipped.
     pub builds_reused: u64,
+    /// The aggregated counters/gauges/histograms behind the exporters.
+    /// Interior-mutable (`&self` observes), so executors and benches
+    /// can record into a shared metrics handle.
+    pub registry: MetricsRegistry,
 }
 
 impl ServiceMetrics {
+    /// Record one executed query: appends the exact [`QueryRecord`]
+    /// *and* feeds the latency histograms and counters.
+    pub fn record_query(&mut self, q: QueryRecord) {
+        self.registry.observe_ns(QUERY_LATENCY, q.measured_ns);
+        self.registry.observe_ns(QUERY_PREDICTED, q.predicted_ns);
+        self.registry.inc(QUERIES_TOTAL, 1);
+        self.queries.push(q);
+    }
+
+    /// Record one executed batch: appends the exact [`BatchRecord`]
+    /// *and* feeds the batch-wall histogram and counters.
+    pub fn record_batch(&mut self, b: BatchRecord) {
+        self.registry.observe_ns(BATCH_WALL, b.measured_wall_ns);
+        self.registry.inc(BATCHES_TOTAL, 1);
+        self.registry
+            .set_gauge("gcm_service_last_batch_size", b.size() as f64);
+        self.batches.push(b);
+    }
+
+    /// The measured per-query latency histogram, if any query ran.
+    /// Quantiles carry the registry histogram's bounded relative error
+    /// ([`gcm_obs::hist::QUANTILE_REL_ERROR`]).
+    pub fn latency_histogram(&self) -> Option<Histogram> {
+        self.registry.histogram(QUERY_LATENCY)
+    }
+
+    /// Measured latency quantiles `(p50, p99, p999)` in ns, `None`
+    /// until a query has executed.
+    pub fn latency_quantiles(&self) -> Option<(u64, u64, u64)> {
+        let h = self.latency_histogram()?;
+        Some((h.p50(), h.p99(), h.p999()))
+    }
+
+    /// Prometheus text exposition of the aggregated registry.
+    pub fn to_prometheus(&self) -> String {
+        self.registry.to_prometheus()
+    }
+
+    /// JSON-lines export of the aggregated registry (one metric per
+    /// line).
+    pub fn to_json_lines(&self) -> String {
+        self.registry.to_json_lines()
+    }
     /// Plan-cache hit fraction (0 when nothing was submitted).
     pub fn hit_rate(&self) -> f64 {
         let total = (self.cache_hits + self.cache_misses) as f64;
@@ -192,6 +261,7 @@ mod tests {
             cache_retired: 2,
             builds_built: 1,
             builds_reused: 3,
+            registry: MetricsRegistry::default(),
         };
         assert!((m.hit_rate() - 0.75).abs() < 1e-9);
         assert_eq!(m.max_batch_size(), 2);
@@ -211,5 +281,38 @@ mod tests {
         assert_eq!(m.hit_rate(), 0.0);
         assert_eq!(m.max_batch_size(), 0);
         assert_eq!(m.mean_query_error(), 0.0);
+        assert!(m.latency_quantiles().is_none());
+    }
+
+    #[test]
+    fn record_query_feeds_vectors_and_histograms() {
+        let mut m = ServiceMetrics::default();
+        for (p, ms) in [(100.0, 120.0), (200.0, 180.0), (400.0, 4000.0)] {
+            let mut q = record(p, ms);
+            q.id = m.queries.len() as u64;
+            m.record_query(q);
+        }
+        m.record_batch(BatchRecord {
+            ids: vec![0, 1, 2],
+            predicted_wall_ns: 500.0,
+            predicted_serial_ns: 700.0,
+            measured_wall_ns: 4100.0,
+        });
+        assert_eq!(m.queries.len(), 3);
+        assert_eq!(m.registry.counter(QUERIES_TOTAL), Some(3));
+        assert_eq!(m.registry.counter(BATCHES_TOTAL), Some(1));
+        let (p50, p99, p999) = m.latency_quantiles().unwrap();
+        // Exact quantiles of {120, 180, 4000}: p50 = 180, p99 = 4000.
+        assert!((p50 as f64 - 180.0).abs() / 180.0 <= gcm_obs::hist::QUANTILE_REL_ERROR);
+        assert!((p99 as f64 - 4000.0).abs() / 4000.0 <= gcm_obs::hist::QUANTILE_REL_ERROR);
+        assert!(p999 >= p99);
+        let prom = m.to_prometheus();
+        assert!(prom.contains("gcm_service_queries_total 3"), "{prom}");
+        assert!(
+            prom.contains("gcm_service_query_latency_ns{quantile=\"0.99\"}"),
+            "{prom}"
+        );
+        let json = m.to_json_lines();
+        assert!(json.contains("\"gcm_service_batch_wall_ns\""), "{json}");
     }
 }

@@ -28,6 +28,10 @@
 //!   controller that batches queries only when the composed patterns beat
 //!   serial execution, and a thread-pool executor over per-query simulated
 //!   hierarchy views.
+//! * [`obs`] — the observability layer: per-thread span tracing with
+//!   backend counter deltas, `EXPLAIN ANALYZE` support, log-linear latency
+//!   histograms with Prometheus/JSON-lines exporters, and a model-drift
+//!   monitor that flags stale calibration.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
@@ -36,6 +40,7 @@ pub use gcm_calibrate as calibrate;
 pub use gcm_core as core;
 pub use gcm_engine as engine;
 pub use gcm_hardware as hardware;
+pub use gcm_obs as obs;
 pub use gcm_service as service;
 pub use gcm_sim as sim;
 pub use gcm_trie as trie;

@@ -19,6 +19,8 @@ const EXAMPLES: &[&str] = &[
     "serve_mixed_tenants",
     "calibrate_then_model",
     "native_validation",
+    "explain_analyze",
+    "host_report",
 ];
 
 #[test]

@@ -215,6 +215,37 @@ impl StatsCatalog {
         self.seq.fetch_add(1, Ordering::SeqCst);
         bumped
     }
+
+    /// Unconditionally advance the epoch — the invalidation a
+    /// *model-side* change needs. Statistics drift is not the only
+    /// reason cached plans go stale: when the cost parameters they
+    /// were priced under are replaced (a recalibration swapping in a
+    /// fresh `CpuCost`/spec), every cached plan must re-price even
+    /// though no table changed. Resets every table's drift baseline to
+    /// its current stats (the new epoch re-prices everything, so
+    /// accumulated drift is spent) and returns the new epoch.
+    pub fn force_epoch_bump(&self) -> u64 {
+        let _guard = self.lock_write();
+        let keys: Vec<usize> = {
+            let trie = self.entries.snapshot();
+            trie.iter().map(|(idx, _)| *idx).collect()
+        };
+        self.seq.fetch_add(1, Ordering::SeqCst);
+        for idx in keys {
+            if let Some(entry) = self.entries.get(&idx) {
+                self.entries.insert(
+                    idx,
+                    TableEntry {
+                        baseline: entry.stats.clone(),
+                        stats: entry.stats,
+                    },
+                );
+            }
+        }
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        self.seq.fetch_add(1, Ordering::SeqCst);
+        epoch
+    }
 }
 
 /// Relative drift between two statistics snapshots of one table: the
@@ -314,6 +345,24 @@ mod tests {
         // A pushed table participates in drift tracking like any other.
         assert!(c.update(0, TableStats::key_column(500, 8, false)));
         assert_eq!(c.epoch(), 1);
+    }
+
+    #[test]
+    fn force_bump_advances_the_epoch_and_spends_drift() {
+        let c = catalog();
+        // Accumulate sub-threshold drift, then force-bump (as a
+        // recalibration would): the epoch advances with no stats
+        // change, and the drift baseline resets to current stats.
+        assert!(!c.update(0, TableStats::uniform(11_900, 8, 1_000, false)));
+        assert_eq!(c.force_epoch_bump(), 1);
+        assert_eq!(c.epoch(), 1);
+        assert_eq!(c.snapshot().epoch(), 1);
+        assert_eq!(c.snapshot().tables()[0].n, 11_900);
+        // Pre-bump accumulated drift was spent: another small step
+        // relative to the *new* baseline does not bump.
+        assert!(!c.update(0, TableStats::uniform(13_000, 8, 1_000, false)));
+        assert_eq!(c.epoch(), 1);
+        assert_eq!(c.force_epoch_bump(), 2);
     }
 
     #[test]

@@ -139,6 +139,28 @@ impl DriftMonitor {
         self.classes.lock().unwrap().clear();
     }
 
+    /// Mirror the monitor into a [`MetricsRegistry`](crate::MetricsRegistry):
+    /// one `{prefix}_ratio{class="…"}` gauge per observed class (the
+    /// smoothed measured/predicted ratio), `{prefix}_stale_classes`
+    /// (how many crossed the threshold), and `{prefix}_flag` (0/1).
+    /// Class names go through [`labeled`](crate::registry::labeled) so
+    /// arbitrary operator-class strings survive the exporters.
+    pub fn export_gauges(&self, registry: &crate::MetricsRegistry, prefix: &str) {
+        let classes = self.classes.lock().unwrap();
+        let mut stale = 0u64;
+        for (name, d) in classes.iter() {
+            if self.is_stale(d) {
+                stale += 1;
+            }
+            registry.set_gauge(
+                &crate::registry::labeled(&format!("{prefix}_ratio"), &[("class", name)]),
+                d.ratio(),
+            );
+        }
+        registry.set_gauge(&format!("{prefix}_stale_classes"), stale as f64);
+        registry.set_gauge(&format!("{prefix}_flag"), if stale > 0 { 1.0 } else { 0.0 });
+    }
+
     /// The monitor as one JSON object: flag, stale classes, and every
     /// class's smoothed ratio.
     pub fn to_json(&self) -> String {
@@ -235,6 +257,26 @@ mod tests {
         m.reset();
         assert!(!m.needs_recalibration());
         assert!(m.status().is_empty());
+    }
+
+    #[test]
+    fn export_gauges_mirrors_ratios_into_a_registry() {
+        let m = DriftMonitor::new();
+        for _ in 0..10 {
+            m.observe("sort", 4000.0, 1000.0);
+            m.observe("scan", 1000.0, 1000.0);
+        }
+        let r = crate::MetricsRegistry::new();
+        m.export_gauges(&r, "svc_drift");
+        let sort = r.gauge("svc_drift_ratio{class=\"sort\"}").unwrap();
+        assert!((sort - 4.0).abs() < 0.5, "ratio {sort}");
+        let scan = r.gauge("svc_drift_ratio{class=\"scan\"}").unwrap();
+        assert!((scan - 1.0).abs() < 0.1, "ratio {scan}");
+        assert_eq!(r.gauge("svc_drift_stale_classes"), Some(1.0));
+        assert_eq!(r.gauge("svc_drift_flag"), Some(1.0));
+        // The ratios appear in the Prometheus export, per class.
+        let text = r.to_prometheus();
+        assert!(text.contains("svc_drift_ratio{class=\"sort\"}"), "{text}");
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //!   JSON-lines and Prometheus text exporters.
 //! - [`drift`] — per-operator-class EWMA of measured/predicted ratios
 //!   that raises a recalibration flag when calibration goes stale.
+//! - [`pmu`] — hardware ground truth: a dependency-free
+//!   `perf_event_open` reader (L1D/LLC/dTLB misses, instructions,
+//!   cycles) with an honest `Unavailable` fallback where the kernel or
+//!   platform forbids counting.
+//! - [`flight`] — a bounded ring of recent `EXPLAIN ANALYZE` reports
+//!   for post-hoc dumps.
 //!
 //! Plus [`json`], the dependency-free serializer the exporters (and
 //! the calibration report, bench artifacts, and `EXPLAIN ANALYZE`
@@ -28,12 +34,16 @@
 //! workspace can depend on it without cycles or new dependencies.
 
 pub mod drift;
+pub mod flight;
 pub mod hist;
 pub mod json;
+pub mod pmu;
 pub mod registry;
 pub mod span;
 
 pub use drift::{ClassDrift, DriftMonitor};
+pub use flight::{FlightEntry, FlightRecorder};
 pub use hist::Histogram;
+pub use pmu::{PmuGroup, PmuSample, PmuStatus};
 pub use registry::{Metric, MetricsRegistry};
 pub use span::{Span, SpanKind, SpanRecorder, SpanSink};

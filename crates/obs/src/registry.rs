@@ -12,6 +12,37 @@ use crate::hist::Histogram;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
+/// Build a `family{key="value",…}` metric name with Prometheus
+/// label-value escaping (`\` → `\\`, `"` → `\"`, newline → `\n`), so
+/// arbitrary class names and paths survive the text exposition format.
+/// With no labels the bare family is returned.
+pub fn labeled(family: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return family.to_string();
+    }
+    let mut out = String::with_capacity(family.len() + 16 * labels.len());
+    out.push_str(family);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                _ => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
 /// One named metric.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Metric {
@@ -265,6 +296,25 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("\"type\":\"histogram\""), "{}", lines[0]);
         assert!(lines[1].contains("\"type\":\"counter\""), "{}", lines[1]);
+    }
+
+    #[test]
+    fn labeled_escapes_prometheus_special_characters() {
+        assert_eq!(labeled("m_total", &[]), "m_total");
+        assert_eq!(
+            labeled("m_total", &[("class", "join"), ("lane", "0")]),
+            "m_total{class=\"join\",lane=\"0\"}"
+        );
+        assert_eq!(
+            labeled("m", &[("path", "a\\b\"c\nd")]),
+            "m{path=\"a\\\\b\\\"c\\nd\"}"
+        );
+        // The escaped name still splits cleanly for the exporter.
+        let r = MetricsRegistry::new();
+        r.inc(&labeled("esc_total", &[("p", "x\"y")]), 1);
+        let text = r.to_prometheus();
+        assert!(text.contains("# TYPE esc_total counter\n"), "{text}");
+        assert!(text.contains("esc_total{p=\"x\\\"y\"} 1\n"), "{text}");
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod cache;
 pub mod executor;
 pub mod metrics;
 pub mod mix;
+pub mod recalibrate;
 
 pub use admission::{AdmissionConfig, BatchDecision};
 pub use builds::{strip_build_phase, BuildRegistry, SharedBuild};
@@ -69,16 +70,20 @@ pub use cache::{PlanCache, PlanKey};
 pub use executor::{execute_batch_native, ExecutedQuery, MemberBuilds, TableData};
 pub use metrics::{BatchRecord, QueryRecord, ServiceMetrics};
 pub use mix::{plan_for, TenantTables};
+pub use recalibrate::{Recalibration, Recalibrator};
 
 use gcm_core::{CostModel, CpuCost, Pattern, Region};
 use gcm_engine::ops::hash::build_ops;
 use gcm_engine::plan::{
-    catalog::DEFAULT_DRIFT_THRESHOLD, optimize_and_lower, optimizer::DEFAULT_THREAD_SPAWN_NS,
-    plan_classes, LogicalPlan, PhysicalPlan, PlanError, PlannedQuery, StatsCatalog, TableStats,
+    catalog::DEFAULT_DRIFT_THRESHOLD, explain_analyze, optimize_and_lower,
+    optimizer::DEFAULT_THREAD_SPAWN_NS, plan_classes, ExplainReport, LogicalPlan, PhysicalPlan,
+    PlanError, PlannedQuery, StatsCatalog, TableStats,
 };
 use gcm_engine::planner::JoinAlgorithm;
+use gcm_engine::{ExecContext, Relation};
 use gcm_hardware::HardwareSpec;
-use gcm_obs::{DriftMonitor, Span, SpanKind, SpanRecorder, SpanSink};
+use gcm_obs::pmu::PmuStatus;
+use gcm_obs::{DriftMonitor, FlightRecorder, Span, SpanKind, SpanRecorder, SpanSink};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -198,6 +203,16 @@ pub struct QueryService {
     /// Per-operator-class measured/predicted drift
     /// ([`DriftMonitor::needs_recalibration`] asks for a re-calibrate).
     drift: DriftMonitor,
+    /// Closes the drift loop when installed
+    /// ([`QueryService::set_recalibrator`]): a raised flag triggers a
+    /// background probe run whose result is swapped in atomically.
+    recal: Option<Recalibrator>,
+    /// Completed recalibrations applied to this service.
+    recalibrations: u64,
+    /// Post-hoc debugging ring: the last
+    /// [`FLIGHT_CAPACITY`](QueryService::FLIGHT_CAPACITY) EXPLAIN
+    /// ANALYZE reports ([`QueryService::explain_analyze`]).
+    flight: FlightRecorder,
 }
 
 impl QueryService {
@@ -227,8 +242,15 @@ impl QueryService {
             spans,
             ctl,
             drift: DriftMonitor::new(),
+            recal: None,
+            recalibrations: 0,
+            flight: FlightRecorder::new(QueryService::FLIGHT_CAPACITY),
         }
     }
+
+    /// EXPLAIN ANALYZE reports kept in the [`flight`](QueryService::flight)
+    /// ring before the oldest is evicted.
+    pub const FLIGHT_CAPACITY: usize = 32;
 
     /// Record a control-path span (optimize / build-attach / admission)
     /// on the service's own lane. A no-op when tracing is off.
@@ -471,6 +493,10 @@ impl QueryService {
             predicted_serial_ns: batch.predicted_serial_ns,
             measured_wall_ns,
         });
+        // Close the drift loop without stalling the serving path: a
+        // raised flag starts a background probe, and any probe that
+        // finished since the last batch is applied now.
+        self.pump_recalibration(false);
         self.sync_cache_counters();
         Ok(batch_idx)
     }
@@ -539,10 +565,141 @@ impl QueryService {
 
     /// The per-operator-class model-drift monitor. When
     /// [`needs_recalibration`](DriftMonitor::needs_recalibration)
-    /// reports `true`, re-run the calibrate workflow and rebuild the
-    /// service with the refreshed `per_op_ns` / hardware spec.
+    /// reports `true` and a [`Recalibrator`] is installed, the service
+    /// re-probes and swaps the refreshed calibration in on its own;
+    /// without one, re-run the calibrate workflow manually and rebuild
+    /// the service with the refreshed `per_op_ns` / hardware spec.
     pub fn drift(&self) -> &DriftMonitor {
         &self.drift
+    }
+
+    /// The EXPLAIN ANALYZE flight recorder: the last
+    /// [`FLIGHT_CAPACITY`](QueryService::FLIGHT_CAPACITY) reports, as
+    /// dumpable JSON lines — what the service was thinking when a
+    /// regression landed, without re-running anything.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// EXPLAIN ANALYZE `plan` against the service's registered tables
+    /// on **host memory**, with PMU counters attached when the host
+    /// allows them — per-node predicted-vs-measured miss rows, the
+    /// ground truth the simulator's charged counters approximate (see
+    /// [`NativeBackend::attach_pmu`](gcm_engine::native::NativeBackend::attach_pmu)).
+    /// The report is recorded into the [`flight`](QueryService::flight)
+    /// ring and returned alongside the PMU status the run observed
+    /// (`Unavailable` means the rows are honestly absent, never zero).
+    ///
+    /// This is a diagnostic run outside the serving path: it executes
+    /// the plan once on the caller's thread, unbatched and without
+    /// shared builds, priced with the calibration currently in force.
+    pub fn explain_analyze(
+        &mut self,
+        plan: &LogicalPlan,
+    ) -> Result<(ExplainReport, PmuStatus), PlanError> {
+        let snap = self.catalog.snapshot();
+        let planned = optimize_and_lower(&self.plan_model, plan, snap.tables())?;
+        let mut ctx = ExecContext::native();
+        let pmu = ctx.mem.attach_pmu();
+        let referenced = planned.plan.tables();
+        let rels: Vec<Relation> = self
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                if referenced.contains(&i) {
+                    ctx.relation_from_keys(&t.name, &t.keys, t.w)
+                } else {
+                    ctx.relation(&t.name, 0, t.w)
+                }
+            })
+            .collect();
+        let cpu = CpuCost::per_op(self.cfg.per_op_ns);
+        let (_run, report) = explain_analyze(
+            &mut ctx,
+            &planned.plan,
+            &rels,
+            &self.plan_model,
+            &cpu,
+            self.cfg.per_op_ns,
+        )?;
+        self.flight
+            .record(&format!("fp{:016x}", plan.fingerprint()), &report.to_json());
+        Ok((report, pmu))
+    }
+
+    /// Install the auto-recalibration loop: from now on a raised drift
+    /// flag triggers `recal`'s probe on a background thread, and each
+    /// completed probe atomically updates the CPU calibration (and the
+    /// spec, when the probe refreshes it), force-bumps the statistics
+    /// epoch so every cached plan re-prices, and resets the drift
+    /// monitor.
+    pub fn set_recalibrator(&mut self, recal: Recalibrator) {
+        self.recal = Some(recal);
+    }
+
+    /// Completed recalibrations applied to this service.
+    pub fn recalibrations(&self) -> u64 {
+        self.recalibrations
+    }
+
+    /// The CPU calibration currently in force (the `CpuCost::per_op`
+    /// parameter measured runs are scored with). Changes when a
+    /// recalibration lands.
+    pub fn cpu_per_op_ns(&self) -> f64 {
+        self.cfg.per_op_ns
+    }
+
+    /// Synchronously drive the recalibration loop: trigger a probe if
+    /// the drift flag is raised (or collect the one already running),
+    /// block until it finishes, and apply it. Returns `true` when a
+    /// recalibration was applied. The asynchronous path is automatic —
+    /// [`execute_batch`](QueryService::execute_batch) pumps the loop
+    /// without blocking; this entry point is for tests and shutdown
+    /// paths that must observe the swap.
+    pub fn recalibrate_now(&mut self) -> bool {
+        self.pump_recalibration(true)
+    }
+
+    /// One turn of the recalibration loop. `block` waits for the probe
+    /// thread; otherwise only a finished probe is collected. Returns
+    /// `true` when a result was applied.
+    fn pump_recalibration(&mut self, block: bool) -> bool {
+        let stale = self.drift.stale_classes();
+        let Some(recal) = self.recal.as_mut() else {
+            return false;
+        };
+        if !stale.is_empty() {
+            recal.trigger(&stale);
+        }
+        let done = if block { recal.wait() } else { recal.poll() };
+        match done {
+            Some((_, result)) => {
+                self.apply_recalibration(result);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Atomically swap a probe result into the serving path: replace
+    /// the CPU calibration (and models/spec when the probe refreshed
+    /// the hierarchy), force-bump the statistics epoch so every cached
+    /// plan and shared build re-prices under the new parameters, and
+    /// reset the drift monitor to judge the new calibration from
+    /// scratch.
+    fn apply_recalibration(&mut self, r: Recalibration) {
+        self.cfg.per_op_ns = r.per_op_ns;
+        if let Some(spec) = r.spec {
+            self.plan_model = CostModel::new(spec.thread_view(1));
+            self.batch_model = CostModel::new(spec.clone());
+            self.spec = spec;
+        }
+        let epoch = self.catalog.force_epoch_bump();
+        self.cache.retire_epochs_before(epoch);
+        self.builds.retire_epochs_before(epoch);
+        self.drift.reset();
+        self.recalibrations += 1;
     }
 
     fn sync_cache_counters(&mut self) {
@@ -569,10 +726,10 @@ impl QueryService {
             self.metrics.builds_reused,
         );
         r.set_counter("gcm_service_spans_dropped_total", self.spans.dropped());
-        r.set_gauge(
-            "gcm_service_drift_stale_classes",
-            self.drift.stale_classes().len() as f64,
-        );
+        r.set_counter("gcm_service_recalibrations_total", self.recalibrations);
+        r.set_gauge("gcm_service_cpu_per_op_ns", self.cfg.per_op_ns);
+        // Per-class drift ratios + stale count + flag, as gauges.
+        self.drift.export_gauges(r, "gcm_service_drift");
     }
 }
 
@@ -656,6 +813,7 @@ mod tests {
     use super::*;
     use gcm_hardware::presets;
     use gcm_workload::Workload;
+    use std::sync::Mutex;
 
     fn service() -> QueryService {
         let mut svc = QueryService::new(presets::tiny_smp(4));
@@ -858,6 +1016,94 @@ mod tests {
                 .any(|c| c == "select" || c == "aggregate"),
             "{stale_skewed:?}"
         );
+    }
+
+    #[test]
+    fn explain_analyze_records_into_the_flight_ring() {
+        let mut svc = service();
+        assert!(svc.flight().is_empty());
+        let q1 = LogicalPlan::scan(0).select_lt(100).group_count();
+        let q2 = LogicalPlan::scan(0).select_lt(300).group_count();
+        let (report, pmu) = svc.explain_analyze(&q1).unwrap();
+        let root = report.root.measured.as_ref().expect("operator root");
+        assert!(root.ops > 0, "{report:?}");
+        if !pmu.is_available() {
+            // Host without perf counters: rows must be honestly absent.
+            assert!(root.level_misses.is_empty());
+        }
+        svc.explain_analyze(&q2).unwrap();
+        assert_eq!(svc.flight().len(), 2);
+        let dump = svc.flight().dump_json_lines();
+        assert_eq!(dump.lines().count(), 2);
+        assert!(dump.contains("\"plan\""), "{dump}");
+        assert!(
+            dump.contains(&format!("fp{:016x}", q1.fingerprint())),
+            "{dump}"
+        );
+    }
+
+    #[test]
+    fn drift_flag_triggers_recalibration_that_updates_cpu_cost() {
+        // The full closed loop, pinned: a 64× CPU miscalibration raises
+        // the drift flag mid-run, the installed recalibrator probes on
+        // a background thread (a fake probe here, so the test is
+        // deterministic), and applying the result swaps the honest
+        // charge back in, bumps the stats epoch so cached plans
+        // re-price, and resets the monitor.
+        let honest = CpuCost::DEFAULT_PLANNER_PER_OP_NS;
+        let mut svc = QueryService::with_config(
+            presets::tiny_smp(4),
+            ServiceConfig {
+                max_batch: 1,
+                per_op_ns: honest * 64.0,
+                ..ServiceConfig::default()
+            },
+        );
+        let probed = Arc::new(Mutex::new(Vec::<String>::new()));
+        let probed2 = Arc::clone(&probed);
+        svc.set_recalibrator(Recalibrator::new(move |stale| {
+            probed2.lock().unwrap().extend(stale.iter().cloned());
+            Recalibration {
+                per_op_ns: CpuCost::DEFAULT_PLANNER_PER_OP_NS,
+                spec: None,
+            }
+        }));
+        let mut wl = Workload::new(45);
+        let star = wl.star_scenario(3_000, 500, 1);
+        svc.register_table("F", star.fact, 8);
+        svc.register_table("D", star.dims[0].clone(), 8);
+        let epoch_before = svc.catalog().epoch();
+        for i in 0..10 {
+            svc.submit(LogicalPlan::scan(0).select_lt(100 + 10 * i).group_count())
+                .unwrap();
+        }
+        svc.run().unwrap();
+        // The async pump may have landed the swap already; flush any
+        // probe still in flight so the assertion is deterministic.
+        if svc.recalibrations() == 0 {
+            assert!(svc.recalibrate_now(), "drift flag never raised a probe");
+        }
+        assert!(svc.recalibrations() >= 1);
+        assert_eq!(
+            svc.cpu_per_op_ns(),
+            honest,
+            "recalibration must replace the optimizer's CpuCost charge"
+        );
+        assert!(
+            svc.catalog().epoch() > epoch_before,
+            "epoch must bump so cached plans re-price"
+        );
+        assert!(
+            !svc.drift().needs_recalibration(),
+            "monitor resets after the swap"
+        );
+        let probed = probed.lock().unwrap();
+        assert!(
+            probed.iter().any(|c| c == "select" || c == "aggregate"),
+            "probe must receive the stale classes: {probed:?}"
+        );
+        let prom = svc.metrics().to_prometheus();
+        assert!(prom.contains("gcm_service_recalibrations_total"), "{prom}");
     }
 
     #[test]

@@ -10,9 +10,12 @@
 //! same report also feeds a model-drift monitor and serializes to
 //! JSON.
 //!
-//! On the native backend the measured column is wall-clock ns and the
-//! miss rows disappear (real hardware does not report which level
-//! satisfied a load) — the text/JSON shape is the same.
+//! On the native backend the measured column is wall-clock ns, and the
+//! miss rows hold real hardware counter readings (`L1d`/`LLC`/`dTLB`)
+//! when the host exposes a PMU (`perf_event_paranoid` ≤ 2 or
+//! `CAP_PERFMON`, and a hypervisor with a vPMU) — where it does not,
+//! the rows are honestly absent and the run says why. Either way the
+//! report lands in a flight-recorder ring for post-hoc dumping.
 //!
 //!     cargo run --release --example explain_analyze
 
@@ -20,7 +23,7 @@ use gcm::core::{CostModel, CpuCost};
 use gcm::engine::plan::{explain_analyze, LogicalPlan, Optimizer, TableStats};
 use gcm::engine::ExecContext;
 use gcm::hardware::presets;
-use gcm::obs::DriftMonitor;
+use gcm::obs::{DriftMonitor, FlightRecorder};
 use gcm::workload::Workload;
 
 fn main() {
@@ -76,4 +79,36 @@ fn main() {
     );
 
     println!("\nJSON form:\n{}", report.to_json());
+
+    // The same EXPLAIN on host memory, with hardware performance
+    // counters attached where the host allows them: the miss rows stop
+    // being simulated and become PMU ground truth.
+    let mut native = ExecContext::native();
+    let status = native.mem.attach_pmu();
+    println!("\nnative backend, PMU: {status}");
+    let native_tables = [
+        native.relation_from_keys("F", &star.fact, 8),
+        native.relation_from_keys("D0", &star.dims[0], 8),
+        native.relation_from_keys("D1", &star.dims[1], 8),
+    ];
+    let (_, native_report) = explain_analyze(
+        &mut native,
+        &planned.plan,
+        &native_tables,
+        &model,
+        &cpu,
+        CpuCost::DEFAULT_PLANNER_PER_OP_NS,
+    )
+    .expect("plan executes natively");
+    println!("{}", native_report.to_text());
+
+    // Both reports ride the flight-recorder ring: the last N EXPLAIN
+    // ANALYZE runs, dumpable as JSON lines after the fact.
+    let flight = FlightRecorder::new(8);
+    flight.record("sim", &report.to_json());
+    flight.record("native", &native_report.to_json());
+    println!(
+        "flight recorder retains {} report(s); dump is one JSON line each",
+        flight.len()
+    );
 }

@@ -1,38 +1,50 @@
 //! Observability — open-loop serving latency under a Zipf-skewed
-//! multi-tenant mix.
+//! multi-tenant mix, plus an SLO-gated overload phase.
 //!
 //! Three tenants (point-lookup / scan-heavy / join-heavy) share one
-//! machine; requests arrive *open-loop* on a simulated clock — a fixed
-//! interarrival gap calibrated to ~80% utilization of the mean solo
+//! machine; requests arrive *open-loop* on a simulated clock — Poisson
+//! interarrivals calibrated to ~80% utilization of the mean solo
 //! service time, so arrivals do not wait for completions and queueing
 //! delay is part of every latency. The service batches admitted
 //! queries with its `⊙`-priced admission controller exactly as in
 //! production; a query's **sojourn** latency is `completion − arrival`
 //! on the simulated clock (queue wait + its batch's measured wall).
 //!
+//! A second phase reruns the same mix at 2× the nominal rate with a
+//! per-class [`SloPolicy`] installed: the shed gate projects each
+//! query's sojourn at arrival (`waited + ⊙-priced batch wall`) and
+//! refuses the doomed ones once, fail-fast. The artifact therefore
+//! pins the **offered vs. achieved rate and the shed count** — the
+//! serving-tier knobs the `gcm-net` front end builds on.
+//!
 //! Latencies land in the log-linear histograms of [`gcm_obs::hist`]
-//! (one per tenant class, labels baked into the metric name), and the
-//! p50/p99/p999 rows — bounded-error quantiles, see
-//! [`gcm_obs::hist::QUANTILE_REL_ERROR`] — are written to
-//! `BENCH_service.json` (schema `gcm-service-latency/v1`) at the repo
-//! root. Every number in the file is *simulated* (charged ns), so the
-//! artifact is machine-independent and committable: regressions in
-//! admission, batching, or the executor show up as latency-row diffs.
+//! (one per tenant class), and the p50/p99/p999 rows — bounded-error
+//! quantiles, see [`gcm_obs::hist::QUANTILE_REL_ERROR`] — are written
+//! to `BENCH_service.json` (schema `gcm-service-latency/v2`) at the
+//! repo root. Every number in the file is *simulated* (charged ns), so
+//! the artifact is machine-independent and committable: regressions in
+//! admission, batching, shedding, or the executor show up as diffs.
 
 use gcm_obs::json::{Arr, Obj};
-use gcm_obs::MetricsRegistry;
-use gcm_service::{plan_for, QueryService, TenantTables};
+use gcm_obs::Histogram;
+use gcm_service::{plan_for, QueryService, ServiceConfig, SloPolicy, TenantTables};
 use gcm_workload::{TenantClass, Workload};
 use std::collections::HashMap;
 
-/// Requests in the open-loop run.
+/// Requests in each open-loop run.
 const REQUESTS: usize = 48;
 
 /// Zipf exponent for the tenant-ownership draw (0 = uniform).
 const ZIPF_THETA: f64 = 0.8;
 
-/// Target utilization the interarrival gap is calibrated to.
+/// Target utilization the nominal interarrival gap is calibrated to.
 const UTILIZATION: f64 = 0.8;
+
+/// Offered-rate multiplier for the overload phase.
+const OVERLOAD_FACTOR: f64 = 2.0;
+
+/// Sojourn budget for the overload phase, in mean solo times.
+const BUDGET_SOLOS: f64 = 10.0;
 
 const TENANTS: [TenantClass; 3] = [
     TenantClass::PointLookup,
@@ -50,8 +62,12 @@ fn class_label(c: TenantClass) -> &'static str {
 
 /// A service with one fact + dimension pair per tenant, and the
 /// binding each tenant's requests resolve against.
-fn service(seed: u64) -> (QueryService, Vec<TenantTables>) {
-    let mut svc = QueryService::new(gcm_hardware::presets::modern_smp(4));
+fn service(seed: u64, slo: Option<SloPolicy>) -> (QueryService, Vec<TenantTables>) {
+    let cfg = ServiceConfig {
+        slo,
+        ..ServiceConfig::default()
+    };
+    let mut svc = QueryService::with_config(gcm_hardware::presets::modern_smp(4), cfg);
     let mut wl = Workload::new(seed);
     let mut tenants = Vec::new();
     for t in 0..TENANTS.len() {
@@ -70,7 +86,7 @@ fn service(seed: u64) -> (QueryService, Vec<TenantTables>) {
 /// Mean solo (unbatched, uncontended) service time of the three class
 /// shapes, simulated ns — the calibration base for the arrival rate.
 fn mean_solo_service_ns(tenants: &[TenantTables]) -> f64 {
-    let (mut svc, _) = service(9001);
+    let (mut svc, _) = service(9001, None);
     for (t, &class) in TENANTS.iter().enumerate() {
         let req = gcm_workload::QueryRequest {
             tenant: t,
@@ -87,26 +103,43 @@ fn mean_solo_service_ns(tenants: &[TenantTables]) -> f64 {
     m.queries.iter().map(|q| q.measured_ns).sum::<f64>() / m.queries.len() as f64
 }
 
-fn main() {
-    let (mut svc, tenants) = service(77);
-    let mut wl = Workload::new(78);
+/// One open-loop run on the simulated clock.
+struct RunOutcome {
+    /// (class, sojourn_ns) for every query that executed.
+    served: Vec<(TenantClass, u64)>,
+    /// (class, waited_ns) for every query the SLO gate refused.
+    shed: Vec<(TenantClass, u64)>,
+    batches: usize,
+    max_batch: usize,
+    /// Simulated clock at the last completion, ns.
+    elapsed_ns: u64,
+    /// (p50, p99, p999) of per-query execution latency, charged ns.
+    exec_quantiles: (u64, u64, u64),
+}
+
+/// Drive `REQUESTS` queries open-loop: submit everything that has
+/// arrived by `now`, let the admission controller shed and batch what
+/// is pending, advance the clock by each batch's measured wall.
+fn open_loop(mix_seed: u64, interarrival_ns: f64, slo: Option<SloPolicy>) -> RunOutcome {
+    let (mut svc, tenants) = service(77, slo);
+    let mut wl = Workload::new(mix_seed);
     let reqs = wl.query_mix(REQUESTS, &TENANTS, ZIPF_THETA);
+    let arrivals = wl.poisson_arrivals(REQUESTS, interarrival_ns);
 
-    let interarrival_ns = (mean_solo_service_ns(&tenants) / UTILIZATION).round() as u64;
-    let arrivals: Vec<u64> = (0..REQUESTS as u64).map(|i| i * interarrival_ns).collect();
-
-    // Open loop on the simulated clock: submit everything that has
-    // arrived by `now`, let the admission controller batch what is
-    // pending, advance the clock by the batch's measured wall.
     let mut pending: HashMap<u64, (TenantClass, u64)> = HashMap::new();
-    let mut done: Vec<(TenantClass, u64)> = Vec::new(); // (class, sojourn)
+    let mut served: Vec<(TenantClass, u64)> = Vec::new();
+    let mut shed: Vec<(TenantClass, u64)> = Vec::new();
     let mut now = 0u64;
     let mut next = 0usize;
     while next < reqs.len() || svc.queue_len() > 0 {
         while next < reqs.len() && arrivals[next] <= now {
             let req = &reqs[next];
             let id = svc
-                .submit(plan_for(req, &tenants[req.tenant]))
+                .submit_classed(
+                    plan_for(req, &tenants[req.tenant]),
+                    req.class,
+                    arrivals[next],
+                )
                 .expect("registered tables");
             pending.insert(id, (req.class, arrivals[next]));
             next += 1;
@@ -115,75 +148,77 @@ fn main() {
             now = arrivals[next]; // idle until the next arrival
             continue;
         }
-        let batch = svc.next_batch().expect("queue is non-empty");
+        let (shed_now, batch) = svc.next_batch_at(now);
+        for s in &shed_now {
+            let (class, _) = pending.remove(&s.id).expect("shed id was pending");
+            shed.push((class, s.waited_ns));
+        }
+        let Some(batch) = batch else {
+            continue; // the whole queue was shed this pass
+        };
         let ids = batch.ids();
         let idx = svc.execute_batch(batch).expect("batch executes");
         now += svc.metrics().batches[idx].measured_wall_ns.round() as u64;
         for id in ids {
             let (class, arrived) = pending.remove(&id).expect("admitted id was pending");
-            done.push((class, now - arrived));
+            served.push((class, now - arrived));
         }
     }
-    assert_eq!(done.len(), REQUESTS);
+    assert_eq!(served.len() + shed.len(), REQUESTS);
     assert_eq!(svc.spans().dropped(), 0, "trace must not truncate");
 
-    // Per-class sojourn histograms, labels baked into the metric name.
-    let reg = MetricsRegistry::default();
-    for (class, sojourn) in &done {
-        let name = format!("service_sojourn_ns{{class=\"{}\"}}", class_label(*class));
-        reg.observe(&name, *sojourn);
-        reg.observe("service_sojourn_ns_overall", *sojourn);
-    }
-
     let m = svc.metrics();
-    let (ep50, ep99, ep999) = m
-        .latency_quantiles()
-        .expect("execution-latency histogram populated");
-    let overall = reg
-        .histogram("service_sojourn_ns_overall")
-        .expect("overall sojourn histogram");
-    assert!(overall.p50() <= overall.p99() && overall.p99() <= overall.p999());
+    RunOutcome {
+        served,
+        shed,
+        batches: m.batches.len(),
+        max_batch: m.max_batch_size(),
+        elapsed_ns: now,
+        exec_quantiles: m
+            .latency_quantiles()
+            .expect("execution-latency histogram populated"),
+    }
+}
 
-    println!(
-        "open-loop mix: {REQUESTS} requests, interarrival {:.2} ms, {} batches (max size {})",
-        interarrival_ns as f64 / 1e6,
-        m.batches.len(),
-        m.max_batch_size()
-    );
-    println!(
-        "execution latency (sim):  p50 {:.2} ms  p99 {:.2} ms  p999 {:.2} ms",
-        ep50 as f64 / 1e6,
-        ep99 as f64 / 1e6,
-        ep999 as f64 / 1e6
-    );
-    println!(
-        "{:>14} {:>6} {:>12} {:>12} {:>12}",
-        "class", "count", "p50 (ms)", "p99 (ms)", "p999 (ms)"
-    );
+/// Served (achieved) rate in qps on the simulated clock.
+fn achieved_qps(outcome: &RunOutcome) -> f64 {
+    outcome.served.len() as f64 / (outcome.elapsed_ns.max(1) as f64 / 1e9)
+}
 
-    let mut class_rows = Arr::new();
+/// Per-class rows: served/shed counts and sojourn quantiles.
+fn class_rows(outcome: &RunOutcome) -> String {
+    let mut rows = Arr::new();
     for &class in &TENANTS {
-        let label = class_label(class);
-        let Some(h) = reg.histogram(&format!("service_sojourn_ns{{class=\"{label}\"}}")) else {
+        let mut h = Histogram::new();
+        for &(c, sojourn) in &outcome.served {
+            if c == class {
+                h.record(sojourn);
+            }
+        }
+        let shed = outcome.shed.iter().filter(|&&(c, _)| c == class).count() as u64;
+        if h.count() == 0 && shed == 0 {
             continue; // class drew no requests in this mix
-        };
-        println!(
-            "{label:>14} {:>6} {:>12.2} {:>12.2} {:>12.2}",
-            h.count(),
-            h.p50() as f64 / 1e6,
-            h.p99() as f64 / 1e6,
-            h.p999() as f64 / 1e6
-        );
+        }
         let mut row = Obj::new();
-        row.str("class", label)
-            .u64("count", h.count())
+        row.str("class", class_label(class))
+            .u64("served", h.count())
+            .u64("shed", shed)
             .u64("p50_ns", h.p50())
             .u64("p99_ns", h.p99())
             .u64("p999_ns", h.p999())
             .num("mean_ns", h.mean());
-        class_rows.raw(&row.finish());
+        rows.raw(&row.finish());
     }
+    rows.finish()
+}
 
+/// One phase's JSON object: rates, counts, sojourn + execution tails.
+fn phase_obj(outcome: &RunOutcome, offered_qps: f64) -> String {
+    let mut overall = Histogram::new();
+    for &(_, sojourn) in &outcome.served {
+        overall.record(sojourn);
+    }
+    assert!(overall.p50() <= overall.p99() && overall.p99() <= overall.p999());
     let mut sojourn = Obj::new();
     sojourn
         .u64("count", overall.count())
@@ -191,22 +226,111 @@ fn main() {
         .u64("p99_ns", overall.p99())
         .u64("p999_ns", overall.p999())
         .num("mean_ns", overall.mean());
+    let (ep50, ep99, ep999) = outcome.exec_quantiles;
     let mut execution = Obj::new();
     execution
         .u64("p50_ns", ep50)
         .u64("p99_ns", ep99)
         .u64("p999_ns", ep999);
-    let mut top = Obj::new();
-    top.str("bench", "service_latency")
-        .str("schema", "gcm-service-latency/v1")
-        .u64("requests", REQUESTS as u64)
-        .num("zipf_theta", ZIPF_THETA)
-        .u64("interarrival_ns", interarrival_ns)
-        .u64("batches", m.batches.len() as u64)
-        .u64("max_batch", m.max_batch_size() as u64)
+    let mut o = Obj::new();
+    o.num("offered_qps", offered_qps)
+        .num("achieved_qps", achieved_qps(outcome))
+        .u64("served", outcome.served.len() as u64)
+        .u64("shed", outcome.shed.len() as u64)
+        .u64("batches", outcome.batches as u64)
+        .u64("max_batch", outcome.max_batch as u64)
+        .u64("elapsed_ns", outcome.elapsed_ns)
         .raw("sojourn", &sojourn.finish())
         .raw("execution", &execution.finish())
-        .raw("classes", &class_rows.finish());
+        .raw("classes", &class_rows(outcome));
+    o.finish()
+}
+
+fn print_phase(name: &str, outcome: &RunOutcome, offered_qps: f64) {
+    println!(
+        "{name}: offered {offered_qps:.0} qps, achieved {:.0} qps | served {} shed {} | {} batches (max size {})",
+        achieved_qps(outcome),
+        outcome.served.len(),
+        outcome.shed.len(),
+        outcome.batches,
+        outcome.max_batch
+    );
+    println!(
+        "{:>14} {:>6} {:>6} {:>12} {:>12} {:>12}",
+        "class", "served", "shed", "p50 (ms)", "p99 (ms)", "p999 (ms)"
+    );
+    for &class in &TENANTS {
+        let mut h = Histogram::new();
+        for &(c, sojourn) in &outcome.served {
+            if c == class {
+                h.record(sojourn);
+            }
+        }
+        let shed = outcome.shed.iter().filter(|&&(c, _)| c == class).count();
+        if h.count() == 0 && shed == 0 {
+            continue;
+        }
+        println!(
+            "{:>14} {:>6} {:>6} {:>12.2} {:>12.2} {:>12.2}",
+            class_label(class),
+            h.count(),
+            shed,
+            h.p50() as f64 / 1e6,
+            h.p99() as f64 / 1e6,
+            h.p999() as f64 / 1e6
+        );
+    }
+}
+
+fn main() {
+    let (_, tenants) = service(77, None);
+    let solo_ns = mean_solo_service_ns(&tenants);
+    let interarrival_ns = (solo_ns / UTILIZATION).round();
+    let offered_qps = 1e9 / interarrival_ns;
+
+    // Phase 1 — nominal 80% utilization, no SLO: every request is
+    // served; sojourn tails are pure queueing + batching behaviour.
+    let nominal = open_loop(78, interarrival_ns, None);
+    assert_eq!(nominal.shed.len(), 0, "no gate, nothing may be shed");
+    print_phase("nominal", &nominal, offered_qps);
+
+    // Phase 2 — the same mix offered at 2x with a uniform sojourn
+    // budget: the gate must shed some load and serve the rest.
+    let budget_ns = BUDGET_SOLOS * solo_ns;
+    let overload_interarrival = interarrival_ns / OVERLOAD_FACTOR;
+    let overload_offered = 1e9 / overload_interarrival;
+    let overload = open_loop(
+        78,
+        overload_interarrival,
+        Some(SloPolicy::uniform(budget_ns)),
+    );
+    assert!(!overload.shed.is_empty(), "2x overload must shed");
+    assert!(!overload.served.is_empty(), "the gate must not shed all");
+    print_phase("overload (2x, SLO gate)", &overload, overload_offered);
+    println!(
+        "budget {:.2} ms | shed waited p99 {:.2} ms",
+        budget_ns / 1e6,
+        {
+            let mut h = Histogram::new();
+            for &(_, waited) in &overload.shed {
+                h.record(waited);
+            }
+            h.p99() as f64 / 1e6
+        }
+    );
+
+    let mut top = Obj::new();
+    top.str("bench", "service_latency")
+        .str("schema", "gcm-service-latency/v2")
+        .u64("requests", REQUESTS as u64)
+        .num("zipf_theta", ZIPF_THETA)
+        .num("utilization", UTILIZATION)
+        .u64("interarrival_ns", interarrival_ns as u64)
+        .num("mean_solo_ns", solo_ns)
+        .num("overload_factor", OVERLOAD_FACTOR)
+        .num("budget_ns", budget_ns)
+        .raw("nominal", &phase_obj(&nominal, offered_qps))
+        .raw("overload", &phase_obj(&overload, overload_offered));
     let json = format!("{}\n", top.finish());
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");

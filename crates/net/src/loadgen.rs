@@ -1,0 +1,324 @@
+//! Open-loop load generator: the million-user stand-in.
+//!
+//! A closed-loop client (send, wait, send) slows itself down exactly
+//! when the server struggles, hiding the overload it was meant to
+//! create. This generator is *open-loop*: request `i`'s send time is
+//! scheduled up front from a Poisson process
+//! ([`gcm_workload::Workload::poisson_arrivals`]) and latency is
+//! measured from that *scheduled* arrival — so time a request spends
+//! stuck behind a closed TCP window (back-pressure) or waiting for the
+//! sender to catch up counts against the server, not for it. That is
+//! the standard fix for coordinated omission.
+//!
+//! Tenants are skewed Zipf via [`Workload::query_mix`], matching the
+//! service's multi-tenant assumptions: a few hot tenants dominate.
+//! Everything is seed-deterministic; only the measured clock varies
+//! between runs.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use gcm_obs::Histogram;
+use gcm_workload::{TenantClass, Workload};
+
+use crate::wire::{encode_submit, Frame, FrameDecoder, ResponseFrame, SubmitFrame};
+
+/// Load-run knobs.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Total requests to offer.
+    pub requests: usize,
+    /// Offered (scheduled) arrival rate, queries per second.
+    pub offered_qps: f64,
+    /// Client connections; request `i` rides connection `i % connections`.
+    pub connections: usize,
+    /// Tenant id → class table (index is the wire tenant id).
+    pub tenants: Vec<TenantClass>,
+    /// Zipf skew across tenants (0 = uniform).
+    pub zipf_theta: f64,
+    /// Workload seed: same seed, same requests and schedule.
+    pub seed: u64,
+    /// How long to wait for stragglers after the last send.
+    pub drain_timeout: Duration,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            requests: 1_000,
+            offered_qps: 1_000.0,
+            connections: 4,
+            tenants: vec![
+                TenantClass::PointLookup,
+                TenantClass::ScanHeavy,
+                TenantClass::JoinHeavy,
+            ],
+            zipf_theta: 0.99,
+            seed: 42,
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Per-class outcome of a load run.
+#[derive(Debug, Clone)]
+pub struct ClassReport {
+    /// The class these numbers describe.
+    pub class: TenantClass,
+    /// Requests offered.
+    pub sent: u64,
+    /// Requests executed to completion.
+    pub served: u64,
+    /// Requests refused by the SLO gate.
+    pub shed: u64,
+    /// Open-loop latency (scheduled arrival → response) of served
+    /// requests, ns.
+    pub served_latency: Histogram,
+    /// Same measure for shed requests — the fail-fast check compares
+    /// this histogram's p99 against the served one.
+    pub shed_latency: Histogram,
+}
+
+/// Outcome of one open-loop run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// The scheduled rate.
+    pub offered_qps: f64,
+    /// Served completions over the wall time of the whole run.
+    pub achieved_qps: f64,
+    /// Requests actually written to sockets.
+    pub sent: u64,
+    /// Served responses received.
+    pub served: u64,
+    /// Shed responses received.
+    pub shed: u64,
+    /// Requests never answered within the drain timeout.
+    pub lost: u64,
+    /// First scheduled send → last response (or drain deadline), ns.
+    pub elapsed_ns: u64,
+    /// Per-class breakdown, one entry per [`TenantClass::ALL`] member.
+    pub classes: Vec<ClassReport>,
+    /// Every response paired with its request and open-loop latency.
+    pub responses: Vec<(SubmitFrame, ResponseFrame, u64)>,
+}
+
+impl LoadReport {
+    /// The report for one class.
+    pub fn class(&self, class: TenantClass) -> &ClassReport {
+        &self.classes[class.index() as usize]
+    }
+}
+
+struct Received {
+    frame: ResponseFrame,
+    recv_ns: u64,
+}
+
+/// Drive a server at `addr` with the configured open-loop schedule and
+/// collect every response. Blocks the calling thread for the duration
+/// of the run (sends are paced here; receives run on per-connection
+/// threads).
+pub fn run(addr: std::net::SocketAddr, cfg: &LoadgenConfig) -> std::io::Result<LoadReport> {
+    assert!(cfg.requests > 0 && cfg.connections > 0 && cfg.offered_qps > 0.0);
+    assert!(!cfg.tenants.is_empty());
+
+    // The deterministic half: who asks what, when.
+    let mut wl = Workload::new(cfg.seed);
+    let mix = wl.query_mix(cfg.requests, &cfg.tenants, cfg.zipf_theta);
+    let arrivals = wl.poisson_arrivals(cfg.requests, 1e9 / cfg.offered_qps);
+    let frames: Vec<SubmitFrame> = mix
+        .iter()
+        .enumerate()
+        .map(|(i, req)| SubmitFrame {
+            id: i as u64,
+            tenant: req.tenant as u32,
+            class: req.class,
+            selectivity_bits: req.selectivity.to_bits(),
+        })
+        .collect();
+
+    // One writer stream + one reader thread per connection.
+    let epoch = Instant::now();
+    let done = Arc::new(AtomicBool::new(false));
+    let received_total = Arc::new(AtomicU64::new(0));
+    let inbox: Arc<Mutex<Vec<Received>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut writers: Vec<TcpStream> = Vec::with_capacity(cfg.connections);
+    let mut readers = Vec::with_capacity(cfg.connections);
+    for _ in 0..cfg.connections {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut rx = stream.try_clone()?;
+        rx.set_read_timeout(Some(Duration::from_millis(50)))?;
+        let done = Arc::clone(&done);
+        let inbox = Arc::clone(&inbox);
+        let received_total = Arc::clone(&received_total);
+        readers.push(std::thread::spawn(move || {
+            let mut decoder = FrameDecoder::new();
+            let mut buf = [0u8; 4096];
+            loop {
+                match rx.read(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => {
+                        decoder.push(&buf[..n]);
+                        let recv_ns = epoch.elapsed().as_nanos() as u64;
+                        let mut batch = Vec::new();
+                        while let Ok(Some(Frame::Response(frame))) = decoder.next() {
+                            batch.push(Received { frame, recv_ns });
+                        }
+                        if !batch.is_empty() {
+                            received_total.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                            inbox.lock().unwrap().extend(batch);
+                        }
+                    }
+                    Err(e)
+                        if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+                    {
+                        if done.load(Ordering::Acquire) {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => break,
+                }
+            }
+        }));
+        writers.push(stream);
+    }
+
+    // Paced open-loop sends. write_all blocks when back-pressure
+    // closes the window — the schedule keeps charging the server.
+    let mut bytes = Vec::with_capacity(32);
+    let mut sent = 0u64;
+    for (i, frame) in frames.iter().enumerate() {
+        let due = Duration::from_nanos(arrivals[i]);
+        if let Some(wait) = due.checked_sub(epoch.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        bytes.clear();
+        encode_submit(frame, &mut bytes);
+        writers[i % cfg.connections].write_all(&bytes)?;
+        sent += 1;
+    }
+
+    // Wait for every answer, bounded by the drain timeout.
+    let deadline = Instant::now() + cfg.drain_timeout;
+    while received_total.load(Ordering::Relaxed) < sent && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    done.store(true, Ordering::Release);
+    drop(writers);
+    for r in readers {
+        let _ = r.join();
+    }
+
+    // Stitch responses back to their scheduled arrivals.
+    let received = Arc::try_unwrap(inbox)
+        .map(|m| m.into_inner().unwrap())
+        .unwrap_or_default();
+    let mut classes: Vec<ClassReport> = TenantClass::ALL
+        .iter()
+        .map(|&class| ClassReport {
+            class,
+            sent: 0,
+            served: 0,
+            shed: 0,
+            served_latency: Histogram::new(),
+            shed_latency: Histogram::new(),
+        })
+        .collect();
+    for frame in &frames {
+        classes[frame.class.index() as usize].sent += 1;
+    }
+    let mut responses = Vec::with_capacity(received.len());
+    let mut served = 0u64;
+    let mut shed = 0u64;
+    let mut last_ns = 0u64;
+    for r in received {
+        let id = r.frame.id() as usize;
+        if id >= frames.len() {
+            continue;
+        }
+        let submit = frames[id];
+        let latency = r.recv_ns.saturating_sub(arrivals[id]);
+        last_ns = last_ns.max(r.recv_ns);
+        let report = &mut classes[submit.class.index() as usize];
+        match r.frame {
+            ResponseFrame::Served { .. } => {
+                served += 1;
+                report.served += 1;
+                report.served_latency.record(latency);
+            }
+            ResponseFrame::Shed { .. } => {
+                shed += 1;
+                report.shed += 1;
+                report.shed_latency.record(latency);
+            }
+        }
+        responses.push((submit, r.frame, latency));
+    }
+    let elapsed_ns = if last_ns > 0 {
+        last_ns
+    } else {
+        epoch.elapsed().as_nanos() as u64
+    };
+    Ok(LoadReport {
+        offered_qps: cfg.offered_qps,
+        achieved_qps: served as f64 / (elapsed_ns as f64 / 1e9).max(1e-9),
+        sent,
+        served,
+        shed,
+        lost: sent - served - shed,
+        elapsed_ns,
+        classes,
+        responses,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_for_a_seed() {
+        let cfg = LoadgenConfig::default();
+        let mut a = Workload::new(cfg.seed);
+        let mix_a = a.query_mix(50, &cfg.tenants, cfg.zipf_theta);
+        let arr_a = a.poisson_arrivals(50, 1e9 / cfg.offered_qps);
+        let mut b = Workload::new(cfg.seed);
+        let mix_b = b.query_mix(50, &cfg.tenants, cfg.zipf_theta);
+        let arr_b = b.poisson_arrivals(50, 1e9 / cfg.offered_qps);
+        assert_eq!(mix_a, mix_b);
+        assert_eq!(arr_a, arr_b);
+    }
+
+    #[test]
+    fn class_report_lookup_matches_index() {
+        let report = LoadReport {
+            offered_qps: 1.0,
+            achieved_qps: 0.0,
+            sent: 0,
+            served: 0,
+            shed: 0,
+            lost: 0,
+            elapsed_ns: 0,
+            classes: TenantClass::ALL
+                .iter()
+                .map(|&class| ClassReport {
+                    class,
+                    sent: 0,
+                    served: 0,
+                    shed: 0,
+                    served_latency: Histogram::new(),
+                    shed_latency: Histogram::new(),
+                })
+                .collect(),
+            responses: Vec::new(),
+        };
+        for class in TenantClass::ALL {
+            assert_eq!(report.class(class).class, class);
+        }
+    }
+}

@@ -100,6 +100,18 @@ impl MetricsRegistry {
             .insert(name.to_string(), Metric::Gauge(value));
     }
 
+    /// Raise a gauge to `value` if it is below it (creating it at
+    /// `value` first) — high-water marks such as peak queue depth,
+    /// where sampling the instantaneous value between scrapes would
+    /// miss the spikes that matter.
+    pub fn gauge_max(&self, name: &str, value: f64) {
+        let mut m = self.inner.lock().unwrap();
+        match m.entry(name.to_string()).or_insert(Metric::Gauge(value)) {
+            Metric::Gauge(g) => *g = g.max(value),
+            other => *other = Metric::Gauge(value),
+        }
+    }
+
     /// Record a sample into a histogram (creating it empty first).
     pub fn observe(&self, name: &str, value: u64) {
         let mut m = self.inner.lock().unwrap();
@@ -240,6 +252,19 @@ mod tests {
         assert_eq!(r.counter("queries_total"), Some(3));
         assert_eq!(r.gauge("queue_depth"), Some(4.0));
         assert_eq!(r.counter("missing"), None);
+    }
+
+    #[test]
+    fn gauge_max_keeps_the_high_water_mark() {
+        let r = MetricsRegistry::new();
+        r.gauge_max("queue_depth_peak", 3.0);
+        r.gauge_max("queue_depth_peak", 9.0);
+        r.gauge_max("queue_depth_peak", 5.0);
+        assert_eq!(r.gauge("queue_depth_peak"), Some(9.0));
+        // Raising an existing plain gauge works the same way.
+        r.set_gauge("d", 2.0);
+        r.gauge_max("d", 1.0);
+        assert_eq!(r.gauge("d"), Some(2.0));
     }
 
     #[test]

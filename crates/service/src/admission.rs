@@ -26,6 +26,46 @@
 //! reconsidered for the following batch.
 
 use gcm_core::{CacheState, CostModel, Pattern, Region};
+use gcm_workload::TenantClass;
+
+/// Per-tenant-class SLO budgets: the wall-clock sojourn (arrival →
+/// response) each class is allowed before the service would rather
+/// fail fast than serve late. The shed pass
+/// ([`crate::QueryService::next_batch_at`]) projects every queued
+/// query's sojourn through the ⊙-priced drain rate and sheds the ones
+/// whose projection overruns their class budget — low-priority classes
+/// first, since the walk keeps work in [`TenantClass::priority`]
+/// order and each kept query pushes the projection of everything
+/// behind it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloPolicy {
+    /// Budget for [`TenantClass::PointLookup`], ns.
+    pub point_lookup_ns: f64,
+    /// Budget for [`TenantClass::ScanHeavy`], ns.
+    pub scan_heavy_ns: f64,
+    /// Budget for [`TenantClass::JoinHeavy`], ns.
+    pub join_heavy_ns: f64,
+}
+
+impl SloPolicy {
+    /// The same budget for every class.
+    pub fn uniform(budget_ns: f64) -> SloPolicy {
+        SloPolicy {
+            point_lookup_ns: budget_ns,
+            scan_heavy_ns: budget_ns,
+            join_heavy_ns: budget_ns,
+        }
+    }
+
+    /// The budget for one class, ns.
+    pub fn budget_ns(&self, class: TenantClass) -> f64 {
+        match class {
+            TenantClass::PointLookup => self.point_lookup_ns,
+            TenantClass::ScanHeavy => self.scan_heavy_ns,
+            TenantClass::JoinHeavy => self.join_heavy_ns,
+        }
+    }
+}
 
 /// One pending query, as the admission controller sees it: its
 /// whole-plan compound pattern plus its predicted CPU time (Eq 6.1's
@@ -170,6 +210,22 @@ mod tests {
         AdmissionConfig {
             max_batch,
             dispatch_ns: 25_000.0,
+        }
+    }
+
+    #[test]
+    fn slo_policy_budgets_per_class() {
+        let slo = SloPolicy {
+            point_lookup_ns: 1_000.0,
+            scan_heavy_ns: 2_000.0,
+            join_heavy_ns: 3_000.0,
+        };
+        assert_eq!(slo.budget_ns(TenantClass::PointLookup), 1_000.0);
+        assert_eq!(slo.budget_ns(TenantClass::ScanHeavy), 2_000.0);
+        assert_eq!(slo.budget_ns(TenantClass::JoinHeavy), 3_000.0);
+        let u = SloPolicy::uniform(500.0);
+        for c in TenantClass::ALL {
+            assert_eq!(u.budget_ns(c), 500.0);
         }
     }
 

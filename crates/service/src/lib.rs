@@ -62,13 +62,13 @@ pub mod metrics;
 pub mod mix;
 pub mod recalibrate;
 
-pub use admission::{AdmissionConfig, BatchDecision};
+pub use admission::{AdmissionConfig, BatchDecision, SloPolicy};
 pub use builds::{strip_build_phase, BuildRegistry, SharedBuild};
 #[cfg(feature = "mutex-baseline")]
 pub use cache::MutexPlanCache;
 pub use cache::{PlanCache, PlanKey};
 pub use executor::{execute_batch_native, ExecutedQuery, MemberBuilds, TableData};
-pub use metrics::{BatchRecord, QueryRecord, ServiceMetrics};
+pub use metrics::{BatchRecord, QueryRecord, ServiceMetrics, ShedRecord};
 pub use mix::{plan_for, TenantTables};
 pub use recalibrate::{Recalibration, Recalibrator};
 
@@ -84,6 +84,7 @@ use gcm_engine::{ExecContext, Relation};
 use gcm_hardware::HardwareSpec;
 use gcm_obs::pmu::PmuStatus;
 use gcm_obs::{DriftMonitor, FlightRecorder, Span, SpanKind, SpanRecorder, SpanSink};
+use gcm_workload::TenantClass;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -100,6 +101,10 @@ pub struct ServiceConfig {
     /// Statistics drift fraction beyond which cached plans go stale
     /// (see [`StatsCatalog`]).
     pub drift_threshold: f64,
+    /// Per-class sojourn budgets turning admission into overload
+    /// shedding ([`QueryService::next_batch_at`]); `None` (the
+    /// default) never sheds.
+    pub slo: Option<SloPolicy>,
 }
 
 impl Default for ServiceConfig {
@@ -109,6 +114,7 @@ impl Default for ServiceConfig {
             per_op_ns: CpuCost::DEFAULT_PLANNER_PER_OP_NS,
             dispatch_ns: DEFAULT_THREAD_SPAWN_NS,
             drift_threshold: DEFAULT_DRIFT_THRESHOLD,
+            slo: None,
         }
     }
 }
@@ -129,6 +135,22 @@ struct Pending {
     cpu_ns: f64,
     /// The shared builds this query probes instead of building.
     builds: Vec<Arc<SharedBuild>>,
+    /// The submitter's tenant class ([`QueryService::submit_classed`]):
+    /// `None` for plain [`QueryService::submit`], which exempts the
+    /// query from shedding and sorts it behind every classed one.
+    class: Option<TenantClass>,
+    /// When the query arrived, in the caller's clock (ns) — the sojourn
+    /// the shed pass projects starts here.
+    arrival_ns: u64,
+    /// Predicted stand-alone time (planned memory + serving-path CPU),
+    /// ns — the query's contribution to the backlog projection.
+    solo_ns: f64,
+    /// The shed gate already evaluated this query and kept it. A
+    /// committed query is never re-judged — the shed/serve decision is
+    /// made exactly once, at arrival cost, which is what makes shed
+    /// responses *fast* (a late re-shed would cost the client the very
+    /// sojourn the budget was supposed to cap).
+    committed: bool,
 }
 
 /// An admitted batch, ready to execute. Produced by
@@ -213,6 +235,16 @@ pub struct QueryService {
     /// [`FLIGHT_CAPACITY`](QueryService::FLIGHT_CAPACITY) EXPLAIN
     /// ANALYZE reports ([`QueryService::explain_analyze`]).
     flight: FlightRecorder,
+    /// EWMA of the admission controller's predicted batch speedup —
+    /// the ⊙-informed drain rate the shed projection divides the
+    /// backlog by.
+    drain_speedup: f64,
+    /// EWMA of measured-wall / predicted-wall from
+    /// [`QueryService::execute_batch_native_observed`] (and the sim
+    /// path): the bridge from model nanoseconds to the caller's clock
+    /// in the shed projection. Seeded by the first observed batch.
+    wall_scale: f64,
+    wall_scale_seeded: bool,
 }
 
 impl QueryService {
@@ -245,6 +277,9 @@ impl QueryService {
             recal: None,
             recalibrations: 0,
             flight: FlightRecorder::new(QueryService::FLIGHT_CAPACITY),
+            drain_speedup: 1.0,
+            wall_scale: 1.0,
+            wall_scale_seeded: false,
         }
     }
 
@@ -311,6 +346,30 @@ impl QueryService {
     /// pending queue, attaching the shared build side of every hash
     /// join over a base table ([`BuildRegistry`]). Returns the query id.
     pub fn submit(&mut self, plan: LogicalPlan) -> Result<u64, PlanError> {
+        self.submit_inner(plan, None, 0)
+    }
+
+    /// Submit a logical plan on behalf of a tenant class, stamping its
+    /// arrival time (in the caller's clock, ns). Classed submissions
+    /// participate in SLO shedding and priority ordering when
+    /// [`ServiceConfig::slo`] is set and the queue is drained through
+    /// [`QueryService::next_batch_at`]; plain
+    /// [`submit`](QueryService::submit)s never shed.
+    pub fn submit_classed(
+        &mut self,
+        plan: LogicalPlan,
+        class: TenantClass,
+        arrival_ns: u64,
+    ) -> Result<u64, PlanError> {
+        self.submit_inner(plan, Some(class), arrival_ns)
+    }
+
+    fn submit_inner(
+        &mut self,
+        plan: LogicalPlan,
+        class: Option<TenantClass>,
+        arrival_ns: u64,
+    ) -> Result<u64, PlanError> {
         let snap = self.catalog.snapshot();
         let key = (plan.fingerprint(), snap.epoch());
         let t0 = self.ctl.now_ns();
@@ -330,6 +389,7 @@ impl QueryService {
             t2,
             builds.len() as u64,
         );
+        let solo_ns = planned.mem_ns + cpu_ns;
         self.queue.push_back(Pending {
             id,
             plan,
@@ -337,7 +397,16 @@ impl QueryService {
             pattern,
             cpu_ns,
             builds,
+            class,
+            arrival_ns,
+            solo_ns,
+            committed: false,
         });
+        let depth = self.queue.len() as f64;
+        self.metrics.registry.set_gauge(metrics::QUEUE_DEPTH, depth);
+        self.metrics
+            .registry
+            .gauge_max(metrics::QUEUE_DEPTH_PEAK, depth);
         Ok(id)
     }
 
@@ -388,13 +457,131 @@ impl QueryService {
     /// The decision is pure pricing — callers may inspect the batch
     /// (sizes, predicted times) without executing it.
     pub fn next_batch(&mut self) -> Option<Batch> {
+        let order: Vec<usize> = (0..self.queue.len()).collect();
+        self.form_batch(&order)
+    }
+
+    /// The SLO-aware scheduling step: run the shed pass at `now_ns`
+    /// (the caller's clock, same units as the `arrival_ns` handed to
+    /// [`submit_classed`](QueryService::submit_classed)), then form the
+    /// next batch from the surviving queue in class-priority order.
+    /// Returns the queries shed this turn — the caller owes each a
+    /// fail-fast response — and the batch (`None` when the queue is
+    /// empty).
+    ///
+    /// The shed predicate is a ⊙ sojourn projection. Walking the queue
+    /// in ([`TenantClass::priority`], arrival) order and keeping a
+    /// running sum of predicted stand-alone work `cum`, a query `q` is
+    /// shed iff
+    ///
+    /// ```text
+    /// waited(q) + scale · (cum + solo(q)) / speedup  >  budget(class(q))
+    /// ```
+    ///
+    /// where `speedup` is the EWMA of the admission controller's
+    /// ⊙-priced batch speedup (how much faster than serial the service
+    /// drains when the model lets queries coexist) and `scale` the
+    /// EWMA of measured-wall / predicted-wall (model nanoseconds →
+    /// caller-clock nanoseconds). Unclassed queries never shed but
+    /// their work still counts toward the backlog.
+    ///
+    /// The decision is made **once**, at the query's first pass: shed
+    /// now (the fail-fast reply costs one projection, no execution) or
+    /// commit to serving it even if the projection later sours. Without
+    /// commitment the steady-state backlog hovers exactly at the
+    /// budget, every borderline query is kept and re-judged until its
+    /// deadline passes, and "shed" responses arrive as late as served
+    /// ones — the opposite of fail-fast.
+    ///
+    /// Without an [`SloPolicy`] installed this degenerates to
+    /// [`next_batch`](QueryService::next_batch) in arrival order and
+    /// sheds nothing.
+    pub fn next_batch_at(&mut self, now_ns: u64) -> (Vec<ShedRecord>, Option<Batch>) {
+        if self.cfg.slo.is_none() {
+            return (Vec::new(), self.next_batch());
+        }
+        let shed = self.shed_pass(now_ns);
+        let order = self.priority_order();
+        let batch = self.form_batch(&order);
+        (shed, batch)
+    }
+
+    /// Queue indices in ([`TenantClass::priority`], arrival) order;
+    /// unclassed queries sort behind every classed one.
+    fn priority_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.queue.len()).collect();
+        order.sort_by_key(|&i| self.queue[i].class.map_or(u8::MAX, TenantClass::priority));
+        order
+    }
+
+    /// Shed every classed query whose projected sojourn overruns its
+    /// class budget (see [`next_batch_at`](QueryService::next_batch_at)
+    /// for the predicate), removing it from the queue and recording it
+    /// into [`ServiceMetrics`].
+    fn shed_pass(&mut self, now_ns: u64) -> Vec<ShedRecord> {
+        let Some(slo) = self.cfg.slo else {
+            return Vec::new();
+        };
+        let speedup = self.drain_speedup.max(1.0);
+        let scale = self.wall_scale;
+        let mut cum = 0.0f64;
+        let mut doomed: Vec<usize> = Vec::new();
+        let mut records: Vec<ShedRecord> = Vec::new();
+        for i in self.priority_order() {
+            let p = &self.queue[i];
+            let Some(class) = p.class else {
+                cum += p.solo_ns;
+                continue;
+            };
+            // Already judged and kept: it counts toward the backlog
+            // but is never shed (see the method docs — re-judging is
+            // what makes sheds slow).
+            if p.committed {
+                cum += p.solo_ns;
+                continue;
+            }
+            let waited = now_ns.saturating_sub(p.arrival_ns) as f64;
+            let projected = waited + scale * (cum + p.solo_ns) / speedup;
+            let budget = slo.budget_ns(class);
+            if projected > budget {
+                doomed.push(i);
+                records.push(ShedRecord {
+                    id: p.id,
+                    class,
+                    waited_ns: waited as u64,
+                    projected_ns: projected,
+                    budget_ns: budget,
+                });
+            } else {
+                cum += p.solo_ns;
+                self.queue[i].committed = true;
+            }
+        }
+        doomed.sort_unstable_by(|a, b| b.cmp(a));
+        for i in doomed {
+            self.queue.remove(i);
+        }
+        for r in &records {
+            self.metrics.record_shed(r.clone());
+        }
+        self.metrics
+            .registry
+            .set_gauge(metrics::QUEUE_DEPTH, self.queue.len() as f64);
+        records
+    }
+
+    /// Form a batch from the queue considered in `order` (indices into
+    /// the queue), removing the admitted queries.
+    fn form_batch(&mut self, order: &[usize]) -> Option<Batch> {
         let t0 = self.ctl.now_ns();
-        let candidates: Vec<admission::Candidate<'_>> = self
-            .queue
+        let candidates: Vec<admission::Candidate<'_>> = order
             .iter()
-            .map(|p| admission::Candidate {
-                pattern: &p.pattern,
-                cpu_ns: p.cpu_ns,
+            .map(|&i| {
+                let p = &self.queue[i];
+                admission::Candidate {
+                    pattern: &p.pattern,
+                    cpu_ns: p.cpu_ns,
+                }
             })
             .collect();
         let shared = shared_regions(self.queue.iter());
@@ -407,16 +594,32 @@ impl QueryService {
             dispatch_ns: self.cfg.dispatch_ns,
         };
         let decision = admission::next_batch(&self.batch_model, &candidates, &cfg, &shared)?;
-        // `admitted` is strictly ascending (queue scan order): remove
-        // back to front so earlier indices stay valid, then restore
-        // admission order.
-        let mut entries: Vec<Pending> = decision
-            .admitted
-            .iter()
-            .rev()
-            .map(|&idx| self.queue.remove(idx).expect("admitted index in queue"))
+        // `admitted` indexes into `order`; map back to queue indices,
+        // remove back to front so earlier indices stay valid, then
+        // restore admission order.
+        let chosen: Vec<usize> = decision.admitted.iter().map(|&k| order[k]).collect();
+        let mut by_desc = chosen.clone();
+        by_desc.sort_unstable_by(|a, b| b.cmp(a));
+        let mut removed: Vec<(usize, Pending)> = by_desc
+            .into_iter()
+            .map(|i| (i, self.queue.remove(i).expect("admitted index in queue")))
             .collect();
-        entries.reverse();
+        let entries: Vec<Pending> = chosen
+            .iter()
+            .map(|i| {
+                let pos = removed
+                    .iter()
+                    .position(|(j, _)| j == i)
+                    .expect("admitted exactly once");
+                removed.swap_remove(pos).1
+            })
+            .collect();
+        // Fold the decision's ⊙ speedup into the drain-rate EWMA the
+        // shed projection divides by.
+        self.drain_speedup = 0.7 * self.drain_speedup + 0.3 * decision.predicted_speedup();
+        self.metrics
+            .registry
+            .set_gauge(metrics::QUEUE_DEPTH, self.queue.len() as f64);
         let t1 = self.ctl.now_ns();
         self.ctl_span(
             format!("admission[{}]", entries.len()),
@@ -493,6 +696,7 @@ impl QueryService {
             predicted_serial_ns: batch.predicted_serial_ns,
             measured_wall_ns,
         });
+        self.observe_wall_scale(measured_wall_ns, batch.predicted_wall_ns);
         // Close the drift loop without stalling the serving path: a
         // raised flag starts a background probe, and any probe that
         // finished since the last batch is applied now.
@@ -512,6 +716,69 @@ impl QueryService {
     /// [`execute_batch`](QueryService::execute_batch) would.
     pub fn execute_batch_native(&mut self, batch: Batch) -> Result<Vec<ExecutedQuery>, PlanError> {
         executor::execute_batch_native(&self.tables, &batch.plans())
+    }
+
+    /// [`execute_batch_native`](QueryService::execute_batch_native),
+    /// plus the serving-path bookkeeping the network front end needs:
+    /// the batch's wall clock is measured and folded into the
+    /// model-ns → wall-ns EWMA the shed projection uses
+    /// ([`next_batch_at`](QueryService::next_batch_at)), per-class
+    /// native latency histograms and batch counters land in the
+    /// registry, and each run comes back paired with its query id for
+    /// response routing.
+    pub fn execute_batch_native_observed(
+        &mut self,
+        batch: Batch,
+    ) -> Result<Vec<(u64, ExecutedQuery)>, PlanError> {
+        let t0 = std::time::Instant::now();
+        let runs = executor::execute_batch_native(&self.tables, &batch.plans())?;
+        let wall_ns = t0.elapsed().as_nanos() as f64;
+        self.observe_wall_scale(wall_ns, batch.predicted_wall_ns);
+        let r = &self.metrics.registry;
+        r.inc("gcm_service_native_batches_total", 1);
+        r.observe_ns("gcm_service_native_batch_wall_ns", wall_ns);
+        for (p, run) in batch.entries.iter().zip(&runs) {
+            if let Some(class) = p.class {
+                r.observe_ns(
+                    &gcm_obs::registry::labeled(
+                        "gcm_service_native_query_ns",
+                        &[("class", class.label())],
+                    ),
+                    run.measured_ns,
+                );
+            }
+        }
+        Ok(batch.entries.iter().map(|p| p.id).zip(runs).collect())
+    }
+
+    /// Fold one measured/predicted batch-wall ratio into the
+    /// [`wall_scale`](QueryService::wall_scale) EWMA (seeded by the
+    /// first observation, clamped to keep one outlier batch from
+    /// poisoning the projection).
+    fn observe_wall_scale(&mut self, measured_wall_ns: f64, predicted_wall_ns: f64) {
+        let ratio = measured_wall_ns / predicted_wall_ns.max(1.0);
+        self.wall_scale = if self.wall_scale_seeded {
+            0.8 * self.wall_scale + 0.2 * ratio
+        } else {
+            ratio
+        };
+        self.wall_scale_seeded = true;
+        self.wall_scale = self.wall_scale.clamp(1e-4, 1e4);
+    }
+
+    /// The current model-ns → caller-clock EWMA the shed projection
+    /// multiplies predicted work by (1.0 until a batch has been
+    /// observed).
+    pub fn wall_scale(&self) -> f64 {
+        self.wall_scale
+    }
+
+    /// Replace the SLO policy, returning the previous one. A server
+    /// front end uses this to run its warmup traffic unshedded (the
+    /// wall-scale EWMA is unseeded until the first measured batch, so
+    /// projections would be nonsense) and to A/B the shed gate.
+    pub fn set_slo(&mut self, slo: Option<SloPolicy>) -> Option<SloPolicy> {
+        std::mem::replace(&mut self.cfg.slo, slo)
     }
 
     /// Drain the queue: form and execute batches until nothing is
@@ -728,6 +995,9 @@ impl QueryService {
         r.set_counter("gcm_service_spans_dropped_total", self.spans.dropped());
         r.set_counter("gcm_service_recalibrations_total", self.recalibrations);
         r.set_gauge("gcm_service_cpu_per_op_ns", self.cfg.per_op_ns);
+        let depth = self.queue.len() as f64;
+        r.set_gauge(metrics::QUEUE_DEPTH, depth);
+        r.gauge_max(metrics::QUEUE_DEPTH_PEAK, depth);
         // Per-class drift ratios + stale count + flag, as gauges.
         self.drift.export_gauges(r, "gcm_service_drift");
     }
@@ -1126,6 +1396,196 @@ mod tests {
         assert!(prom.contains("gcm_service_spans_dropped_total 0"), "{prom}");
         let json = m.to_json_lines();
         assert!(json.lines().count() >= 5, "{json}");
+    }
+
+    fn classed_service(slo: SloPolicy) -> (QueryService, TenantTables) {
+        let mut svc = QueryService::with_config(
+            presets::tiny_smp(4),
+            ServiceConfig {
+                slo: Some(slo),
+                ..ServiceConfig::default()
+            },
+        );
+        let mut wl = Workload::new(42);
+        let star = wl.star_scenario(3_000, 500, 1);
+        svc.register_table("F", star.fact, 8);
+        svc.register_table("D", star.dims[0].clone(), 8);
+        (
+            svc,
+            TenantTables {
+                fact: 0,
+                dim: 1,
+                key_bound: 500,
+            },
+        )
+    }
+
+    fn request(class: TenantClass) -> gcm_workload::QueryRequest {
+        gcm_workload::QueryRequest {
+            tenant: 0,
+            class,
+            selectivity: class.selectivity_buckets()[0],
+        }
+    }
+
+    #[test]
+    fn shed_pass_sheds_the_class_whose_budget_is_blown() {
+        // Joins get an impossible budget, point lookups an unlimited
+        // one: the join sheds, the point lookup is served.
+        let (mut svc, t) = classed_service(SloPolicy {
+            point_lookup_ns: f64::MAX,
+            scan_heavy_ns: f64::MAX,
+            join_heavy_ns: 1.0,
+        });
+        let point = svc
+            .submit_classed(
+                plan_for(&request(TenantClass::PointLookup), &t),
+                TenantClass::PointLookup,
+                0,
+            )
+            .unwrap();
+        let join = svc
+            .submit_classed(
+                plan_for(&request(TenantClass::JoinHeavy), &t),
+                TenantClass::JoinHeavy,
+                0,
+            )
+            .unwrap();
+        let (shed, batch) = svc.next_batch_at(100);
+        assert_eq!(shed.len(), 1);
+        assert_eq!(shed[0].id, join);
+        assert_eq!(shed[0].class, TenantClass::JoinHeavy);
+        assert!(shed[0].projected_ns > shed[0].budget_ns);
+        let batch = batch.unwrap();
+        assert!(batch.ids().contains(&point));
+        assert!(!batch.ids().contains(&join));
+        // The record and the labeled counter both landed.
+        let m = svc.metrics();
+        assert_eq!(m.shed_total(), 1);
+        assert_eq!(m.shed_for_class(TenantClass::JoinHeavy), 1);
+        assert_eq!(
+            m.registry
+                .counter("gcm_service_shed_total{class=\"join_heavy\"}"),
+            Some(1)
+        );
+        assert_eq!(m.registry.gauge("gcm_service_queue_depth"), Some(0.0));
+        assert!(m.registry.gauge("gcm_service_queue_depth_peak").unwrap() >= 2.0);
+    }
+
+    #[test]
+    fn unclassed_submissions_never_shed() {
+        // A zero budget sheds every classed query instantly — but a
+        // plain submit is exempt no matter how stale it is.
+        let (mut svc, t) = classed_service(SloPolicy::uniform(0.0));
+        let plain = svc
+            .submit(plan_for(&request(TenantClass::ScanHeavy), &t))
+            .unwrap();
+        let classed = svc
+            .submit_classed(
+                plan_for(&request(TenantClass::JoinHeavy), &t),
+                TenantClass::JoinHeavy,
+                0,
+            )
+            .unwrap();
+        let (shed, batch) = svc.next_batch_at(1_000_000);
+        assert_eq!(shed.len(), 1);
+        assert_eq!(shed[0].id, classed);
+        let ids = batch.unwrap().ids();
+        assert_eq!(ids, vec![plain]);
+    }
+
+    #[test]
+    fn priority_order_serves_point_lookups_before_joins() {
+        // Joins arrive first but point lookups outrank them: the batch
+        // head (admission always admits the first candidate) must be
+        // the point lookup.
+        let (mut svc, t) = classed_service(SloPolicy::uniform(f64::MAX));
+        let join = svc
+            .submit_classed(
+                plan_for(&request(TenantClass::JoinHeavy), &t),
+                TenantClass::JoinHeavy,
+                0,
+            )
+            .unwrap();
+        let point = svc
+            .submit_classed(
+                plan_for(&request(TenantClass::PointLookup), &t),
+                TenantClass::PointLookup,
+                5,
+            )
+            .unwrap();
+        let (shed, batch) = svc.next_batch_at(10);
+        assert!(shed.is_empty());
+        let ids = batch.unwrap().ids();
+        assert_eq!(ids[0], point, "{ids:?}");
+        // The join is either in this batch behind the point lookup or
+        // still queued — never lost.
+        assert!(ids.contains(&join) || svc.queue_len() == 1);
+    }
+
+    #[test]
+    fn without_slo_next_batch_at_is_plain_next_batch() {
+        let mut svc = service();
+        svc.submit(LogicalPlan::scan(0).select_lt(100).group_count())
+            .unwrap();
+        let (shed, batch) = svc.next_batch_at(u64::MAX);
+        assert!(shed.is_empty());
+        assert_eq!(batch.unwrap().size(), 1);
+    }
+
+    #[test]
+    fn native_observed_execution_routes_ids_and_seeds_wall_scale() {
+        let run = |observed: bool| -> Vec<(u64, u64, u64)> {
+            let (mut svc, t) = classed_service(SloPolicy::uniform(f64::MAX));
+            for class in [TenantClass::PointLookup, TenantClass::ScanHeavy] {
+                svc.submit_classed(plan_for(&request(class), &t), class, 0)
+                    .unwrap();
+            }
+            let mut out = Vec::new();
+            while let (_, Some(batch)) = svc.next_batch_at(0) {
+                if observed {
+                    for (id, r) in svc.execute_batch_native_observed(batch).unwrap() {
+                        out.push((id, r.output_n, r.output_hash));
+                    }
+                } else {
+                    let ids = batch.ids();
+                    for (id, r) in ids
+                        .into_iter()
+                        .zip(svc.execute_batch_native(batch).unwrap())
+                    {
+                        out.push((id, r.output_n, r.output_hash));
+                    }
+                }
+            }
+            out.sort_unstable();
+            out
+        };
+        assert_eq!(
+            run(true),
+            run(false),
+            "observed path must not change results"
+        );
+        // The EWMA seeds off the first observed batch.
+        let (mut svc, t) = classed_service(SloPolicy::uniform(f64::MAX));
+        assert_eq!(svc.wall_scale(), 1.0);
+        svc.submit_classed(
+            plan_for(&request(TenantClass::ScanHeavy), &t),
+            TenantClass::ScanHeavy,
+            0,
+        )
+        .unwrap();
+        let (_, batch) = svc.next_batch_at(0);
+        svc.execute_batch_native_observed(batch.unwrap()).unwrap();
+        assert!(svc.wall_scale() > 0.0 && svc.wall_scale() != 1.0);
+        let m = svc.metrics();
+        assert_eq!(
+            m.registry.counter("gcm_service_native_batches_total"),
+            Some(1)
+        );
+        assert!(m
+            .registry
+            .histogram("gcm_service_native_query_ns{class=\"scan_heavy\"}")
+            .is_some());
     }
 
     #[test]

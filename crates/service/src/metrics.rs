@@ -11,7 +11,9 @@
 //! *aggregated* view a scrape reads in O(1) space; the vectors are the
 //! exact trace a test asserts on.
 
+use gcm_obs::registry::labeled;
 use gcm_obs::{Histogram, MetricsRegistry};
+use gcm_workload::TenantClass;
 use std::fmt;
 
 /// Registry name of the per-query measured-latency histogram.
@@ -24,6 +26,13 @@ pub const BATCH_WALL: &str = "gcm_service_batch_wall_ns";
 pub const QUERIES_TOTAL: &str = "gcm_service_queries_total";
 /// Registry name of the executed-batch counter.
 pub const BATCHES_TOTAL: &str = "gcm_service_batches_total";
+/// Registry family of the per-class shed counters (the class lands in
+/// a `{class="…"}` label).
+pub const SHED_TOTAL: &str = "gcm_service_shed_total";
+/// Registry name of the pending-queue depth gauge.
+pub const QUEUE_DEPTH: &str = "gcm_service_queue_depth";
+/// Registry name of the pending-queue high-water-mark gauge.
+pub const QUEUE_DEPTH_PEAK: &str = "gcm_service_queue_depth_peak";
 
 /// One executed query's record.
 #[derive(Debug, Clone)]
@@ -84,6 +93,24 @@ impl BatchRecord {
     }
 }
 
+/// One shed query's record: what the service refused to serve, and
+/// the projection that condemned it (see
+/// [`crate::QueryService::next_batch_at`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShedRecord {
+    /// The id [`crate::QueryService::submit_classed`] returned.
+    pub id: u64,
+    /// The query's tenant class (budgets and priority come from it).
+    pub class: TenantClass,
+    /// How long the query had already queued when it was shed, ns.
+    pub waited_ns: u64,
+    /// Projected sojourn at the shed decision (waited + ⊙-priced drain
+    /// of the higher-priority work ahead of it), ns.
+    pub projected_ns: f64,
+    /// The class budget the projection overran, ns.
+    pub budget_ns: f64,
+}
+
 /// The service's accumulated report.
 #[derive(Debug, Clone, Default)]
 pub struct ServiceMetrics {
@@ -91,6 +118,8 @@ pub struct ServiceMetrics {
     pub queries: Vec<QueryRecord>,
     /// Every executed batch, in execution order.
     pub batches: Vec<BatchRecord>,
+    /// Every shed query, in shed order.
+    pub shed: Vec<ShedRecord>,
     /// Plan-cache hits among all submissions so far.
     pub cache_hits: u64,
     /// Plan-cache misses among all submissions so far.
@@ -129,6 +158,24 @@ impl ServiceMetrics {
         self.registry
             .set_gauge("gcm_service_last_batch_size", b.size() as f64);
         self.batches.push(b);
+    }
+
+    /// Record one shed query: appends the exact [`ShedRecord`] *and*
+    /// bumps the class's `gcm_service_shed_total{class="…"}` counter.
+    pub fn record_shed(&mut self, s: ShedRecord) {
+        self.registry
+            .inc(&labeled(SHED_TOTAL, &[("class", s.class.label())]), 1);
+        self.shed.push(s);
+    }
+
+    /// Total queries shed so far (across all classes).
+    pub fn shed_total(&self) -> u64 {
+        self.shed.len() as u64
+    }
+
+    /// Queries shed for one class so far.
+    pub fn shed_for_class(&self, class: TenantClass) -> u64 {
+        self.shed.iter().filter(|s| s.class == class).count() as u64
     }
 
     /// The measured per-query latency histogram, if any query ran.
@@ -208,8 +255,11 @@ impl fmt::Display for ServiceMetrics {
         )?;
         writeln!(
             f,
-            "cache retired {}  shared builds {} built / {} reused",
-            self.cache_retired, self.builds_built, self.builds_reused,
+            "cache retired {}  shared builds {} built / {} reused  shed {}",
+            self.cache_retired,
+            self.builds_built,
+            self.builds_reused,
+            self.shed.len(),
         )?;
         write!(
             f,
@@ -241,6 +291,7 @@ mod tests {
     fn rates_and_errors() {
         let m = ServiceMetrics {
             queries: vec![record(100.0, 125.0), record(200.0, 160.0)],
+            shed: Vec::new(),
             batches: vec![
                 BatchRecord {
                     ids: vec![1, 2],
@@ -282,6 +333,39 @@ mod tests {
         assert_eq!(m.max_batch_size(), 0);
         assert_eq!(m.mean_query_error(), 0.0);
         assert!(m.latency_quantiles().is_none());
+    }
+
+    #[test]
+    fn record_shed_feeds_vector_and_labeled_counters() {
+        let mut m = ServiceMetrics::default();
+        let shed = |id, class| ShedRecord {
+            id,
+            class,
+            waited_ns: 500,
+            projected_ns: 9_000.0,
+            budget_ns: 2_000.0,
+        };
+        m.record_shed(shed(1, TenantClass::JoinHeavy));
+        m.record_shed(shed(2, TenantClass::JoinHeavy));
+        m.record_shed(shed(3, TenantClass::PointLookup));
+        assert_eq!(m.shed_total(), 3);
+        assert_eq!(m.shed_for_class(TenantClass::JoinHeavy), 2);
+        assert_eq!(m.shed_for_class(TenantClass::ScanHeavy), 0);
+        assert_eq!(
+            m.registry
+                .counter("gcm_service_shed_total{class=\"join_heavy\"}"),
+            Some(2)
+        );
+        let prom = m.to_prometheus();
+        assert!(
+            prom.contains("# TYPE gcm_service_shed_total counter"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("gcm_service_shed_total{class=\"point_lookup\"} 1\n"),
+            "{prom}"
+        );
+        assert!(m.to_string().contains("shed 3"), "{m}");
     }
 
     #[test]

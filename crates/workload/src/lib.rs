@@ -167,6 +167,29 @@ impl Workload {
             .collect()
     }
 
+    /// Open-loop Poisson arrival times: `n` cumulative timestamps (in
+    /// nanoseconds from an arbitrary epoch) whose gaps are i.i.d.
+    /// exponential with the given mean — the arrival process of a
+    /// service facing many independent users, where requests keep
+    /// coming whether or not earlier ones finished. Timestamps are
+    /// strictly derived from the seed, so a load run can be replayed
+    /// exactly.
+    pub fn poisson_arrivals(&mut self, n: usize, mean_interarrival_ns: f64) -> Vec<u64> {
+        assert!(
+            mean_interarrival_ns > 0.0 && mean_interarrival_ns.is_finite(),
+            "mean interarrival must be positive and finite"
+        );
+        let mut t = 0.0f64;
+        (0..n)
+            .map(|_| {
+                // Inverse-CDF of Exp(1/mean): -ln(1-U) * mean, U ∈ [0,1).
+                let u = self.rng.next_f64();
+                t += -(1.0 - u).ln() * mean_interarrival_ns;
+                t.round() as u64
+            })
+            .collect()
+    }
+
     /// Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
@@ -208,6 +231,50 @@ pub enum TenantClass {
 }
 
 impl TenantClass {
+    /// All classes, in shedding-priority order (see
+    /// [`TenantClass::priority`]).
+    pub const ALL: [TenantClass; 3] = [
+        TenantClass::PointLookup,
+        TenantClass::ScanHeavy,
+        TenantClass::JoinHeavy,
+    ];
+
+    /// A stable snake_case label for metric series and artifacts.
+    pub fn label(self) -> &'static str {
+        match self {
+            TenantClass::PointLookup => "point_lookup",
+            TenantClass::ScanHeavy => "scan_heavy",
+            TenantClass::JoinHeavy => "join_heavy",
+        }
+    }
+
+    /// Shedding priority: lower values are served first when an
+    /// overloaded service must pick what to keep. Point lookups are the
+    /// cheapest and most latency-sensitive, so they outrank scans,
+    /// which outrank joins.
+    pub fn priority(self) -> u8 {
+        match self {
+            TenantClass::PointLookup => 0,
+            TenantClass::ScanHeavy => 1,
+            TenantClass::JoinHeavy => 2,
+        }
+    }
+
+    /// A stable wire index (inverse of [`TenantClass::from_index`]).
+    pub fn index(self) -> u8 {
+        self.priority()
+    }
+
+    /// Decode a wire index produced by [`TenantClass::index`].
+    pub fn from_index(i: u8) -> Option<TenantClass> {
+        match i {
+            0 => Some(TenantClass::PointLookup),
+            1 => Some(TenantClass::ScanHeavy),
+            2 => Some(TenantClass::JoinHeavy),
+            _ => None,
+        }
+    }
+
     /// The class's quantized selectivity buckets. Requests draw from a
     /// deliberately small set so a service sees repeated plan shapes
     /// (the plan-cache workload); the values parameterise the
@@ -442,6 +509,51 @@ mod tests {
         assert_eq!(a, b);
         let c = Workload::new(6).query_mix(100, &tenants, 0.8);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn poisson_arrivals_are_monotone_and_deterministic() {
+        let a = Workload::new(44).poisson_arrivals(1_000, 50_000.0);
+        let b = Workload::new(44).poisson_arrivals(1_000, 50_000.0);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|p| p[0] <= p[1]), "must be cumulative");
+        let c = Workload::new(45).poisson_arrivals(1_000, 50_000.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn poisson_arrivals_hit_the_offered_rate() {
+        let mean = 20_000.0;
+        let n = 50_000;
+        let arr = Workload::new(46).poisson_arrivals(n, mean);
+        let measured = arr[n - 1] as f64 / n as f64;
+        let err = (measured - mean).abs() / mean;
+        assert!(err < 0.05, "mean gap {measured} vs {mean}");
+        // Exponential gaps: the coefficient of variation is ~1 (a fixed
+        // interarrival schedule would be 0) — the open-loop burstiness
+        // the shedder has to absorb.
+        let gaps: Vec<f64> = std::iter::once(arr[0])
+            .chain(arr.windows(2).map(|p| p[1] - p[0]))
+            .map(|g| g as f64)
+            .collect();
+        let m = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - m) * (g - m)).sum::<f64>() / gaps.len() as f64;
+        let cv2 = var / (m * m);
+        assert!((0.85..1.15).contains(&cv2), "cv² = {cv2}");
+    }
+
+    #[test]
+    fn tenant_class_labels_and_indices_round_trip() {
+        for c in TenantClass::ALL {
+            assert_eq!(TenantClass::from_index(c.index()), Some(c));
+        }
+        assert_eq!(TenantClass::from_index(3), None);
+        assert_eq!(TenantClass::PointLookup.label(), "point_lookup");
+        assert_eq!(TenantClass::ScanHeavy.label(), "scan_heavy");
+        assert_eq!(TenantClass::JoinHeavy.label(), "join_heavy");
+        // Priorities: point lookups outrank scans outrank joins.
+        assert!(TenantClass::PointLookup.priority() < TenantClass::ScanHeavy.priority());
+        assert!(TenantClass::ScanHeavy.priority() < TenantClass::JoinHeavy.priority());
     }
 
     #[test]

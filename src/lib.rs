@@ -32,6 +32,11 @@
 //!   backend counter deltas, `EXPLAIN ANALYZE` support, log-linear latency
 //!   histograms with Prometheus/JSON-lines exporters, and a model-drift
 //!   monitor that flags stale calibration.
+//! * [`net`] — the thread-per-core network ingress: epoll shard threads
+//!   over raw syscalls, a length-prefixed wire protocol, per-tenant SLO
+//!   budgets enforced by `⊙`-priced sojourn projections (overload is shed
+//!   fail-fast before execution), socket-level back-pressure, and an
+//!   open-loop Poisson/Zipf load generator.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
@@ -40,6 +45,7 @@ pub use gcm_calibrate as calibrate;
 pub use gcm_core as core;
 pub use gcm_engine as engine;
 pub use gcm_hardware as hardware;
+pub use gcm_net as net;
 pub use gcm_obs as obs;
 pub use gcm_service as service;
 pub use gcm_sim as sim;

@@ -21,6 +21,7 @@ const EXAMPLES: &[&str] = &[
     "native_validation",
     "explain_analyze",
     "host_report",
+    "net_demo",
 ];
 
 #[test]

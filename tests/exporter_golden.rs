@@ -10,6 +10,9 @@
 
 use gcm::obs::registry::labeled;
 use gcm::obs::{Histogram, MetricsRegistry, Span, SpanKind, SpanRecorder};
+use gcm::service::metrics::{QUEUE_DEPTH, QUEUE_DEPTH_PEAK};
+use gcm::service::{ServiceMetrics, ShedRecord};
+use gcm::workload::TenantClass;
 
 /// A registry covering every metric kind and the escaping-hostile
 /// label value `a"b\c<newline>d`.
@@ -91,6 +94,73 @@ fn histogram_bucket_boundaries_are_pinned() {
     small.record(37);
     assert_eq!(small.p50(), 37);
     assert_eq!(small.p999(), 37);
+}
+
+/// A `ServiceMetrics` exactly as the SLO gate leaves it: per-class
+/// shed counters fed through `record_shed` (the production path, so
+/// the golden pins the real emission, not a hand-built mirror) plus
+/// the queue-depth gauge pair the scheduler maintains.
+fn shed_metrics() -> ServiceMetrics {
+    let mut m = ServiceMetrics::default();
+    let shed = |id: u64, class: TenantClass| ShedRecord {
+        id,
+        class,
+        waited_ns: 1_000 * id,
+        projected_ns: 9e6,
+        budget_ns: 4e6,
+    };
+    m.record_shed(shed(1, TenantClass::PointLookup));
+    for id in 2..4 {
+        m.record_shed(shed(id, TenantClass::JoinHeavy));
+    }
+    for id in 4..8 {
+        m.record_shed(shed(id, TenantClass::ScanHeavy));
+    }
+    m.registry.set_gauge(QUEUE_DEPTH, 3.0);
+    m.registry.gauge_max(QUEUE_DEPTH_PEAK, 7.0);
+    m.registry.gauge_max(QUEUE_DEPTH_PEAK, 5.0); // peak must hold
+    m
+}
+
+#[test]
+fn shed_and_queue_depth_prometheus_is_pinned_byte_for_byte() {
+    // BTreeMap name order: the gauges sort before the labeled shed
+    // family, and the class labels sort alphabetically within it. Each
+    // series re-states its family `# TYPE` header.
+    let expected = concat!(
+        "# TYPE gcm_service_queue_depth gauge\n",
+        "gcm_service_queue_depth 3\n",
+        "# TYPE gcm_service_queue_depth_peak gauge\n",
+        "gcm_service_queue_depth_peak 7\n",
+        "# TYPE gcm_service_shed_total counter\n",
+        "gcm_service_shed_total{class=\"join_heavy\"} 2\n",
+        "# TYPE gcm_service_shed_total counter\n",
+        "gcm_service_shed_total{class=\"point_lookup\"} 1\n",
+        "# TYPE gcm_service_shed_total counter\n",
+        "gcm_service_shed_total{class=\"scan_heavy\"} 4\n",
+    );
+    let m = shed_metrics();
+    assert_eq!(m.to_prometheus(), expected);
+    // The exact trace and the aggregated counters agree.
+    assert_eq!(m.shed_total(), 7);
+    assert_eq!(m.shed_for_class(TenantClass::ScanHeavy), 4);
+}
+
+#[test]
+fn shed_and_queue_depth_json_lines_are_pinned_byte_for_byte() {
+    let expected = concat!(
+        r#"{"name":"gcm_service_queue_depth","type":"gauge","value":3}"#,
+        "\n",
+        r#"{"name":"gcm_service_queue_depth_peak","type":"gauge","value":7}"#,
+        "\n",
+        r#"{"name":"gcm_service_shed_total{class=\"join_heavy\"}","type":"counter","value":2}"#,
+        "\n",
+        r#"{"name":"gcm_service_shed_total{class=\"point_lookup\"}","type":"counter","value":1}"#,
+        "\n",
+        r#"{"name":"gcm_service_shed_total{class=\"scan_heavy\"}","type":"counter","value":4}"#,
+        "\n",
+    );
+    assert_eq!(shed_metrics().to_json_lines(), expected);
 }
 
 fn span(name: &str, seq: u64) -> Span {

@@ -1,0 +1,201 @@
+//! Property suite for the `gcm-net` wire codec: the byte stream a
+//! shard reads is attacker-controlled, so the decoder must round-trip
+//! every legal frame exactly and reject every illegal stream with a
+//! typed error — never a panic, never a desync that smuggles bytes
+//! into a later connection's frames.
+
+use gcm::net::wire::{
+    encode_response, encode_submit, Frame, FrameDecoder, ResponseFrame, SubmitFrame, WireError,
+    MAX_FRAME,
+};
+use gcm::workload::TenantClass;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn class_of(idx: u8) -> TenantClass {
+    TenantClass::from_index(idx % 3).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every submit frame survives encode → decode bit-for-bit,
+    /// regardless of how the bytes are chunked on the way in.
+    #[test]
+    fn submit_round_trips(
+        id in 0u64..=u64::MAX,
+        tenant in 0u32..=u32::MAX,
+        class_idx in 0u8..3,
+        sel_bits in 0u64..=u64::MAX,
+        chunk in 1usize..40,
+    ) {
+        let frame = SubmitFrame {
+            id,
+            tenant,
+            class: class_of(class_idx),
+            selectivity_bits: sel_bits,
+        };
+        let mut bytes = Vec::new();
+        encode_submit(&frame, &mut bytes);
+        let mut dec = FrameDecoder::new();
+        let mut got = None;
+        for piece in bytes.chunks(chunk) {
+            dec.push(piece);
+            if let Some(f) = dec.next().unwrap() {
+                prop_assert!(got.is_none(), "frame decoded twice");
+                got = Some(f);
+            }
+        }
+        prop_assert_eq!(got, Some(Frame::Submit(frame)));
+        prop_assert_eq!(dec.next().unwrap(), None);
+    }
+
+    /// Both response kinds round-trip exactly.
+    #[test]
+    fn responses_round_trip(
+        id in 0u64..=u64::MAX,
+        a in 0u64..=u64::MAX,
+        b in 0u64..=u64::MAX,
+        sojourn in 0u64..=u64::MAX,
+        served in 0u8..2,
+    ) {
+        let frame = if served == 1 {
+            ResponseFrame::Served { id, output_n: a, output_hash: b, sojourn_ns: sojourn }
+        } else {
+            ResponseFrame::Shed { id, sojourn_ns: sojourn }
+        };
+        let mut bytes = Vec::new();
+        encode_response(&frame, &mut bytes);
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        prop_assert_eq!(dec.next().unwrap(), Some(Frame::Response(frame)));
+        prop_assert_eq!(dec.next().unwrap(), None);
+        prop_assert_eq!(dec.pending(), 0);
+    }
+
+    /// A truncated frame never yields anything — no partial decode, no
+    /// error, no panic — until the missing bytes arrive.
+    #[test]
+    fn truncation_is_silent(
+        id in 0u64..=u64::MAX,
+        tenant in 0u32..=u32::MAX,
+        class_idx in 0u8..3,
+        cut in 0usize..26,
+    ) {
+        let frame = SubmitFrame {
+            id,
+            tenant,
+            class: class_of(class_idx),
+            selectivity_bits: 0,
+        };
+        let mut bytes = Vec::new();
+        encode_submit(&frame, &mut bytes);
+        let cut = cut.min(bytes.len() - 1);
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes[..cut]);
+        prop_assert_eq!(dec.next().unwrap(), None);
+        dec.push(&bytes[cut..]);
+        prop_assert_eq!(dec.next().unwrap(), Some(Frame::Submit(frame)));
+    }
+
+    /// Arbitrary garbage may decode (tags are dense in small ints) or
+    /// error, but must never panic, and consuming the stream always
+    /// terminates.
+    #[test]
+    fn garbage_never_panics(bytes in vec(0u8..=255, 0..256)) {
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let mut steps = 0usize;
+        loop {
+            match dec.next() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(_) => break,
+            }
+            steps += 1;
+            prop_assert!(steps <= bytes.len(), "decoder failed to make progress");
+        }
+    }
+
+    /// A declared length beyond MAX_FRAME is rejected from the prefix
+    /// alone — the decoder never waits for (or buffers toward) a
+    /// hostile payload.
+    #[test]
+    fn oversized_lengths_rejected_early(extra in 1u32..=u32::MAX - MAX_FRAME as u32) {
+        let len = MAX_FRAME as u32 + extra;
+        let mut dec = FrameDecoder::new();
+        dec.push(&len.to_le_bytes());
+        prop_assert_eq!(dec.next(), Err(WireError::Oversized { len }));
+    }
+
+    /// A class byte outside the tenant-class range is a typed error.
+    #[test]
+    fn bad_class_rejected(bad in 3u8..=u8::MAX) {
+        let mut bytes = Vec::new();
+        encode_submit(
+            &SubmitFrame {
+                id: 1,
+                tenant: 1,
+                class: TenantClass::PointLookup,
+                selectivity_bits: 0,
+            },
+            &mut bytes,
+        );
+        bytes[4 + 13] = bad;
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        prop_assert_eq!(dec.next(), Err(WireError::BadClass { value: bad }));
+    }
+
+    /// Back-to-back frames with arbitrary chunking decode in order and
+    /// leave no residue — the no-desync property that keeps one
+    /// client's bytes out of another's frames.
+    #[test]
+    fn frame_streams_stay_in_sync(
+        ids in vec(0u64..=u64::MAX, 1..20),
+        chunk in 1usize..64,
+    ) {
+        let mut bytes = Vec::new();
+        for (i, &id) in ids.iter().enumerate() {
+            let frame = SubmitFrame {
+                id,
+                tenant: i as u32,
+                class: class_of(i as u8),
+                selectivity_bits: id ^ 0x9e37_79b9_7f4a_7c15,
+            };
+            encode_submit(&frame, &mut bytes);
+        }
+        let mut dec = FrameDecoder::new();
+        let mut seen = Vec::new();
+        for piece in bytes.chunks(chunk) {
+            dec.push(piece);
+            while let Some(f) = dec.next().unwrap() {
+                seen.push(f);
+            }
+        }
+        prop_assert_eq!(seen.len(), ids.len());
+        for (i, (&id, frame)) in ids.iter().zip(&seen).enumerate() {
+            match frame {
+                Frame::Submit(s) => {
+                    prop_assert_eq!(s.id, id);
+                    prop_assert_eq!(s.tenant, i as u32);
+                }
+                other => prop_assert!(false, "unexpected frame {:?}", other),
+            }
+        }
+        prop_assert_eq!(dec.pending(), 0);
+    }
+}
+
+/// After a wire error the decoder stays poisoned-safe: further calls
+/// keep erroring (or stall) without panicking, matching the shard's
+/// drop-the-connection contract.
+#[test]
+fn decoder_is_safe_after_an_error() {
+    let mut dec = FrameDecoder::new();
+    dec.push(&(MAX_FRAME as u32 + 7).to_le_bytes());
+    assert!(dec.next().is_err());
+    assert!(dec.next().is_err(), "error must persist, not reset");
+    dec.push(&[0u8; 32]);
+    assert!(dec.next().is_err());
+}
